@@ -1,0 +1,100 @@
+#include "bench/bench_common.hh"
+
+#include <cstdio>
+#include <cstring>
+
+#include "common/logging.hh"
+#include "trace/workloads.hh"
+
+namespace spburst::bench
+{
+
+BenchOptions
+BenchOptions::parse(int argc, char **argv, std::uint64_t default_uops)
+{
+    BenchOptions o;
+    o.uops = default_uops;
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (std::strncmp(arg, "--uops=", 7) == 0) {
+            o.uops = std::strtoull(arg + 7, nullptr, 10);
+        } else if (std::strncmp(arg, "--seed=", 7) == 0) {
+            o.seed = std::strtoull(arg + 7, nullptr, 10);
+        } else if (std::strcmp(arg, "--quick") == 0) {
+            o.uops = 20'000;
+        } else if (std::strcmp(arg, "--help") == 0) {
+            std::printf("options: --uops=N --seed=N --quick\n");
+            std::exit(0);
+        } else {
+            SPB_FATAL("unknown bench option '%s'", arg);
+        }
+    }
+    return o;
+}
+
+std::string
+configKey(const SystemConfig &cfg)
+{
+    char buf[320];
+    std::snprintf(
+        buf, sizeof(buf),
+        "%s|sb%u|p%d|spb%d:%u:%d:%d|i%d|c%d|pf%d|t%d|s%lu|u%lu|%s|m%u:%zu",
+        cfg.workload.c_str(), cfg.sbSize, static_cast<int>(cfg.policy),
+        cfg.useSpb, cfg.spb.checkInterval, cfg.spb.dynamicThreshold,
+        cfg.spb.backwardBursts, cfg.idealSb, cfg.coalescingSb,
+        static_cast<int>(cfg.l1Prefetcher), cfg.threads,
+        static_cast<unsigned long>(cfg.seed),
+        static_cast<unsigned long>(cfg.maxUopsPerCore),
+        cfg.coreParams.name.c_str(), cfg.mem.l1d.prefetchIssuePerCycle,
+        cfg.mem.l1d.demandReservedMshrs);
+    return buf;
+}
+
+const SimResult &
+Runner::run(const std::string &workload, unsigned sb_size,
+            const Strategy &strategy)
+{
+    SystemConfig cfg = makeConfig(workload, sb_size, strategy.policy,
+                                  strategy.spb, strategy.ideal);
+    cfg.maxUopsPerCore = options_.uops;
+    cfg.seed = options_.seed;
+    return run(cfg);
+}
+
+const SimResult &
+Runner::run(SystemConfig cfg)
+{
+    const std::string key = configKey(cfg);
+    auto it = cache_.find(key);
+    if (it != cache_.end())
+        return it->second;
+    SimResult result = runSystem(cfg);
+    return cache_.emplace(key, std::move(result)).first->second;
+}
+
+std::vector<std::string>
+suiteAll()
+{
+    return allSpecNames();
+}
+
+std::vector<std::string>
+suiteSbBound()
+{
+    return sbBoundSpecNames();
+}
+
+void
+printHeader(const std::string &figure, const std::string &what,
+            const BenchOptions &options)
+{
+    std::printf("########################################################\n");
+    std::printf("# %s\n", figure.c_str());
+    std::printf("# %s\n", what.c_str());
+    std::printf("# %lu committed uops per core per run, seed %lu\n",
+                static_cast<unsigned long>(options.uops),
+                static_cast<unsigned long>(options.seed));
+    std::printf("########################################################\n");
+}
+
+} // namespace spburst::bench

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Shared infrastructure for the figure-reproduction harnesses: command
+ * line options, a memoizing simulation runner, the strategy variants
+ * the paper compares, and table-building helpers.
+ *
+ * Every bench binary regenerates one table or figure of the paper; the
+ * default instruction budgets are sized so the whole bench/ directory
+ * completes in minutes on one core. Pass --uops=N to change fidelity,
+ * --quick for a fast smoke run.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/table.hh"
+#include "sim/system.hh"
+
+namespace spburst::bench
+{
+
+/** Command-line options shared by every bench binary. */
+struct BenchOptions
+{
+    std::uint64_t uops = 120'000; //!< committed uops per core per run
+    std::uint64_t seed = 1;
+
+    /** Parse --uops=N, --seed=N, --quick (uops=20k). */
+    static BenchOptions parse(int argc, char **argv,
+                              std::uint64_t default_uops = 120'000);
+};
+
+/** One store-prefetch strategy variant from the paper's evaluation. */
+struct Strategy
+{
+    const char *label;
+    StorePrefetchPolicy policy;
+    bool spb;
+    bool ideal;
+};
+
+inline constexpr Strategy kNone{"none", StorePrefetchPolicy::None, false,
+                                false};
+inline constexpr Strategy kAtExecute{
+    "at-execute", StorePrefetchPolicy::AtExecute, false, false};
+inline constexpr Strategy kAtCommit{
+    "at-commit", StorePrefetchPolicy::AtCommit, false, false};
+inline constexpr Strategy kSpb{"SPB", StorePrefetchPolicy::AtCommit, true,
+                               false};
+inline constexpr Strategy kIdeal{"ideal", StorePrefetchPolicy::AtCommit,
+                                 false, true};
+
+/** The three real strategies (paper Fig. 5 x-axis). */
+inline const std::vector<Strategy> kRealStrategies{kAtExecute, kAtCommit,
+                                                   kSpb};
+
+/** The SB sizes the paper evaluates. */
+inline const std::vector<unsigned> kSbSizes{14, 28, 56};
+
+/** Memoizing simulation runner (many figures share configurations). */
+class Runner
+{
+  public:
+    explicit Runner(const BenchOptions &options) : options_(options) {}
+
+    /** Build a config for (workload, SB size, strategy) and run it. */
+    const SimResult &run(const std::string &workload, unsigned sb_size,
+                         const Strategy &strategy);
+
+    /** Run an arbitrary config (memoized on its key). */
+    const SimResult &run(SystemConfig cfg);
+
+    const BenchOptions &options() const { return options_; }
+
+    /** Number of distinct simulations executed. */
+    std::size_t executed() const { return cache_.size(); }
+
+  private:
+    BenchOptions options_;
+    std::map<std::string, SimResult> cache_;
+};
+
+/** Unique cache key of a configuration. */
+std::string configKey(const SystemConfig &cfg);
+
+/** Workload lists (paper ordering: SB-bound first). */
+std::vector<std::string> suiteAll();
+std::vector<std::string> suiteSbBound();
+
+/**
+ * Geomean of per-workload values; values below come from a callable
+ * mapping workload name -> double.
+ */
+template <typename F>
+double
+geomeanOver(const std::vector<std::string> &workloads, F &&value)
+{
+    std::vector<double> v;
+    v.reserve(workloads.size());
+    for (const auto &w : workloads)
+        v.push_back(value(w));
+    return geomean(v);
+}
+
+/** Print the standard bench header (paper figure id + what it shows). */
+void printHeader(const std::string &figure, const std::string &what,
+                 const BenchOptions &options);
+
+} // namespace spburst::bench

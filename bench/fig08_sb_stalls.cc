@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Fig. 8 — SB-induced stall cycles normalised to the at-commit
+ * baseline (lower is better), for at-execute, SPB and the ideal SB at
+ * each SB size.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_common.hh"
+
+using namespace spburst;
+using namespace spburst::bench;
+
+int
+main(int argc, char **argv)
+{
+    const BenchOptions options = BenchOptions::parse(argc, argv);
+    printHeader("Figure 8",
+                "SB stalls normalised to at-commit (lower is better)",
+                options);
+    Runner runner(options);
+
+    auto norm = [&](const std::vector<std::string> &workloads, unsigned sb,
+                    const Strategy &s) {
+        // Aggregate-sum ratio: per-app ratios blow up when a workload's
+        // baseline SB stalls are near zero, so normalise totals.
+        double base = 0.0, val = 0.0;
+        for (const auto &w : workloads) {
+            base += static_cast<double>(
+                runner.run(w, sb, kAtCommit).sbStalls());
+            val += static_cast<double>(runner.run(w, sb, s).sbStalls());
+        }
+        return base == 0.0 ? 1.0 : val / base;
+    };
+
+    TextTable table("normalised SB stalls",
+                    {"SB size", "strategy", "ALL", "SB-BOUND"});
+    for (unsigned sb : kSbSizes) {
+        for (const Strategy &s : {kAtExecute, kSpb}) {
+            table.addRow({std::string("SB") + std::to_string(sb), s.label,
+                          formatDouble(norm(suiteAll(), sb, s), 3),
+                          formatDouble(norm(suiteSbBound(), sb, s), 3)});
+        }
+        table.addSeparator();
+    }
+    table.print();
+
+    std::printf("\nPaper shape: SPB drops average SB stalls by 24%%"
+                " (SB56) to 37%% (SB28); cold stores, late prefetches"
+                " and non-contiguous patterns keep the rest.\n");
+    return 0;
+}

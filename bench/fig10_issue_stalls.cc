@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Fig. 10 — Total issue (dispatch) stalls normalised to at-commit,
+ * broken down into stalls caused by the SB versus all other resources
+ * (ROB/IQ/LQ/registers), with the resulting net stall reduction, for
+ * SPB and the ideal SB at each SB size.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_common.hh"
+
+using namespace spburst;
+using namespace spburst::bench;
+
+int
+main(int argc, char **argv)
+{
+    const BenchOptions options = BenchOptions::parse(argc, argv);
+    printHeader("Figure 10",
+                "Issue-stall breakdown normalised to at-commit",
+                options);
+    Runner runner(options);
+
+    struct Decomp
+    {
+        double sb = 0.0;
+        double other = 0.0;
+    };
+    auto decompose = [&](const std::string &w, unsigned sb,
+                         const Strategy &s) {
+        const SimResult &r = runner.run(w, sb, s);
+        Decomp d;
+        d.sb = static_cast<double>(r.sbStalls());
+        d.other = static_cast<double>(r.totalIssueStalls() - r.sbStalls());
+        return d;
+    };
+
+    for (const char *group : {"ALL", "SB-BOUND"}) {
+        const auto workloads = std::string(group) == "ALL"
+                                   ? suiteAll()
+                                   : suiteSbBound();
+        TextTable table(
+            std::string("issue stalls vs at-commit, ") + group,
+            {"SB size", "strategy", "SB share", "Other share", "total",
+             "net reduction"});
+        for (unsigned sb : kSbSizes) {
+            for (const Strategy &s : {kSpb, kIdeal}) {
+                double sb_sum = 0.0, other_sum = 0.0, base_sum = 0.0;
+                for (const auto &w : workloads) {
+                    const Decomp base = decompose(w, sb, kAtCommit);
+                    const Decomp val = decompose(w, sb, s);
+                    sb_sum += val.sb;
+                    other_sum += val.other;
+                    base_sum += base.sb + base.other;
+                }
+                const double total = (sb_sum + other_sum) / base_sum;
+                table.addRow(
+                    {std::string("SB") + std::to_string(sb), s.label,
+                     formatDouble(sb_sum / base_sum, 3),
+                     formatDouble(other_sum / base_sum, 3),
+                     formatDouble(total, 3),
+                     formatPercent(1.0 - total)});
+            }
+            table.addSeparator();
+        }
+        table.print();
+        std::puts("");
+    }
+
+    std::printf("Paper shape (SB14, ALL): ideal removes all SB stalls"
+                " but gains ~22%% other-resource stalls (net -47%%);"
+                " SPB nets -35%%, and even reduces other stalls via"
+                " faster load-dependent branches.\n");
+    return 0;
+}

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Fig. 16 — SPB on top of aggressive cache prefetchers: execution time
+ * normalised to "ideal SB + the same prefetcher", for the stream,
+ * aggressive and adaptive (feedback-directed) L1 prefetchers, with
+ * at-commit and SPB. Shows SPB is orthogonal to cache-prefetcher
+ * aggressiveness.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_common.hh"
+
+using namespace spburst;
+using namespace spburst::bench;
+
+namespace
+{
+
+SystemConfig
+cfgWith(const BenchOptions &options, const std::string &workload,
+        L1PrefetcherKind kind, const Strategy &s, unsigned sb)
+{
+    SystemConfig cfg = makeConfig(workload, sb, s.policy, s.spb, s.ideal);
+    cfg.l1Prefetcher = kind;
+    cfg.maxUopsPerCore = options.uops;
+    cfg.seed = options.seed;
+    return cfg;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const BenchOptions options = BenchOptions::parse(argc, argv);
+    printHeader("Figure 16",
+                "Execution time normalised to ideal SB with the same L1 "
+                "prefetcher (lower is better; SB56)",
+                options);
+    Runner runner(options);
+    constexpr unsigned kSb = 56;
+
+    const std::vector<std::pair<const char *, L1PrefetcherKind>> kinds{
+        {"stream", L1PrefetcherKind::Stream},
+        {"aggressive", L1PrefetcherKind::Aggressive},
+        {"adaptive", L1PrefetcherKind::Adaptive},
+    };
+
+    TextTable table("normalised execution time (SB-bound workloads)",
+                    {"workload", "stream/ac", "stream/SPB", "aggr/ac",
+                     "aggr/SPB", "adapt/ac", "adapt/SPB"});
+    auto norm = [&](const std::string &w, L1PrefetcherKind kind,
+                    const Strategy &s) {
+        const double ideal = static_cast<double>(
+            runner.run(cfgWith(options, w, kind, kIdeal, kSb)).cycles);
+        return static_cast<double>(
+                   runner.run(cfgWith(options, w, kind, s, kSb)).cycles) /
+               ideal;
+    };
+
+    for (const auto &w : suiteSbBound()) {
+        std::vector<double> row;
+        for (const auto &[label, kind] : kinds) {
+            (void)label;
+            row.push_back(norm(w, kind, kAtCommit));
+            row.push_back(norm(w, kind, kSpb));
+        }
+        table.addRow(w, row, 3);
+    }
+    table.addSeparator();
+    std::vector<double> geo;
+    for (const auto &[label, kind] : kinds) {
+        (void)label;
+        for (const Strategy &s : {kAtCommit, kSpb}) {
+            geo.push_back(geomeanOver(
+                suiteSbBound(), [&](const std::string &w) {
+                    return norm(w, kind, s);
+                }));
+        }
+    }
+    table.addRow("GEOMEAN", geo, 3);
+    table.print();
+
+    std::printf("\nPaper shape: the aggressive/adaptive prefetchers do"
+                " not remove SB-induced stalls (their requests are"
+                " still bounded by the SB's scope); SPB closes the gap"
+                " under every prefetcher.\n");
+    return 0;
+}

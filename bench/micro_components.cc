@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Component micro-benchmarks (google-benchmark): throughput of the hot
+ * simulator structures — the SPB detector, the cache tag array, the
+ * MSHR file, the stream prefetcher, the event queue, and end-to-end
+ * simulated-uops-per-second of the full system.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common/clock.hh"
+#include "common/rng.hh"
+#include "core/spb.hh"
+#include "mem/cache.hh"
+#include "mem/mshr.hh"
+#include "prefetch/stream_prefetcher.hh"
+#include "sim/system.hh"
+
+using namespace spburst;
+
+namespace
+{
+
+void
+BM_SpbDetectorContiguous(benchmark::State &state)
+{
+    SpbParams params;
+    params.checkInterval = static_cast<unsigned>(state.range(0));
+    SpbDetector detector(params);
+    Addr addr = 0x10000000;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(detector.onStoreCommit(addr, 8));
+        addr += 8;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SpbDetectorContiguous)->Arg(8)->Arg(48);
+
+void
+BM_SpbDetectorRandom(benchmark::State &state)
+{
+    SpbDetector detector(SpbParams{});
+    Rng rng(1);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            detector.onStoreCommit(rng.below(1u << 30), 8));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SpbDetectorRandom);
+
+void
+BM_CacheLookupHit(benchmark::State &state)
+{
+    SetAssocCache cache(CacheGeometry{32 * 1024, 8});
+    for (Addr a = 0; a < 32 * 1024; a += kBlockSize)
+        cache.fill(cache.victim(a), a, CohState::Exclusive);
+    Addr addr = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(cache.find(addr));
+        addr = (addr + kBlockSize) & (32 * 1024 - 1);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheLookupHit);
+
+void
+BM_CacheFillEvict(benchmark::State &state)
+{
+    SetAssocCache cache(CacheGeometry{32 * 1024, 8});
+    Addr addr = 0;
+    for (auto _ : state) {
+        CacheBlk &victim = cache.victim(addr);
+        cache.fill(victim, addr, CohState::Exclusive);
+        addr += kBlockSize;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheFillEvict);
+
+void
+BM_MshrAllocateDeallocate(benchmark::State &state)
+{
+    MshrFile mshr(64);
+    Addr addr = 0;
+    for (auto _ : state) {
+        mshr.allocate(addr, MemCmd::ReadReq, 0);
+        mshr.deallocate(addr);
+        addr += kBlockSize;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MshrAllocateDeallocate);
+
+void
+BM_StreamPrefetcherTrain(benchmark::State &state)
+{
+    StreamPrefetcher pf(PrefetcherMode::Aggressive);
+    std::vector<Addr> out;
+    MemRequest req;
+    req.cmd = MemCmd::ReadReq;
+    Addr addr = 0;
+    for (auto _ : state) {
+        out.clear();
+        req.blockAddr = addr;
+        pf.notifyAccess(req, false, out);
+        benchmark::DoNotOptimize(out.data());
+        addr += kBlockSize;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StreamPrefetcherTrain);
+
+void
+BM_EventQueueScheduleRun(benchmark::State &state)
+{
+    SimClock clock;
+    std::uint64_t sink = 0;
+    for (auto _ : state) {
+        clock.events.schedule(clock.now + 1, [&sink] { ++sink; });
+        clock.tick();
+    }
+    benchmark::DoNotOptimize(sink);
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EventQueueScheduleRun);
+
+void
+BM_FullSystemUopsPerSecond(benchmark::State &state)
+{
+    for (auto _ : state) {
+        SystemConfig cfg = makeConfig(
+            "x264", 56, StorePrefetchPolicy::AtCommit, true);
+        cfg.maxUopsPerCore = 20'000;
+        const SimResult r = runSystem(cfg);
+        benchmark::DoNotOptimize(r.cycles);
+    }
+    state.SetItemsProcessed(state.iterations() * 20'000);
+}
+BENCHMARK(BM_FullSystemUopsPerSecond)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

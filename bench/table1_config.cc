@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Table I — prints the simulated system configuration so runs are
+ * self-documenting (chip, core, cache and memory parameters).
+ */
+
+#include <cstdio>
+
+#include "bench/bench_common.hh"
+#include "cpu/params.hh"
+#include "mem/memory_system.hh"
+
+using namespace spburst;
+
+int
+main()
+{
+    const CoreParams core = skylakeParams();
+    const MemSystemParams mem = MemSystemParams::tableI(1);
+
+    TextTable table("Table I: configuration parameters",
+                    {"parameter", "value"});
+    auto row = [&](const std::string &k, const std::string &v) {
+        table.addRow({k, v});
+    };
+    row("cores", "1 and 8 out-of-order cores, 2.0 GHz");
+    row("fetch/dispatch/issue/commit width",
+        std::to_string(core.fetchWidth));
+    row("fetch buffer", std::to_string(core.fetchBufferUops) + " uops");
+    row("load queue", std::to_string(core.lqSize) + " entries");
+    row("store queue / SB", std::to_string(core.sqSize) + " entries");
+    row("physical registers",
+        std::to_string(core.intRegs) + " int + " +
+            std::to_string(core.fpRegs) + " fp");
+    row("issue queue", std::to_string(core.iqSize) + " entries");
+    row("reorder buffer", std::to_string(core.robSize) + " entries");
+    row("functional units", "1 Int ALU + 3 Int/FP/SIMD ALU, 2 mem ports");
+    row("int latencies", "add 1c, mul 4c, div 22c");
+    row("fp latencies", "add 5c, mul 5c, div 22c");
+    row("L1 data cache",
+        std::to_string(mem.l1d.geometry.sizeBytes / 1024) + "KB, " +
+            std::to_string(mem.l1d.geometry.ways) + "-way, latency " +
+            std::to_string(mem.l1d.hitLatency) + "c");
+    row("L1 prefetcher", "stream (stride); aggressive/adaptive options");
+    row("L2 cache",
+        std::to_string(mem.l2.geometry.sizeBytes >> 20) + "MB, " +
+            std::to_string(mem.l2.geometry.ways) + "-way, latency " +
+            std::to_string(mem.l2.hitLatency) + "c");
+    row("L3 cache",
+        std::to_string(mem.l3.geometry.sizeBytes >> 20) + "MB, " +
+            std::to_string(mem.l3.geometry.ways) + "-way, latency " +
+            std::to_string(mem.l3.hitLatency) + "c");
+    row("MSHR entries", std::to_string(mem.l1d.mshrs) + " per cache");
+    row("DRAM",
+        std::to_string(mem.dram.latency) + "c latency, " +
+            std::to_string(mem.dram.channels) + " channels, " +
+            std::to_string(mem.dram.blockOccupancy) +
+            "c occupancy per block");
+    row("SPB storage", "58b last-block + 4b sat counter + store count");
+    table.print();
+    return 0;
+}

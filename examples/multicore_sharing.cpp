@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Multicore scenario (paper Sec. VI-F): a PARSEC-like workload on 8
+ * cores over the MESI directory. Shows (i) SPB also helps
+ * multithreaded store bursts and (ii) SPB is coherence-friendly: its
+ * ownership bursts target private pages, so they cause almost no extra
+ * invalidations of other cores' data.
+ */
+
+#include <cstdio>
+
+#include "common/table.hh"
+#include "sim/system.hh"
+
+using namespace spburst;
+
+int
+main(int argc, char **argv)
+{
+    const char *workload = argc > 1 ? argv[1] : "dedup";
+    constexpr int kThreads = 8;
+
+    std::printf("PARSEC-like '%s' on %d cores (shared L3 + MESI "
+                "directory)\n\n", workload, kThreads);
+
+    auto run = [&](unsigned sb, bool spb) {
+        SystemConfig cfg = makeConfig(
+            workload, sb, StorePrefetchPolicy::AtCommit, spb);
+        cfg.threads = kThreads;
+        cfg.maxUopsPerCore = 20'000;
+        return runSystem(cfg);
+    };
+
+    TextTable table("8-thread results",
+                    {"config", "cycles", "aggregate IPC",
+                     "SB-stall% (avg)", "dir invalidations",
+                     "invalidations by SPB", "downgrades"});
+    for (unsigned sb : {56u, 14u}) {
+        for (bool spb : {false, true}) {
+            const SimResult r = run(sb, spb);
+            table.addRow(
+                {std::string(spb ? "SPB" : "at-commit") + " @SB" +
+                     std::to_string(sb),
+                 std::to_string(r.cycles), formatDouble(r.ipc(), 2),
+                 formatPercent(r.sbStallRatio()),
+                 std::to_string(r.directory.invalidations),
+                 std::to_string(r.directory.invalidationsBySpb),
+                 std::to_string(r.directory.downgrades)});
+        }
+        table.addSeparator();
+    }
+    table.print();
+
+    std::printf("\nReading: the burst-prefetched pages are thread-"
+                "private, so the share of invalidations caused by SPB"
+                " (GetPFx) stays negligible relative to regular"
+                " sharing traffic — SPB speeds up the store bursts"
+                " without hurting the other threads' caches.\n");
+    return 0;
+}

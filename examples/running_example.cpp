@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Reproduction of the paper's running example (Fig. 4): a tight loop
+ * of 64-bit stores to consecutive addresses, with SPB configured to
+ * check its saturating counter every N = 8 stores.
+ *
+ * The program traces, store by store, the detector's three registers
+ * (last block / saturating counter / store count) and the messages the
+ * L1 controller sees (Write on a drain, WritePF discarded as PopReq
+ * when the block is already present or in flight, and the GetPFx burst
+ * once SPB fires), then shows the resulting L1D ownership map of the
+ * page.
+ */
+
+#include <cstdio>
+
+#include "common/clock.hh"
+#include "core/spb.hh"
+#include "mem/memory_system.hh"
+
+using namespace spburst;
+
+int
+main()
+{
+    SimClock clock;
+    MemorySystem mem(MemSystemParams::tableI(1), &clock);
+    CacheController &l1d = mem.l1d(0);
+
+    SpbParams params;
+    params.checkInterval = 8; // the example's N
+    SpbDetector detector(params);
+
+    std::printf("SPB running example (paper Fig. 4): N = %u, "
+                "67-bit detector = %u bits here\n\n",
+                params.checkInterval, detector.storageBits());
+    std::printf("%-4s %-12s %-10s %-5s %-6s %s\n", "T", "store", "last blk",
+                "sat", "count", "action");
+
+    const Addr base = 0x10000; // page-aligned
+    Addr addr = base;
+    for (int t = 0; t <= 8; ++t, addr += 8) {
+        // The SB sends the at-commit WritePF for every committing
+        // store; redundant ones are discarded (PopReq).
+        MemRequest pf;
+        pf.cmd = MemCmd::StorePF;
+        pf.blockAddr = blockAlign(addr);
+        l1d.issueStorePrefetch(pf);
+
+        const SpbBurst burst = detector.onStoreCommit(addr, 8);
+        std::printf("T%-3d ST %#07lx  %#08lx   %-5u %-6u %s\n", t,
+                    static_cast<unsigned long>(addr),
+                    static_cast<unsigned long>(detector.lastBlock()
+                                               << kBlockShift),
+                    detector.satCounter(), detector.storeCount(),
+                    burst.count > 0 ? "WritePF+SPB -> burst!" : "WritePF");
+        if (burst.count > 0) {
+            std::printf("     => GetPFx burst: %u blocks starting at "
+                        "%#lx (rest of the page)\n",
+                        burst.count,
+                        static_cast<unsigned long>(burst.firstBlock));
+            l1d.enqueueBurst(burst.firstBlock, burst.count, 0,
+                             Region::Memset);
+        }
+        clock.tick();
+    }
+
+    // Let the burst and prefetches complete.
+    for (int i = 0; i < 2000; ++i)
+        clock.tick();
+
+    std::printf("\nL1D state of page %#lx after the burst "
+                "(64 blocks, E/M = owned):\n  ",
+                static_cast<unsigned long>(base));
+    for (unsigned b = 0; b < kBlocksPerPage; ++b) {
+        const Addr block = base + b * kBlockSize;
+        std::printf("%c", l1d.probeOwned(block)   ? 'M'
+                          : l1d.probeValid(block) ? 'S'
+                                                  : '.');
+        if (b % 32 == 31)
+            std::printf("\n  ");
+    }
+
+    const auto &stats = l1d.stats();
+    std::printf("\nL1D controller counters:\n");
+    std::printf("  WritePF discarded (PopReq): %lu\n",
+                static_cast<unsigned long>(stats.pfDiscarded));
+    std::printf("  WritePF/GetPFx issued:      %lu (of which burst: "
+                "%lu)\n",
+                static_cast<unsigned long>(stats.pfIssued),
+                static_cast<unsigned long>(stats.spbIssued));
+    std::printf("\nEvery remaining block of the page arrived with write"
+                " permission before any store needs it: the SB can now"
+                " drain one store per cycle with no stalls.\n");
+    return 0;
+}

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * SMT partitioning scenario (paper Sec. I): on SMT processors the SB
+ * is statically partitioned among hardware threads, so each thread of
+ * an SMT-4 core sees 56/4 = 14 entries. This example runs one
+ * SB-bound workload at the per-thread SB sizes implied by SMT-1/2/4
+ * and shows how the at-commit baseline collapses while SPB holds.
+ */
+
+#include <cstdio>
+
+#include "common/table.hh"
+#include "sim/system.hh"
+
+using namespace spburst;
+
+namespace
+{
+
+struct SmtLevel
+{
+    const char *label;
+    unsigned sbPerThread;
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const char *workload = argc > 1 ? argv[1] : "bwaves";
+    const SmtLevel levels[] = {
+        {"SMT-1 (56-entry SB)", 56},
+        {"SMT-2 (28 entries/thread)", 28},
+        {"SMT-4 (14 entries/thread)", 14},
+    };
+
+    std::printf("Per-thread store-buffer shrinkage under SMT, workload "
+                "'%s'\n\n", workload);
+
+    auto run = [&](unsigned sb, StorePrefetchPolicy policy, bool spb,
+                   bool ideal) {
+        SystemConfig cfg = makeConfig(workload, sb, policy, spb, ideal);
+        cfg.maxUopsPerCore = 150'000;
+        return runSystem(cfg);
+    };
+
+    const SimResult ideal =
+        run(56, StorePrefetchPolicy::AtCommit, false, true);
+
+    TextTable table("per-thread view (normalised to the ideal SB)",
+                    {"SMT level", "at-commit", "SPB", "at-commit "
+                     "SB-stall%", "SPB SB-stall%"});
+    for (const SmtLevel &level : levels) {
+        const SimResult ac =
+            run(level.sbPerThread, StorePrefetchPolicy::AtCommit, false,
+                false);
+        const SimResult spb =
+            run(level.sbPerThread, StorePrefetchPolicy::AtCommit, true,
+                false);
+        table.addRow(
+            {level.label,
+             formatDouble(static_cast<double>(ideal.cycles) /
+                              static_cast<double>(ac.cycles),
+                          3),
+             formatDouble(static_cast<double>(ideal.cycles) /
+                              static_cast<double>(spb.cycles),
+                          3),
+             formatPercent(ac.sbStallRatio()),
+             formatPercent(spb.sbStallRatio())});
+    }
+    table.print();
+
+    std::printf("\nReading: with SMT-4 the per-thread SB shrinks to 14"
+                " entries and the default prefetching strategy loses a"
+                " large share of its performance; SPB keeps each thread"
+                " close to the ideal SB, which is what makes it"
+                " attractive for SMT and energy-efficient designs.\n");
+    return 0;
+}

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * A simple discrete-event scheduler.
+ *
+ * The core pipeline advances cycle by cycle; the memory hierarchy is
+ * event-driven. Each simulated cycle, the system first drains all events
+ * scheduled at or before the current cycle (in deterministic FIFO order
+ * among same-cycle events), then ticks the cores.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace spburst
+{
+
+/** Deterministic min-heap event queue keyed by cycle. */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    /** Schedule @p cb to run at absolute cycle @p when. */
+    void
+    schedule(Cycle when, Callback cb)
+    {
+        heap_.push(Event{when, nextId_++, std::move(cb)});
+    }
+
+    /** Run every event scheduled at or before @p now. */
+    void
+    runUntil(Cycle now)
+    {
+        while (!heap_.empty() && heap_.top().when <= now) {
+            // Copy out before pop: the callback may schedule new events.
+            Event ev = heap_.top();
+            heap_.pop();
+            ev.cb();
+        }
+    }
+
+    /** True if no events are pending. */
+    bool empty() const { return heap_.empty(); }
+
+    /** Cycle of the earliest pending event (kNeverCycle if none). */
+    Cycle
+    nextEventCycle() const
+    {
+        return heap_.empty() ? kNeverCycle : heap_.top().when;
+    }
+
+    /** Number of pending events. */
+    std::size_t size() const { return heap_.size(); }
+
+  private:
+    struct Event
+    {
+        Cycle when;
+        std::uint64_t id; // tie-break: FIFO among same-cycle events
+        Callback cb;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Event &a, const Event &b) const
+        {
+            return a.when != b.when ? a.when > b.when : a.id > b.id;
+        }
+    };
+
+    std::priority_queue<Event, std::vector<Event>, Later> heap_;
+    std::uint64_t nextId_ = 0;
+};
+
+} // namespace spburst

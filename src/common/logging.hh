@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Minimal logging / assertion facility, modelled on gem5's
+ * panic()/fatal()/warn() split:
+ *
+ *  - panic():  an internal simulator bug; aborts (core dump friendly).
+ *  - fatal():  a user/configuration error; exits with status 1.
+ *  - warn():   something suspicious that does not stop the simulation.
+ */
+
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace spburst
+{
+
+namespace detail
+{
+
+[[noreturn]] void panicImpl(const char *file, int line, const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line, const std::string &msg);
+void warnImpl(const char *file, int line, const std::string &msg);
+
+/** printf-style formatting into a std::string. */
+std::string format(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+} // namespace detail
+
+} // namespace spburst
+
+/** Abort with a message: something that should never happen happened. */
+#define SPB_PANIC(...) \
+    ::spburst::detail::panicImpl(__FILE__, __LINE__, \
+                                 ::spburst::detail::format(__VA_ARGS__))
+
+/** Exit with a message: the configuration or input is invalid. */
+#define SPB_FATAL(...) \
+    ::spburst::detail::fatalImpl(__FILE__, __LINE__, \
+                                 ::spburst::detail::format(__VA_ARGS__))
+
+/** Print a warning and continue. */
+#define SPB_WARN(...) \
+    ::spburst::detail::warnImpl(__FILE__, __LINE__, \
+                                ::spburst::detail::format(__VA_ARGS__))
+
+/** Internal invariant check; active in all build types. */
+#define SPB_ASSERT(cond, ...) \
+    do { \
+        if (!(cond)) { \
+            SPB_PANIC("assertion failed: %s: %s", #cond, \
+                      ::spburst::detail::format(__VA_ARGS__).c_str()); \
+        } \
+    } while (0)

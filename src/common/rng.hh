@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for workload synthesis.
+ *
+ * Every stochastic choice in the simulator flows through an Rng instance
+ * seeded from the (workload, core) pair, so a given configuration always
+ * produces bit-identical statistics. The generator is xoshiro256**,
+ * seeded through splitmix64.
+ */
+
+#pragma once
+
+#include <cstdint>
+
+namespace spburst
+{
+
+/** Small, fast, deterministic PRNG (xoshiro256**). */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed (expanded via splitmix64). */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform integer in [0, bound); bound must be > 0. */
+    std::uint64_t below(std::uint64_t bound);
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::uint64_t range(std::uint64_t lo, std::uint64_t hi);
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Bernoulli trial with probability @p p of returning true. */
+    bool chance(double p);
+
+    /**
+     * Geometric-ish burst length: returns a value in [1, cap] with mean
+     * roughly @p mean, used for synthesizing variable-length runs.
+     */
+    std::uint64_t burstLength(double mean, std::uint64_t cap);
+
+  private:
+    std::uint64_t s_[4];
+};
+
+} // namespace spburst

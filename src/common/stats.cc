@@ -1,0 +1,127 @@
+#include "common/stats.hh"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace spburst
+{
+
+void
+StatSet::set(const std::string &name, double value)
+{
+    auto it = index_.find(name);
+    if (it != index_.end()) {
+        entries_[it->second].second = value;
+        return;
+    }
+    index_.emplace(name, entries_.size());
+    entries_.emplace_back(name, value);
+}
+
+double
+StatSet::get(const std::string &name) const
+{
+    auto it = index_.find(name);
+    if (it == index_.end())
+        SPB_FATAL("unknown statistic '%s'", name.c_str());
+    return entries_[it->second].second;
+}
+
+bool
+StatSet::has(const std::string &name) const
+{
+    return index_.count(name) > 0;
+}
+
+void
+StatSet::merge(const std::string &prefix, const StatSet &other)
+{
+    for (const auto &[name, value] : other.entries())
+        set(prefix + name, value);
+}
+
+std::string
+StatSet::toString() const
+{
+    std::ostringstream os;
+    for (const auto &[name, value] : entries_) {
+        os << name << " = " << value << "\n";
+    }
+    return os.str();
+}
+
+double
+geomean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 1.0;
+    double logSum = 0.0;
+    for (double v : values) {
+        SPB_ASSERT(v > 0.0, "geomean requires positive values, got %f", v);
+        logSum += std::log(v);
+    }
+    return std::exp(logSum / static_cast<double>(values.size()));
+}
+
+double
+mean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double v : values)
+        sum += v;
+    return sum / static_cast<double>(values.size());
+}
+
+double
+ratio(double num, double den, double ifZero)
+{
+    return den == 0.0 ? ifZero : num / den;
+}
+
+Histogram::Histogram(std::size_t buckets, std::uint64_t max)
+    : counts_(buckets, 0),
+      bucketWidth_(buckets == 0 ? 1 : (max + buckets - 1) / buckets),
+      max_(max)
+{
+    SPB_ASSERT(buckets > 0, "histogram needs at least one bucket");
+    SPB_ASSERT(max > 0, "histogram needs a positive range");
+    if (bucketWidth_ == 0)
+        bucketWidth_ = 1;
+}
+
+void
+Histogram::sample(std::uint64_t value)
+{
+    std::size_t idx = static_cast<std::size_t>(value / bucketWidth_);
+    if (idx >= counts_.size())
+        idx = counts_.size() - 1;
+    ++counts_[idx];
+    ++count_;
+    sum_ += value;
+}
+
+double
+Histogram::average() const
+{
+    return count_ == 0 ? 0.0
+                       : static_cast<double>(sum_) /
+                             static_cast<double>(count_);
+}
+
+double
+Histogram::fractionAtLeast(std::uint64_t value) const
+{
+    if (count_ == 0)
+        return 0.0;
+    const std::size_t first = static_cast<std::size_t>(value / bucketWidth_);
+    std::uint64_t n = 0;
+    for (std::size_t i = first; i < counts_.size(); ++i)
+        n += counts_[i];
+    return static_cast<double>(n) / static_cast<double>(count_);
+}
+
+} // namespace spburst

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Lightweight statistics support.
+ *
+ * Hot-path counters are plain integer members of per-module stat structs
+ * (no virtual dispatch on increment). This header provides the glue that
+ * turns those structs into reportable name/value collections, plus the
+ * aggregation helpers used by the benchmark harnesses (geometric mean,
+ * ratios, simple histograms).
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace spburst
+{
+
+/** An ordered collection of named scalar statistics. */
+class StatSet
+{
+  public:
+    /** Add (or overwrite) a named value. */
+    void set(const std::string &name, double value);
+
+    /** Look up a value; fatal if absent. */
+    double get(const std::string &name) const;
+
+    /** True if a value with this name has been recorded. */
+    bool has(const std::string &name) const;
+
+    /** All entries in insertion order. */
+    const std::vector<std::pair<std::string, double>> &entries() const
+    {
+        return entries_;
+    }
+
+    /** Merge another set under a prefix ("l1d." etc.). */
+    void merge(const std::string &prefix, const StatSet &other);
+
+    /** Render as "name = value" lines. */
+    std::string toString() const;
+
+  private:
+    std::vector<std::pair<std::string, double>> entries_;
+    std::map<std::string, std::size_t> index_;
+};
+
+/** Geometric mean of a vector of positive values (1.0 for empty input). */
+double geomean(const std::vector<double> &values);
+
+/** Arithmetic mean (0.0 for empty input). */
+double mean(const std::vector<double> &values);
+
+/** Safe ratio: returns @p ifZero when the denominator is zero. */
+double ratio(double num, double den, double ifZero = 0.0);
+
+/**
+ * Fixed-bucket histogram for distribution statistics (e.g. burst
+ * lengths, SB occupancy).
+ */
+class Histogram
+{
+  public:
+    /** Create with @p buckets buckets covering [0, max); last bucket
+     *  also absorbs out-of-range samples. */
+    Histogram(std::size_t buckets, std::uint64_t max);
+
+    /** Record one sample. */
+    void sample(std::uint64_t value);
+
+    /** Number of samples recorded. */
+    std::uint64_t count() const { return count_; }
+
+    /** Sum of all samples. */
+    std::uint64_t sum() const { return sum_; }
+
+    /** Mean of samples (0 if empty). */
+    double average() const;
+
+    /** Raw bucket counts. */
+    const std::vector<std::uint64_t> &buckets() const { return counts_; }
+
+    /** Fraction of samples whose bucket starts at or above @p value. */
+    double fractionAtLeast(std::uint64_t value) const;
+
+  private:
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t bucketWidth_;
+    std::uint64_t max_;
+    std::uint64_t count_ = 0;
+    std::uint64_t sum_ = 0;
+};
+
+} // namespace spburst

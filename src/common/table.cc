@@ -1,0 +1,115 @@
+#include "common/table.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace spburst
+{
+
+TextTable::TextTable(std::string title, std::vector<std::string> headers)
+    : title_(std::move(title)), headers_(std::move(headers))
+{
+    SPB_ASSERT(!headers_.empty(), "table needs at least one column");
+}
+
+void
+TextTable::addRow(std::vector<std::string> cells)
+{
+    SPB_ASSERT(cells.size() == headers_.size(),
+               "row has %zu cells, table has %zu columns", cells.size(),
+               headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+void
+TextTable::addRow(const std::string &label, const std::vector<double> &values,
+                  int decimals)
+{
+    std::vector<std::string> cells;
+    cells.reserve(values.size() + 1);
+    cells.push_back(label);
+    for (double v : values)
+        cells.push_back(formatDouble(v, decimals));
+    addRow(std::move(cells));
+}
+
+void
+TextTable::addSeparator()
+{
+    rows_.emplace_back(); // empty row encodes a separator
+}
+
+std::string
+TextTable::render() const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    auto renderRow = [&](const std::vector<std::string> &cells) {
+        std::ostringstream os;
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            os << (c == 0 ? "| " : " | ");
+            os << cells[c]
+               << std::string(widths[c] - cells[c].size(), ' ');
+        }
+        os << " |\n";
+        return os.str();
+    };
+
+    auto renderSep = [&]() {
+        std::ostringstream os;
+        for (std::size_t c = 0; c < widths.size(); ++c) {
+            os << (c == 0 ? "|-" : "-|-");
+            os << std::string(widths[c], '-');
+        }
+        os << "-|\n";
+        return os.str();
+    };
+
+    std::ostringstream os;
+    if (!title_.empty())
+        os << "== " << title_ << " ==\n";
+    os << renderRow(headers_);
+    os << renderSep();
+    for (const auto &row : rows_) {
+        if (row.empty())
+            os << renderSep();
+        else
+            os << renderRow(row);
+    }
+    return os.str();
+}
+
+void
+TextTable::print() const
+{
+    const std::string s = render();
+    std::fwrite(s.data(), 1, s.size(), stdout);
+    std::fflush(stdout);
+}
+
+std::string
+formatDouble(double v, int decimals)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+    return buf;
+}
+
+std::string
+formatPercent(double fraction, int decimals)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", decimals, fraction * 100.0);
+    return buf;
+}
+
+} // namespace spburst

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Plain-text table rendering used by the benchmark harnesses to print
+ * figure/table reproductions in the same row/series layout the paper
+ * reports.
+ */
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace spburst
+{
+
+/** Column-aligned text table with a title and header row. */
+class TextTable
+{
+  public:
+    /** Create a table with the given title and column headers. */
+    TextTable(std::string title, std::vector<std::string> headers);
+
+    /** Append a row of preformatted cells (must match header count). */
+    void addRow(std::vector<std::string> cells);
+
+    /** Append a row whose first cell is a label and the rest numeric,
+     *  formatted with @p decimals fraction digits. */
+    void addRow(const std::string &label, const std::vector<double> &values,
+                int decimals = 3);
+
+    /** Insert a horizontal separator before the next row. */
+    void addSeparator();
+
+    /** Render the table. */
+    std::string render() const;
+
+    /** Render and write to stdout. */
+    void print() const;
+
+  private:
+    std::string title_;
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_; // empty row == separator
+};
+
+/** Format a double with fixed decimals. */
+std::string formatDouble(double v, int decimals);
+
+/** Format a value as a percentage string ("12.3%"). */
+std::string formatPercent(double fraction, int decimals = 1);
+
+} // namespace spburst

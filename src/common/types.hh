@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Fundamental scalar types and memory-geometry helpers shared by every
+ * module of the spburst simulator.
+ *
+ * The simulator models a byte-addressable memory with 64-byte cache
+ * blocks and 4 KiB pages, matching the configuration evaluated in the
+ * paper "Boosting Store Buffer Efficiency with Store-Prefetch Bursts"
+ * (MICRO 2020).
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace spburst
+{
+
+/** Byte address in the simulated (virtual == physical) address space. */
+using Addr = std::uint64_t;
+
+/** Simulation time, measured in core clock cycles. */
+using Cycle = std::uint64_t;
+
+/** Monotonic sequence number assigned to micro-ops at fetch. */
+using SeqNum = std::uint64_t;
+
+/** Sentinel for "no cycle": an event that never happens. */
+inline constexpr Cycle kNeverCycle = std::numeric_limits<Cycle>::max();
+
+/** Sentinel for "no sequence number". */
+inline constexpr SeqNum kInvalidSeqNum = std::numeric_limits<SeqNum>::max();
+
+/** Sentinel for "no address". */
+inline constexpr Addr kInvalidAddr = std::numeric_limits<Addr>::max();
+
+/** Cache-block size in bytes (64 B throughout the paper). */
+inline constexpr Addr kBlockSize = 64;
+
+/** log2(kBlockSize); number of block-offset bits. */
+inline constexpr int kBlockShift = 6;
+
+/** Page size in bytes (4 KiB; SPB bursts never cross a page). */
+inline constexpr Addr kPageSize = 4096;
+
+/** log2(kPageSize); number of page-offset bits. */
+inline constexpr int kPageShift = 12;
+
+/** Number of cache blocks per page (64 for 4 KiB pages / 64 B blocks). */
+inline constexpr Addr kBlocksPerPage = kPageSize / kBlockSize;
+
+/** Align an address down to the start of its cache block. */
+constexpr Addr
+blockAlign(Addr addr)
+{
+    return addr & ~(kBlockSize - 1);
+}
+
+/** Block number of an address (address >> 6): the paper's "block address". */
+constexpr Addr
+blockNumber(Addr addr)
+{
+    return addr >> kBlockShift;
+}
+
+/** Align an address down to the start of its page. */
+constexpr Addr
+pageAlign(Addr addr)
+{
+    return addr & ~(kPageSize - 1);
+}
+
+/** Page number of an address. */
+constexpr Addr
+pageNumber(Addr addr)
+{
+    return addr >> kPageShift;
+}
+
+/** Offset of an address within its page. */
+constexpr Addr
+pageOffset(Addr addr)
+{
+    return addr & (kPageSize - 1);
+}
+
+/** Index of a block within its page (0..kBlocksPerPage-1). */
+constexpr Addr
+blockIndexInPage(Addr addr)
+{
+    return pageOffset(addr) >> kBlockShift;
+}
+
+/** True if @p a and @p b fall in the same cache block. */
+constexpr bool
+sameBlock(Addr a, Addr b)
+{
+    return blockNumber(a) == blockNumber(b);
+}
+
+/** True if @p a and @p b fall in the same page. */
+constexpr bool
+samePage(Addr a, Addr b)
+{
+    return pageNumber(a) == pageNumber(b);
+}
+
+} // namespace spburst

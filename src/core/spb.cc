@@ -1,0 +1,145 @@
+#include "core/spb.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "mem/cache_controller.hh"
+
+namespace spburst
+{
+
+SpbBurst
+computeBurst(Addr addr)
+{
+    SpbBurst burst;
+    const Addr idx = blockIndexInPage(addr);
+    burst.firstBlock = blockAlign(addr) + kBlockSize;
+    burst.count = static_cast<unsigned>(kBlocksPerPage - idx - 1);
+    return burst;
+}
+
+SpbBurst
+computeBackwardBurst(Addr addr)
+{
+    SpbBurst burst;
+    const Addr idx = blockIndexInPage(addr);
+    burst.firstBlock = pageAlign(addr);
+    burst.count = static_cast<unsigned>(idx);
+    return burst;
+}
+
+SpbDetector::SpbDetector(const SpbParams &params) : params_(params)
+{
+    SPB_ASSERT(params.checkInterval >= 2,
+               "SPB check interval N must be at least 2 (got %u)",
+               params.checkInterval);
+}
+
+unsigned
+SpbDetector::storageBits() const
+{
+    unsigned count_bits = 0;
+    unsigned n = params_.checkInterval;
+    while (n > 0) {
+        ++count_bits;
+        n >>= 1;
+    }
+    return 58 + 4 + count_bits + (params_.backwardBursts ? 4 : 0);
+}
+
+SpbBurst
+SpbDetector::onStoreCommit(Addr addr, unsigned size)
+{
+    ++stats_.storesObserved;
+
+    // (1) Difference between this store's block and the last one.
+    const Addr block = blockNumber(addr) & ((Addr{1} << 58) - 1);
+    const Addr delta = block - lastBlock_;
+    if (delta == 1) {
+        if (satCounter_ < params_.counterMax)
+            ++satCounter_;
+    } else if (delta != 0) {
+        satCounter_ = 0;
+    }
+    if (params_.backwardBursts) {
+        if (delta == static_cast<Addr>(-1)) {
+            if (backwardCounter_ < params_.counterMax)
+                ++backwardCounter_;
+        } else if (delta != 0) {
+            backwardCounter_ = 0;
+        }
+    }
+    lastBlock_ = block;
+    lastAddr_ = addr;
+    windowBytes_ += size;
+
+    // (2) Every N stores, test the counter against the threshold. As
+    // in the paper's running example (Fig. 4, T8), the check happens
+    // on the first commit *after* the count has reached N, with that
+    // store's delta already applied — so a window always observes the
+    // block transition that closes it.
+    if (storeCount_ < params_.checkInterval) {
+        ++storeCount_;
+        return SpbBurst{};
+    }
+
+    ++stats_.windowChecks;
+    const unsigned n = params_.checkInterval;
+    unsigned threshold = n / 8;
+    if (params_.dynamicThreshold) {
+        // N/S with S = stores needed to fill a block at the average
+        // size observed this window. Adaptation hysteresis makes this
+        // variant slower to react than the fixed N/8 (Sec. IV-C).
+        const std::uint64_t avg_size =
+            windowBytes_ == 0 ? 8 : windowBytes_ / (n + 1);
+        const std::uint64_t per_block =
+            avg_size == 0 ? 8 : std::max<std::uint64_t>(
+                                    1, kBlockSize / avg_size);
+        threshold = static_cast<unsigned>(
+            std::max<std::uint64_t>(1, n / per_block));
+    }
+    if (threshold == 0)
+        threshold = 1;
+
+    const bool fire = satCounter_ >= threshold;
+    const bool fire_backward = params_.backwardBursts && !fire &&
+                               backwardCounter_ >= threshold;
+    storeCount_ = 0;
+    satCounter_ = 0;
+    backwardCounter_ = 0;
+    windowBytes_ = 0;
+
+    if (!fire && !fire_backward)
+        return SpbBurst{};
+
+    // (3) Burst: write-permission prefetches for the rest of the page
+    // (or, with the extension, for the page's preceding blocks).
+    SpbBurst burst =
+        fire ? computeBurst(lastAddr_) : computeBackwardBurst(lastAddr_);
+    if (burst.count == 0) {
+        ++stats_.endOfPageSuppressed;
+        return SpbBurst{};
+    }
+    ++stats_.bursts;
+    if (fire_backward)
+        ++stats_.backwardBursts;
+    stats_.blocksRequested += burst.count;
+    return burst;
+}
+
+SpbEngine::SpbEngine(const SpbParams &params, CacheController *l1d,
+                     int core)
+    : detector_(params), l1d_(l1d), core_(core)
+{
+}
+
+void
+SpbEngine::onStoreCommit(Addr addr, unsigned size, Region region)
+{
+    const SpbBurst burst = detector_.onStoreCommit(addr, size);
+    if (burst.count == 0 || l1d_ == nullptr)
+        return;
+    l1d_->enqueueBurst(burst.firstBlock, burst.count, core_, region);
+}
+
+} // namespace spburst

@@ -1,0 +1,480 @@
+#include "cpu/core.hh"
+
+#include "common/logging.hh"
+#include "mem/cache_controller.hh"
+
+namespace spburst
+{
+
+namespace
+{
+
+/** L1D hit latency used to decide "miss pending" (Top-Down metric). */
+constexpr Cycle kL1HitLatency = 4;
+
+} // namespace
+
+const char *
+stallResourceName(StallResource r)
+{
+    switch (r) {
+      case StallResource::None: return "none";
+      case StallResource::Rob: return "rob";
+      case StallResource::Iq: return "iq";
+      case StallResource::Lq: return "lq";
+      case StallResource::Sb: return "sb";
+      case StallResource::Regs: return "regs";
+    }
+    return "?";
+}
+
+std::uint64_t
+CoreStats::totalDispatchStalls() const
+{
+    std::uint64_t total = 0;
+    for (int r = 0; r < kNumStallResources; ++r)
+        total += dispatchStalls[r];
+    return total;
+}
+
+StatSet
+CoreStats::toStatSet() const
+{
+    StatSet s;
+    s.set("cycles", static_cast<double>(cycles));
+    s.set("committed_uops", static_cast<double>(committedUops));
+    s.set("committed_loads", static_cast<double>(committedLoads));
+    s.set("committed_stores", static_cast<double>(committedStores));
+    s.set("committed_branches", static_cast<double>(committedBranches));
+    s.set("issued_uops", static_cast<double>(issuedUops));
+    s.set("fetched_uops", static_cast<double>(fetchedUops));
+    s.set("mispredicts", static_cast<double>(mispredicts));
+    s.set("wrong_path_fetched", static_cast<double>(wrongPathFetched));
+    s.set("wrong_path_loads", static_cast<double>(wrongPathLoadsIssued));
+    s.set("squashed_uops", static_cast<double>(squashedUops));
+    for (int r = 1; r < kNumStallResources; ++r) {
+        s.set(std::string("stall_") +
+                  stallResourceName(static_cast<StallResource>(r)),
+              static_cast<double>(dispatchStalls[r]));
+    }
+    for (int r = 0; r < kNumRegions; ++r) {
+        s.set(std::string("sb_stall_region_") +
+                  regionName(static_cast<Region>(r)),
+              static_cast<double>(sbStallsByRegion[r]));
+    }
+    s.set("no_issue_cycles", static_cast<double>(noIssueCycles));
+    s.set("exec_stall_l1d_pending",
+          static_cast<double>(execStallL1dPending));
+    s.set("loads_to_l1", static_cast<double>(loadsToL1));
+    s.set("ipc", cycles == 0 ? 0.0
+                             : static_cast<double>(committedUops) /
+                                   static_cast<double>(cycles));
+    return s;
+}
+
+Core::Core(const CoreConfig &config, int core_id, SimClock *clock,
+           CacheController *l1d, TraceSource *trace)
+    : config_(config),
+      p_(config.params),
+      coreId_(core_id),
+      clock_(clock),
+      l1d_(l1d),
+      trace_(trace),
+      rng_(0xc0ffee ^ (static_cast<std::uint64_t>(core_id) << 32)),
+      sb_(config.idealSb ? 1024 : config.params.sqSize, l1d, core_id),
+      dtlb_(config.params.tlb),
+      intRegsFree_(config.params.intRegs),
+      fpRegsFree_(config.params.fpRegs)
+{
+    SPB_ASSERT(clock != nullptr && trace != nullptr,
+               "core needs a clock and a trace");
+    const StorePrefetchPolicy policy =
+        config_.idealSb ? StorePrefetchPolicy::AtCommit : config_.policy;
+    sb_.setPrefetchAtCommit(policy == StorePrefetchPolicy::AtCommit);
+    sb_.setCoalescing(config_.coalescingSb);
+    if (config_.useSpb) {
+        spb_ = std::make_unique<SpbEngine>(config_.spb, l1d_, coreId_);
+        sb_.setSpbEngine(spb_.get());
+    }
+}
+
+void
+Core::tick()
+{
+    ++stats_.cycles;
+    completeAndRecover();
+    commitStage();
+    issueStage();
+    dispatchStage();
+    fetchStage();
+    sb_.tick(clock_->now);
+}
+
+Core::RobEntry *
+Core::findBySeq(SeqNum seq)
+{
+    if (rob_.empty() || seq < rob_.front().seq || seq > rob_.back().seq)
+        return nullptr;
+    RobEntry &e = rob_[seq - rob_.front().seq];
+    SPB_ASSERT(e.seq == seq, "ROB lost seq contiguity");
+    return &e;
+}
+
+bool
+Core::producerDone(SeqNum seq) const
+{
+    if (seq == kInvalidSeqNum)
+        return true;
+    if (rob_.empty() || seq < rob_.front().seq)
+        return true; // already committed (or squashed)
+    if (seq > rob_.back().seq)
+        return true; // never dispatched (squashed before entering)
+    const RobEntry &e = rob_[seq - rob_.front().seq];
+    SPB_ASSERT(e.seq == seq, "ROB lost seq contiguity");
+    return e.completed;
+}
+
+bool
+Core::sourcesReady(const RobEntry &e) const
+{
+    return producerDone(e.src1) && producerDone(e.src2);
+}
+
+void
+Core::completeAndRecover()
+{
+    const Cycle now = clock_->now;
+    for (auto &e : rob_) {
+        if (e.issued && !e.completed && !e.memPending &&
+            e.readyCycle <= now) {
+            e.completed = true;
+        }
+    }
+    // Mispredict recovery: the oldest resolved, unrecovered branch
+    // squashes everything younger and redirects the front end.
+    for (auto &e : rob_) {
+        if (e.op.cls == OpClass::Branch && e.op.mispredicted &&
+            !e.wrongPath && e.completed && !e.recovered) {
+            e.recovered = true;
+            ++stats_.mispredicts;
+            squashAfter(e.seq);
+            break;
+        }
+    }
+}
+
+void
+Core::squashAfter(SeqNum branch_seq)
+{
+    while (!rob_.empty() && rob_.back().seq > branch_seq) {
+        RobEntry &e = rob_.back();
+        if (e.inIq)
+            --iqCount_;
+        if (e.op.cls == OpClass::Load)
+            --lqCount_;
+        if (e.op.hasDest) {
+            if (isFloatOp(e.op.cls))
+                ++fpRegsFree_;
+            else
+                ++intRegsFree_;
+        }
+        ++stats_.squashedUops;
+        rob_.pop_back();
+    }
+    sb_.squashFrom(branch_seq + 1);
+    fetchPipe_.clear();
+    wrongPathMode_ = false;
+    // Reuse the squashed uops' sequence numbers: the ROB's seq range
+    // must stay contiguous for O(1) lookup. Stale memory callbacks are
+    // fended off by the per-entry token.
+    nextSeq_ = branch_seq + 1;
+}
+
+void
+Core::commitStage()
+{
+    unsigned n = 0;
+    while (n < p_.commitWidth && !rob_.empty()) {
+        RobEntry &e = rob_.front();
+        if (!e.completed)
+            break;
+        SPB_ASSERT(!e.wrongPath, "wrong-path uop reached commit");
+        switch (e.op.cls) {
+          case OpClass::Store:
+            sb_.markSenior(e.seq);
+            ++stats_.committedStores;
+            break;
+          case OpClass::Load:
+            --lqCount_;
+            ++stats_.committedLoads;
+            break;
+          case OpClass::Branch:
+            ++stats_.committedBranches;
+            break;
+          default:
+            break;
+        }
+        if (e.op.hasDest) {
+            if (isFloatOp(e.op.cls))
+                ++fpRegsFree_;
+            else
+                ++intRegsFree_;
+        }
+        ++stats_.committedUops;
+        rob_.pop_front();
+        ++n;
+    }
+}
+
+void
+Core::startLoad(RobEntry &e)
+{
+    const Cycle now = clock_->now;
+    // Address generation includes translation: a DTLB miss delays the
+    // access by the page-walk latency.
+    const Cycle walk = dtlb_.access(e.op.addr);
+    if (sb_.forwards(e.seq, e.op.addr, e.op.size)) {
+        e.readyCycle = now + walk + kL1HitLatency; // forward ~ L1 hit
+        return;
+    }
+    if (!l1d_) {
+        ++stats_.loadsToL1;
+        e.readyCycle = now + walk + kL1HitLatency; // detached-mode tests
+        return;
+    }
+    e.memPending = true;
+    if (walk == 0) {
+        issueLoadToL1(e.seq, e.token);
+        return;
+    }
+    clock_->events.schedule(now + walk,
+                            [this, seq = e.seq, token = e.token] {
+                                issueLoadToL1(seq, token);
+                            });
+}
+
+void
+Core::issueLoadToL1(SeqNum seq, std::uint64_t token)
+{
+    RobEntry *e = findBySeq(seq);
+    if (!e || e->token != token || !e->memPending)
+        return; // squashed while the page walk was in flight
+    ++stats_.loadsToL1;
+    if (e->wrongPath)
+        ++stats_.wrongPathLoadsIssued;
+    MemRequest req;
+    req.cmd = MemCmd::ReadReq;
+    req.blockAddr = blockAlign(e->op.addr);
+    req.core = coreId_;
+    req.region = e->op.region;
+    req.wrongPath = e->wrongPath;
+    l1d_->issueLoad(req, [this, seq, token] {
+        RobEntry *entry = findBySeq(seq);
+        if (!entry || entry->token != token || !entry->memPending)
+            return; // squashed (and possibly re-used) in the meantime
+        entry->memPending = false;
+        entry->completed = true;
+        entry->readyCycle = clock_->now;
+    });
+}
+
+void
+Core::execStore(RobEntry &e)
+{
+    sb_.setAddress(e.seq, e.op.addr, e.op.size);
+    // Stores translate at address generation too.
+    e.readyCycle = clock_->now + p_.aguLat + dtlb_.access(e.op.addr);
+    const StorePrefetchPolicy policy =
+        config_.idealSb ? StorePrefetchPolicy::AtCommit : config_.policy;
+    if (policy == StorePrefetchPolicy::AtExecute && l1d_) {
+        // Speculative prefetch for ownership as soon as the address is
+        // known — wrong-path stores prefetch too (the policy's cost).
+        MemRequest pf;
+        pf.cmd = MemCmd::StorePF;
+        pf.blockAddr = blockAlign(e.op.addr);
+        pf.core = coreId_;
+        pf.region = e.op.region;
+        l1d_->issueStorePrefetch(pf);
+    }
+}
+
+void
+Core::issueStage()
+{
+    const Cycle now = clock_->now;
+    unsigned issued = 0;
+    unsigned int_used = 0, fp_used = 0, mem_used = 0;
+
+    for (auto &e : rob_) {
+        if (issued >= p_.issueWidth)
+            break;
+        if (!e.inIq || !sourcesReady(e))
+            continue;
+        const OpClass cls = e.op.cls;
+        if (isMemOp(cls)) {
+            if (mem_used >= p_.memPorts)
+                continue;
+        } else if (isFloatOp(cls)) {
+            if (fp_used >= p_.fpAluCount ||
+                int_used + fp_used >= p_.intAluCount)
+                continue;
+        } else {
+            if (int_used + fp_used >= p_.intAluCount)
+                continue;
+        }
+
+        e.inIq = false;
+        --iqCount_;
+        e.issued = true;
+        e.issuedAt = now;
+        ++issued;
+        ++stats_.issuedUops;
+
+        if (cls == OpClass::Load) {
+            ++mem_used;
+            startLoad(e);
+        } else if (cls == OpClass::Store) {
+            ++mem_used;
+            execStore(e);
+        } else if (isFloatOp(cls)) {
+            ++fp_used;
+            e.readyCycle = now + p_.opLatency(cls);
+        } else {
+            ++int_used;
+            e.readyCycle = now + p_.opLatency(cls);
+        }
+    }
+
+    if (issued == 0 && !rob_.empty()) {
+        ++stats_.noIssueCycles;
+        for (const auto &e : rob_) {
+            if (e.memPending && !e.wrongPath &&
+                now > e.issuedAt + kL1HitLatency) {
+                ++stats_.execStallL1dPending;
+                break;
+            }
+        }
+    }
+}
+
+StallResource
+Core::dispatchBlocker(const FetchedUop &f) const
+{
+    if (rob_.size() >= p_.robSize)
+        return StallResource::Rob;
+    if (iqCount_ >= p_.iqSize)
+        return StallResource::Iq;
+    if (f.op.cls == OpClass::Load && lqCount_ >= p_.lqSize)
+        return StallResource::Lq;
+    if (f.op.cls == OpClass::Store && sb_.full())
+        return StallResource::Sb;
+    if (f.op.hasDest) {
+        if (isFloatOp(f.op.cls) && fpRegsFree_ == 0)
+            return StallResource::Regs;
+        if (!isFloatOp(f.op.cls) && intRegsFree_ == 0)
+            return StallResource::Regs;
+    }
+    return StallResource::None;
+}
+
+void
+Core::dispatchStage()
+{
+    const Cycle now = clock_->now;
+    unsigned dispatched = 0;
+    while (dispatched < p_.dispatchWidth && !fetchPipe_.empty()) {
+        FetchedUop &f = fetchPipe_.front();
+        if (now < f.fetchCycle + p_.frontEndDepth)
+            break; // still traversing the front end
+        const StallResource blocker = dispatchBlocker(f);
+        if (blocker != StallResource::None) {
+            if (dispatched == 0) {
+                ++stats_.dispatchStalls[static_cast<int>(blocker)];
+                if (blocker == StallResource::Sb) {
+                    ++stats_.sbStallsByRegion[static_cast<int>(
+                        sb_.headRegion())];
+                }
+            }
+            break;
+        }
+
+        RobEntry e;
+        e.op = f.op;
+        e.wrongPath = f.wrongPath;
+        e.seq = nextSeq_++;
+        e.token = nextToken_++;
+        auto to_seq = [&](std::uint8_t dist) {
+            return dist == 0 || e.seq <= dist ? kInvalidSeqNum
+                                              : e.seq - dist;
+        };
+        e.src1 = to_seq(f.op.srcDist1);
+        e.src2 = to_seq(f.op.srcDist2);
+        e.inIq = true;
+        ++iqCount_;
+        if (f.op.cls == OpClass::Load)
+            ++lqCount_;
+        if (f.op.cls == OpClass::Store)
+            sb_.allocate(e.seq, f.op.region);
+        if (f.op.hasDest) {
+            if (isFloatOp(f.op.cls))
+                --fpRegsFree_;
+            else
+                --intRegsFree_;
+        }
+        rob_.push_back(std::move(e));
+        fetchPipe_.pop_front();
+        ++dispatched;
+    }
+}
+
+MicroOp
+Core::synthesizeWrongPath()
+{
+    const std::uint64_t r = rng_.below(100);
+    const std::uint64_t pc = 0x00660000 + rng_.below(64) * 4;
+    if (r < 55)
+        return uops::alu(pc, 1);
+    // Wrong-path memory ops wander around the recently touched data
+    // (+-1 MiB): close enough to pollute the caches, too scattered to
+    // act as a useful prefetcher for the correct path.
+    auto wander = [this] {
+        const Addr span = 2ULL << 20;
+        const Addr off = rng_.below(span);
+        const Addr base = lastDataAddr_ > (span / 2)
+                              ? lastDataAddr_ - span / 2
+                              : lastDataAddr_;
+        return (base + off) & ~Addr{7};
+    };
+    if (r < 80)
+        return uops::load(pc, wander());
+    if (r < 90)
+        return uops::store(pc, wander());
+    return uops::branch(pc, false, 1);
+}
+
+void
+Core::fetchStage()
+{
+    const Cycle now = clock_->now;
+    for (unsigned i = 0;
+         i < p_.fetchWidth && fetchPipe_.size() < p_.fetchBufferUops;
+         ++i) {
+        FetchedUop f;
+        f.fetchCycle = now;
+        f.wrongPath = wrongPathMode_;
+        if (wrongPathMode_) {
+            f.op = synthesizeWrongPath();
+            ++stats_.wrongPathFetched;
+        } else {
+            f.op = trace_->next();
+            if (isMemOp(f.op.cls))
+                lastDataAddr_ = f.op.addr;
+            if (f.op.cls == OpClass::Branch && f.op.mispredicted)
+                wrongPathMode_ = true;
+        }
+        ++stats_.fetchedUops;
+        fetchPipe_.push_back(std::move(f));
+    }
+}
+
+} // namespace spburst

@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Cycle-level out-of-order core.
+ *
+ * The core is trace-driven: a TraceSource supplies the committed
+ * (correct-path) micro-op stream; the core adds the micro-architectural
+ * behaviour around it — a front-end pipe with fetch-to-dispatch depth,
+ * rename against finite physical register files, dispatch into
+ * ROB/IQ/LQ/SB with per-resource stall attribution, dependence-driven
+ * issue with functional-unit and memory-port constraints, loads through
+ * the L1D (with store-to-load forwarding from the SB), branches that
+ * resolve when their operands do, and wrong-path execution between a
+ * mispredicted branch and its resolution (wrong-path loads really
+ * access the L1D; wrong-path stores really occupy SB entries — the
+ * at-execute policy really prefetches for them).
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+
+#include "common/clock.hh"
+#include "common/rng.hh"
+#include "common/stats.hh"
+#include "core/spb.hh"
+#include "cpu/params.hh"
+#include "cpu/store_buffer.hh"
+#include "cpu/tlb.hh"
+#include "trace/source.hh"
+
+namespace spburst
+{
+
+class CacheController;
+
+/** Resources whose exhaustion can stall dispatch. */
+enum class StallResource : std::uint8_t
+{
+    None = 0,
+    Rob,
+    Iq,
+    Lq,
+    Sb,   //!< the paper's target: store-buffer-induced stalls
+    Regs,
+};
+
+/** Number of StallResource values. */
+inline constexpr int kNumStallResources = 6;
+
+/** Human-readable resource name. */
+const char *stallResourceName(StallResource r);
+
+/** Per-core statistics. */
+struct CoreStats
+{
+    std::uint64_t cycles = 0;
+    std::uint64_t committedUops = 0;
+    std::uint64_t committedLoads = 0;
+    std::uint64_t committedStores = 0;
+    std::uint64_t committedBranches = 0;
+    std::uint64_t issuedUops = 0;
+    std::uint64_t fetchedUops = 0;
+    std::uint64_t mispredicts = 0;
+
+    // Wrong-path activity (Figs. 7, 13: the misspeculation savings).
+    std::uint64_t wrongPathFetched = 0;
+    std::uint64_t wrongPathLoadsIssued = 0;
+    std::uint64_t squashedUops = 0;
+
+    /** Cycles dispatch made no progress, by blocking resource. */
+    std::uint64_t dispatchStalls[kNumStallResources] = {};
+
+    /** SB-stall cycles attributed to the SB head's code region (Fig 3). */
+    std::uint64_t sbStallsByRegion[kNumRegions] = {};
+
+    /** Cycles with no issue at all. */
+    std::uint64_t noIssueCycles = 0;
+
+    /** Cycles with no issue while >=1 L1D load miss outstanding — the
+     *  Top-Down "execution stalls with L1D misses pending" (Fig 14). */
+    std::uint64_t execStallL1dPending = 0;
+
+    /** Loads sent to the L1D (wrong path included). */
+    std::uint64_t loadsToL1 = 0;
+
+    /** Total dispatch-stall cycles (any resource). */
+    std::uint64_t totalDispatchStalls() const;
+
+    /** SB share of dispatch stalls. */
+    std::uint64_t sbStalls() const
+    {
+        return dispatchStalls[static_cast<int>(StallResource::Sb)];
+    }
+
+    StatSet toStatSet() const;
+};
+
+/** Per-core configuration: structure + store-prefetch strategy. */
+struct CoreConfig
+{
+    CoreParams params;
+    StorePrefetchPolicy policy = StorePrefetchPolicy::AtCommit;
+    bool useSpb = false; //!< SPB on top of the at-commit baseline
+    SpbParams spb;
+    /** Ideal SB (paper's upper bound): a 1024-entry SB whose blocks are
+     *  all prefetched in parallel; forces the at-commit policy. */
+    bool idealSb = false;
+    /** Non-speculative store coalescing in the SB (related work [24]). */
+    bool coalescingSb = false;
+};
+
+/** One out-of-order core. */
+class Core
+{
+  public:
+    /**
+     * @param config Core configuration.
+     * @param core_id Core index within the system.
+     * @param clock  Shared clock.
+     * @param l1d    This core's L1D controller.
+     * @param trace  Correct-path uop stream (not owned).
+     */
+    Core(const CoreConfig &config, int core_id, SimClock *clock,
+         CacheController *l1d, TraceSource *trace);
+
+    /** Simulate one cycle (memory events for the cycle already ran). */
+    void tick();
+
+    std::uint64_t committed() const { return stats_.committedUops; }
+    const CoreStats &stats() const { return stats_; }
+    const StoreBuffer &storeBuffer() const { return sb_; }
+    const Tlb &dtlb() const { return dtlb_; }
+    const SpbEngine *spbEngine() const { return spb_.get(); }
+    const CoreConfig &config() const { return config_; }
+
+    /** Effective SB capacity (after the ideal-SB override). */
+    unsigned effectiveSbSize() const { return sb_.capacity(); }
+
+  private:
+    struct RobEntry
+    {
+        MicroOp op;
+        SeqNum seq = kInvalidSeqNum;
+        SeqNum src1 = kInvalidSeqNum;
+        SeqNum src2 = kInvalidSeqNum;
+        bool wrongPath = false;
+        bool inIq = false;
+        bool issued = false;
+        bool completed = false;
+        bool memPending = false;
+        Cycle readyCycle = kNeverCycle;
+        Cycle issuedAt = 0;
+        bool recovered = false; //!< mispredict recovery already done
+        /** Unique lifetime token: sequence numbers are reused after a
+         *  squash, so memory callbacks match on (seq, token). */
+        std::uint64_t token = 0;
+    };
+
+    struct FetchedUop
+    {
+        MicroOp op;
+        Cycle fetchCycle = 0;
+        bool wrongPath = false;
+    };
+
+    void commitStage();
+    void completeAndRecover();
+    void issueStage();
+    void dispatchStage();
+    void fetchStage();
+
+    RobEntry *findBySeq(SeqNum seq);
+    bool producerDone(SeqNum seq) const;
+    bool sourcesReady(const RobEntry &e) const;
+    void squashAfter(SeqNum branch_seq);
+    void startLoad(RobEntry &e);
+    void issueLoadToL1(SeqNum seq, std::uint64_t token);
+    void execStore(RobEntry &e);
+    MicroOp synthesizeWrongPath();
+    StallResource dispatchBlocker(const FetchedUop &f) const;
+
+    CoreConfig config_;
+    CoreParams p_; //!< shorthand for config_.params
+    int coreId_;
+    SimClock *clock_;
+    CacheController *l1d_;
+    TraceSource *trace_;
+    Rng rng_;
+
+    std::deque<FetchedUop> fetchPipe_;
+    std::deque<RobEntry> rob_;
+    StoreBuffer sb_;
+    Tlb dtlb_;
+    std::unique_ptr<SpbEngine> spb_;
+
+    SeqNum nextSeq_ = 1;
+    std::uint64_t nextToken_ = 1;
+    unsigned iqCount_ = 0;
+    unsigned lqCount_ = 0;
+    unsigned intRegsFree_;
+    unsigned fpRegsFree_;
+    bool wrongPathMode_ = false;
+    Addr lastDataAddr_ = 0x10000000;
+
+    CoreStats stats_;
+};
+
+} // namespace spburst

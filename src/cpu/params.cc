@@ -1,0 +1,112 @@
+#include "cpu/params.hh"
+
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace spburst
+{
+
+const char *
+storePrefetchPolicyName(StorePrefetchPolicy policy)
+{
+    switch (policy) {
+      case StorePrefetchPolicy::None: return "none";
+      case StorePrefetchPolicy::AtExecute: return "at-execute";
+      case StorePrefetchPolicy::AtCommit: return "at-commit";
+    }
+    return "?";
+}
+
+Cycle
+CoreParams::opLatency(OpClass cls) const
+{
+    switch (cls) {
+      case OpClass::IntAlu: return intAluLat;
+      case OpClass::IntMul: return intMulLat;
+      case OpClass::IntDiv: return intDivLat;
+      case OpClass::FpAdd: return fpAddLat;
+      case OpClass::FpMul: return fpMulLat;
+      case OpClass::FpDiv: return fpDivLat;
+      case OpClass::Branch: return branchLat;
+      case OpClass::Load:
+      case OpClass::Store: return aguLat;
+    }
+    return 1;
+}
+
+CoreParams
+skylakeParams()
+{
+    return CoreParams{}; // defaults are Table I
+}
+
+namespace
+{
+
+CoreParams
+preset(const char *name, unsigned rob, unsigned iq, unsigned lq,
+       unsigned sq, unsigned width)
+{
+    CoreParams p;
+    p.name = name;
+    p.robSize = rob;
+    p.iqSize = iq;
+    p.lqSize = lq;
+    p.sqSize = sq;
+    p.fetchWidth = width;
+    p.dispatchWidth = width;
+    p.issueWidth = width;
+    p.commitWidth = width;
+    return p;
+}
+
+} // namespace
+
+CoreParams
+silvermontParams()
+{
+    CoreParams p = preset("SLM", 32, 15, 10, 16, 4);
+    p.intRegs = 64;
+    p.fpRegs = 64;
+    return p;
+}
+
+CoreParams
+nehalemParams()
+{
+    CoreParams p = preset("NHL", 128, 32, 48, 36, 4);
+    p.intRegs = 128;
+    p.fpRegs = 128;
+    return p;
+}
+
+CoreParams
+haswellParams()
+{
+    return preset("HSW", 192, 60, 72, 42, 8);
+}
+
+CoreParams
+skylakeWideParams()
+{
+    return preset("SKL", 224, 97, 72, 56, 8);
+}
+
+CoreParams
+sunnyCoveParams()
+{
+    CoreParams p = preset("SNC", 352, 128, 128, 72, 8);
+    p.intRegs = 280;
+    p.fpRegs = 224;
+    return p;
+}
+
+std::vector<CoreParams>
+tableIIPresets()
+{
+    return {silvermontParams(), nehalemParams(), haswellParams(),
+            skylakeWideParams(), sunnyCoveParams()};
+}
+
+} // namespace spburst

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Out-of-order core parameters.
+ *
+ * Defaults follow Table I of the paper (a Skylake-X-like core at 2 GHz
+ * with latencies from Fog's measurement tables); the Table II presets
+ * (Silvermont, Nehalem, Haswell, Skylake, Sunny Cove) drive the
+ * core-aggressiveness study of Fig. 17.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "cpu/tlb.hh"
+#include "trace/uop.hh"
+
+namespace spburst
+{
+
+/** Store-prefetch strategies evaluated in the paper (Sec. II). */
+enum class StorePrefetchPolicy : std::uint8_t
+{
+    None,      //!< no store prefetch: drains serialize on misses
+    AtExecute, //!< WritePF as soon as the address is computed [13]
+    AtCommit,  //!< WritePF when the store commits (Intel) [15], [29]
+};
+
+/** Human-readable policy name. */
+const char *storePrefetchPolicyName(StorePrefetchPolicy policy);
+
+/** Structural and timing parameters of one core. */
+struct CoreParams
+{
+    std::string name = "skylake";
+
+    // Per-stage widths (Table I: 4-wide; Table II varies).
+    unsigned fetchWidth = 4;
+    unsigned dispatchWidth = 4;
+    unsigned issueWidth = 4;
+    unsigned commitWidth = 4;
+
+    // Queue/structure sizes.
+    unsigned robSize = 224;
+    unsigned iqSize = 97;
+    unsigned lqSize = 72;
+    unsigned sqSize = 56;   //!< the store buffer (SB) under study
+    unsigned intRegs = 180;
+    unsigned fpRegs = 180;
+    unsigned fetchBufferUops = 56;
+
+    // Functional units: 1 Int-only ALU + 3 Int/FP/SIMD ALUs.
+    unsigned intAluCount = 4;
+    unsigned fpAluCount = 3;
+    unsigned memPorts = 2;
+
+    // Instruction latencies (Table I, cycles).
+    Cycle intAluLat = 1;
+    Cycle intMulLat = 4;
+    Cycle intDivLat = 22;
+    Cycle fpAddLat = 5;
+    Cycle fpMulLat = 5;
+    Cycle fpDivLat = 22;
+    Cycle branchLat = 1;
+    Cycle aguLat = 1;
+
+    /** Fetch-to-dispatch depth: the refill penalty after a squash. */
+    Cycle frontEndDepth = 8;
+
+    /** Data TLB (Table I: 8-way; misses charge a page-walk latency). */
+    TlbParams tlb;
+
+    /** Latency of an execute-result latency for OpClass @p cls. */
+    Cycle opLatency(OpClass cls) const;
+};
+
+/** Table I configuration (Skylake-X-like). */
+CoreParams skylakeParams();
+
+/** Table II presets for the Fig. 17 sensitivity study. */
+CoreParams silvermontParams(); //!< SLM: 32/15/10/16, width 4
+CoreParams nehalemParams();    //!< NHL: 128/32/48/36, width 4
+CoreParams haswellParams();    //!< HSW: 192/60/72/42, width 8
+CoreParams skylakeWideParams();//!< SKL: 224/97/72/56, width 8
+CoreParams sunnyCoveParams();  //!< SNC: 352/128/128/72, width 8
+
+/** All Table II presets in paper order. */
+std::vector<CoreParams> tableIIPresets();
+
+} // namespace spburst

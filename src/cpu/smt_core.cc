@@ -1,0 +1,504 @@
+#include "cpu/smt_core.hh"
+
+#include "common/logging.hh"
+#include "mem/cache_controller.hh"
+
+namespace spburst
+{
+
+namespace
+{
+
+constexpr Cycle kL1HitLatency = 4;
+
+} // namespace
+
+SmtCore::SmtCore(const CoreConfig &config, int threads, SimClock *clock,
+                 CacheController *l1d, std::vector<TraceSource *> traces)
+    : config_(config),
+      p_(config.params),
+      clock_(clock),
+      l1d_(l1d)
+{
+    SPB_ASSERT(clock != nullptr, "SMT core needs a clock");
+    SPB_ASSERT(threads >= 1 && threads <= 8, "bad SMT thread count %d",
+               threads);
+    SPB_ASSERT(traces.size() == static_cast<std::size_t>(threads),
+               "need one trace per hardware thread");
+
+    // Static partitioning (Intel optimization manual Sec. 2.6.9): the
+    // SB, ROB, LQ and register files are divided; the IQ is shared.
+    const unsigned t = static_cast<unsigned>(threads);
+    sbPerThread_ =
+        config_.idealSb ? 1024 : std::max(1u, p_.sqSize / t);
+    robPerThread_ = std::max(4u, p_.robSize / t);
+    lqPerThread_ = std::max(2u, p_.lqSize / t);
+    iqShared_ = p_.iqSize;
+
+    const StorePrefetchPolicy policy =
+        config_.idealSb ? StorePrefetchPolicy::AtCommit : config_.policy;
+
+    for (int tid = 0; tid < threads; ++tid) {
+        auto th = std::make_unique<Thread>(
+            sbPerThread_, l1d_, /*core_id=*/0, p_.tlb,
+            0x5b5bull ^ (static_cast<std::uint64_t>(tid) << 32));
+        th->trace = traces[tid];
+        th->intRegsFree = std::max(8u, p_.intRegs / t);
+        th->fpRegsFree = std::max(8u, p_.fpRegs / t);
+        th->sb.setPrefetchAtCommit(policy ==
+                                   StorePrefetchPolicy::AtCommit);
+        th->sb.setCoalescing(config_.coalescingSb);
+        if (config_.useSpb) {
+            th->spb =
+                std::make_unique<SpbEngine>(config_.spb, l1d_, 0);
+            th->sb.setSpbEngine(th->spb.get());
+        }
+        ctx_.push_back(std::move(th));
+    }
+}
+
+std::uint64_t
+SmtCore::committed(int tid) const
+{
+    return ctx_.at(tid)->stats.committedUops;
+}
+
+std::uint64_t
+SmtCore::minCommitted() const
+{
+    std::uint64_t least = ~0ull;
+    for (const auto &t : ctx_)
+        least = std::min(least, t->stats.committedUops);
+    return least;
+}
+
+void
+SmtCore::tick()
+{
+    for (auto &t : ctx_) {
+        ++t->stats.cycles;
+        completeAndRecover(*t);
+    }
+    commitStage();
+    issueStage();
+    dispatchStage();
+    fetchStage();
+    for (auto &t : ctx_)
+        t->sb.tick(clock_->now);
+    rotate_ = (rotate_ + 1) % static_cast<int>(ctx_.size());
+}
+
+SmtCore::RobEntry *
+SmtCore::findBySeq(Thread &t, SeqNum seq)
+{
+    if (t.rob.empty() || seq < t.rob.front().seq ||
+        seq > t.rob.back().seq)
+        return nullptr;
+    RobEntry &e = t.rob[seq - t.rob.front().seq];
+    SPB_ASSERT(e.seq == seq, "SMT ROB lost seq contiguity");
+    return &e;
+}
+
+bool
+SmtCore::producerDone(const Thread &t, SeqNum seq) const
+{
+    if (seq == kInvalidSeqNum)
+        return true;
+    if (t.rob.empty() || seq < t.rob.front().seq)
+        return true;
+    if (seq > t.rob.back().seq)
+        return true;
+    const RobEntry &e = t.rob[seq - t.rob.front().seq];
+    return e.completed;
+}
+
+bool
+SmtCore::sourcesReady(const Thread &t, const RobEntry &e) const
+{
+    return producerDone(t, e.src1) && producerDone(t, e.src2);
+}
+
+void
+SmtCore::completeAndRecover(Thread &t)
+{
+    const Cycle now = clock_->now;
+    for (auto &e : t.rob) {
+        if (e.issued && !e.completed && !e.memPending &&
+            e.readyCycle <= now) {
+            e.completed = true;
+        }
+    }
+    for (auto &e : t.rob) {
+        if (e.op.cls == OpClass::Branch && e.op.mispredicted &&
+            !e.wrongPath && e.completed && !e.recovered) {
+            e.recovered = true;
+            ++t.stats.mispredicts;
+            squashAfter(t, e.seq);
+            break;
+        }
+    }
+}
+
+void
+SmtCore::squashAfter(Thread &t, SeqNum branch_seq)
+{
+    while (!t.rob.empty() && t.rob.back().seq > branch_seq) {
+        RobEntry &e = t.rob.back();
+        if (e.inIq) {
+            --t.iqCount;
+            --iqInUse_;
+        }
+        if (e.op.cls == OpClass::Load)
+            --t.lqCount;
+        if (e.op.hasDest) {
+            if (isFloatOp(e.op.cls))
+                ++t.fpRegsFree;
+            else
+                ++t.intRegsFree;
+        }
+        ++t.stats.squashedUops;
+        t.rob.pop_back();
+    }
+    t.sb.squashFrom(branch_seq + 1);
+    t.fetchPipe.clear();
+    t.wrongPathMode = false;
+    t.nextSeq = branch_seq + 1;
+}
+
+void
+SmtCore::commitStage()
+{
+    // The commit width is shared; threads take turns at priority.
+    unsigned budget = p_.commitWidth;
+    const int nt = static_cast<int>(ctx_.size());
+    bool progress = true;
+    while (budget > 0 && progress) {
+        progress = false;
+        for (int k = 0; k < nt && budget > 0; ++k) {
+            Thread &t = *ctx_[(rotate_ + k) % nt];
+            if (t.rob.empty() || !t.rob.front().completed)
+                continue;
+            RobEntry &e = t.rob.front();
+            SPB_ASSERT(!e.wrongPath, "wrong-path uop reached commit");
+            switch (e.op.cls) {
+              case OpClass::Store:
+                t.sb.markSenior(e.seq);
+                ++t.stats.committedStores;
+                break;
+              case OpClass::Load:
+                --t.lqCount;
+                ++t.stats.committedLoads;
+                break;
+              case OpClass::Branch:
+                ++t.stats.committedBranches;
+                break;
+              default:
+                break;
+            }
+            if (e.op.hasDest) {
+                if (isFloatOp(e.op.cls))
+                    ++t.fpRegsFree;
+                else
+                    ++t.intRegsFree;
+            }
+            ++t.stats.committedUops;
+            t.rob.pop_front();
+            --budget;
+            progress = true;
+        }
+    }
+}
+
+void
+SmtCore::startLoad(Thread &t, RobEntry &e)
+{
+    const Cycle now = clock_->now;
+    const Cycle walk = t.dtlb.access(e.op.addr);
+    if (t.sb.forwards(e.seq, e.op.addr, e.op.size)) {
+        e.readyCycle = now + walk + kL1HitLatency;
+        return;
+    }
+    if (!l1d_) {
+        ++t.stats.loadsToL1;
+        e.readyCycle = now + walk + kL1HitLatency;
+        return;
+    }
+    e.memPending = true;
+    const int tid = [&] {
+        for (std::size_t i = 0; i < ctx_.size(); ++i)
+            if (ctx_[i].get() == &t)
+                return static_cast<int>(i);
+        return 0;
+    }();
+    if (walk == 0) {
+        issueLoadToL1(tid, e.seq, e.token);
+        return;
+    }
+    clock_->events.schedule(now + walk,
+                            [this, tid, seq = e.seq, token = e.token] {
+                                issueLoadToL1(tid, seq, token);
+                            });
+}
+
+void
+SmtCore::issueLoadToL1(int tid, SeqNum seq, std::uint64_t token)
+{
+    Thread &t = *ctx_[tid];
+    RobEntry *e = findBySeq(t, seq);
+    if (!e || e->token != token || !e->memPending)
+        return;
+    ++t.stats.loadsToL1;
+    if (e->wrongPath)
+        ++t.stats.wrongPathLoadsIssued;
+    MemRequest req;
+    req.cmd = MemCmd::ReadReq;
+    req.blockAddr = blockAlign(e->op.addr);
+    req.core = 0;
+    req.region = e->op.region;
+    req.wrongPath = e->wrongPath;
+    l1d_->issueLoad(req, [this, tid, seq, token] {
+        Thread &th = *ctx_[tid];
+        RobEntry *entry = findBySeq(th, seq);
+        if (!entry || entry->token != token || !entry->memPending)
+            return;
+        entry->memPending = false;
+        entry->completed = true;
+        entry->readyCycle = clock_->now;
+    });
+}
+
+void
+SmtCore::execStore(Thread &t, RobEntry &e)
+{
+    t.sb.setAddress(e.seq, e.op.addr, e.op.size);
+    e.readyCycle = clock_->now + p_.aguLat + t.dtlb.access(e.op.addr);
+    const StorePrefetchPolicy policy =
+        config_.idealSb ? StorePrefetchPolicy::AtCommit : config_.policy;
+    if (policy == StorePrefetchPolicy::AtExecute && l1d_) {
+        MemRequest pf;
+        pf.cmd = MemCmd::StorePF;
+        pf.blockAddr = blockAlign(e.op.addr);
+        pf.core = 0;
+        pf.region = e.op.region;
+        l1d_->issueStorePrefetch(pf);
+    }
+}
+
+void
+SmtCore::issueStage()
+{
+    const Cycle now = clock_->now;
+    unsigned issued = 0;
+    unsigned int_used = 0, fp_used = 0, mem_used = 0;
+    const int nt = static_cast<int>(ctx_.size());
+
+    // Round-robin between threads, one issue at a time, oldest-first
+    // within each thread.
+    bool progress = true;
+    while (issued < p_.issueWidth && progress) {
+        progress = false;
+        for (int k = 0; k < nt && issued < p_.issueWidth; ++k) {
+            Thread &t = *ctx_[(rotate_ + k) % nt];
+            for (auto &e : t.rob) {
+                if (!e.inIq || !sourcesReady(t, e))
+                    continue;
+                const OpClass cls = e.op.cls;
+                if (isMemOp(cls)) {
+                    if (mem_used >= p_.memPorts)
+                        continue; // maybe an ALU op is ready instead
+                } else if (isFloatOp(cls)) {
+                    if (fp_used >= p_.fpAluCount ||
+                        int_used + fp_used >= p_.intAluCount)
+                        continue;
+                } else {
+                    if (int_used + fp_used >= p_.intAluCount)
+                        continue;
+                }
+
+                e.inIq = false;
+                --t.iqCount;
+                --iqInUse_;
+                e.issued = true;
+                e.issuedAt = now;
+                ++issued;
+                ++t.stats.issuedUops;
+                if (cls == OpClass::Load) {
+                    ++mem_used;
+                    startLoad(t, e);
+                } else if (cls == OpClass::Store) {
+                    ++mem_used;
+                    execStore(t, e);
+                } else if (isFloatOp(cls)) {
+                    ++fp_used;
+                    e.readyCycle = now + p_.opLatency(cls);
+                } else {
+                    ++int_used;
+                    e.readyCycle = now + p_.opLatency(cls);
+                }
+                progress = true;
+                break; // one issue per thread per round
+            }
+        }
+    }
+
+    if (issued == 0) {
+        for (auto &tp : ctx_) {
+            Thread &t = *tp;
+            if (t.rob.empty())
+                continue;
+            ++t.stats.noIssueCycles;
+            for (const auto &e : t.rob) {
+                if (e.memPending && !e.wrongPath &&
+                    now > e.issuedAt + kL1HitLatency) {
+                    ++t.stats.execStallL1dPending;
+                    break;
+                }
+            }
+        }
+    }
+}
+
+StallResource
+SmtCore::dispatchBlocker(const Thread &t, const FetchedUop &f) const
+{
+    if (t.rob.size() >= robPerThread_)
+        return StallResource::Rob;
+    if (iqInUse_ >= iqShared_)
+        return StallResource::Iq;
+    if (f.op.cls == OpClass::Load && t.lqCount >= lqPerThread_)
+        return StallResource::Lq;
+    if (f.op.cls == OpClass::Store && t.sb.full())
+        return StallResource::Sb;
+    if (f.op.hasDest) {
+        if (isFloatOp(f.op.cls) && t.fpRegsFree == 0)
+            return StallResource::Regs;
+        if (!isFloatOp(f.op.cls) && t.intRegsFree == 0)
+            return StallResource::Regs;
+    }
+    return StallResource::None;
+}
+
+void
+SmtCore::dispatchStage()
+{
+    const Cycle now = clock_->now;
+    unsigned budget = p_.dispatchWidth;
+    const int nt = static_cast<int>(ctx_.size());
+    std::vector<bool> stalled(static_cast<std::size_t>(nt), false);
+
+    bool progress = true;
+    while (budget > 0 && progress) {
+        progress = false;
+        for (int k = 0; k < nt && budget > 0; ++k) {
+            const int tid = (rotate_ + k) % nt;
+            Thread &t = *ctx_[tid];
+            if (stalled[tid] || t.fetchPipe.empty())
+                continue;
+            FetchedUop &f = t.fetchPipe.front();
+            if (now < f.fetchCycle + p_.frontEndDepth)
+                continue;
+            const StallResource blocker = dispatchBlocker(t, f);
+            if (blocker != StallResource::None) {
+                // Charge the stall once per cycle per thread.
+                if (!stalled[tid]) {
+                    ++t.stats.dispatchStalls[static_cast<int>(blocker)];
+                    if (blocker == StallResource::Sb) {
+                        ++t.stats.sbStallsByRegion[static_cast<int>(
+                            t.sb.headRegion())];
+                    }
+                }
+                stalled[tid] = true;
+                continue;
+            }
+            RobEntry e;
+            e.op = f.op;
+            e.wrongPath = f.wrongPath;
+            e.seq = t.nextSeq++;
+            e.token = t.nextToken++;
+            auto to_seq = [&](std::uint8_t dist) {
+                return dist == 0 || e.seq <= dist ? kInvalidSeqNum
+                                                  : e.seq - dist;
+            };
+            e.src1 = to_seq(f.op.srcDist1);
+            e.src2 = to_seq(f.op.srcDist2);
+            e.inIq = true;
+            ++t.iqCount;
+            ++iqInUse_;
+            if (f.op.cls == OpClass::Load)
+                ++t.lqCount;
+            if (f.op.cls == OpClass::Store)
+                t.sb.allocate(e.seq, f.op.region);
+            if (f.op.hasDest) {
+                if (isFloatOp(f.op.cls))
+                    --t.fpRegsFree;
+                else
+                    --t.intRegsFree;
+            }
+            t.rob.push_back(std::move(e));
+            t.fetchPipe.pop_front();
+            --budget;
+            progress = true;
+        }
+    }
+}
+
+MicroOp
+SmtCore::synthesizeWrongPath(Thread &t)
+{
+    const std::uint64_t r = t.rng.below(100);
+    const std::uint64_t pc = 0x00660000 + t.rng.below(64) * 4;
+    auto wander = [&t] {
+        const Addr span = 2ULL << 20;
+        const Addr off = t.rng.below(span);
+        const Addr base = t.lastDataAddr > (span / 2)
+                              ? t.lastDataAddr - span / 2
+                              : t.lastDataAddr;
+        return (base + off) & ~Addr{7};
+    };
+    if (r < 55)
+        return uops::alu(pc, 1);
+    if (r < 80)
+        return uops::load(pc, wander());
+    if (r < 90)
+        return uops::store(pc, wander());
+    return uops::branch(pc, false, 1);
+}
+
+void
+SmtCore::fetchStage()
+{
+    const Cycle now = clock_->now;
+    unsigned budget = p_.fetchWidth;
+    const int nt = static_cast<int>(ctx_.size());
+    const std::size_t per_thread_buffer =
+        std::max<std::size_t>(4, p_.fetchBufferUops / ctx_.size());
+
+    bool progress = true;
+    while (budget > 0 && progress) {
+        progress = false;
+        for (int k = 0; k < nt && budget > 0; ++k) {
+            Thread &t = *ctx_[(rotate_ + k) % nt];
+            if (t.fetchPipe.size() >= per_thread_buffer)
+                continue;
+            FetchedUop f;
+            f.fetchCycle = now;
+            f.wrongPath = t.wrongPathMode;
+            if (t.wrongPathMode) {
+                f.op = synthesizeWrongPath(t);
+                ++t.stats.wrongPathFetched;
+            } else {
+                f.op = t.trace->next();
+                if (isMemOp(f.op.cls))
+                    t.lastDataAddr = f.op.addr;
+                if (f.op.cls == OpClass::Branch && f.op.mispredicted)
+                    t.wrongPathMode = true;
+            }
+            ++t.stats.fetchedUops;
+            t.fetchPipe.push_back(std::move(f));
+            --budget;
+            progress = true;
+        }
+    }
+}
+
+} // namespace spburst

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Simultaneous multithreading core.
+ *
+ * The paper's motivation (Sec. I) is that SMT processors statically
+ * partition the store buffer: each of T hardware threads sees SB/T
+ * entries, which is where SB-induced stalls explode. The paper models
+ * this by shrinking the SB of a single-threaded core; this class
+ * models it directly: T hardware threads share one out-of-order
+ * pipeline — fetch/dispatch/issue/commit width, the issue-queue
+ * capacity, functional units and memory ports are shared with
+ * round-robin thread priority — while the ROB, load queue, physical
+ * registers and (crucially) the store buffer are statically
+ * partitioned per thread, as in Intel's implementation (optimization
+ * manual Sec. 2.6.9). Each thread has its own SPB engine: the 67-bit
+ * detector is cheap enough to replicate per thread.
+ *
+ * All threads share one L1D (and the hierarchy behind it), which is
+ * how SMT differs from the multicore System configuration.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "common/clock.hh"
+#include "common/rng.hh"
+#include "core/spb.hh"
+#include "cpu/core.hh"
+#include "cpu/params.hh"
+#include "cpu/store_buffer.hh"
+#include "cpu/tlb.hh"
+#include "trace/source.hh"
+
+namespace spburst
+{
+
+class CacheController;
+
+/** Per-hardware-thread statistics of an SmtCore. */
+struct SmtThreadStats
+{
+    CoreStats core;            //!< same counters as a Core
+};
+
+/** A T-way SMT core over one shared cache hierarchy port. */
+class SmtCore
+{
+  public:
+    /**
+     * @param config  Core configuration; queue sizes are the *total*
+     *                (Table I) sizes, partitioned internally by the
+     *                thread count.
+     * @param threads Hardware thread count (1, 2 or 4 as in the paper).
+     * @param clock   Shared clock.
+     * @param l1d     The shared L1D controller.
+     * @param traces  One uop stream per hardware thread (not owned).
+     */
+    SmtCore(const CoreConfig &config, int threads, SimClock *clock,
+            CacheController *l1d, std::vector<TraceSource *> traces);
+
+    /** Simulate one cycle. */
+    void tick();
+
+    int threads() const { return static_cast<int>(ctx_.size()); }
+
+    /** Committed uops of one hardware thread. */
+    std::uint64_t committed(int tid) const;
+
+    /** Smallest committed count over threads (run-completion check). */
+    std::uint64_t minCommitted() const;
+
+    const CoreStats &stats(int tid) const { return ctx_[tid]->stats; }
+    const StoreBuffer &storeBuffer(int tid) const
+    {
+        return ctx_[tid]->sb;
+    }
+    const SpbEngine *spbEngine(int tid) const
+    {
+        return ctx_[tid]->spb.get();
+    }
+
+    /** Per-thread SB capacity after partitioning. */
+    unsigned sbPerThread() const { return sbPerThread_; }
+
+  private:
+    struct RobEntry
+    {
+        MicroOp op;
+        SeqNum seq = kInvalidSeqNum;
+        SeqNum src1 = kInvalidSeqNum;
+        SeqNum src2 = kInvalidSeqNum;
+        bool wrongPath = false;
+        bool inIq = false;
+        bool issued = false;
+        bool completed = false;
+        bool memPending = false;
+        Cycle readyCycle = kNeverCycle;
+        Cycle issuedAt = 0;
+        bool recovered = false;
+        std::uint64_t token = 0;
+    };
+
+    struct FetchedUop
+    {
+        MicroOp op;
+        Cycle fetchCycle = 0;
+        bool wrongPath = false;
+    };
+
+    /** One hardware thread's private state. */
+    struct Thread
+    {
+        Thread(unsigned sb_entries, CacheController *l1d, int core_id,
+               const TlbParams &tlb_params, std::uint64_t rng_seed)
+            : sb(sb_entries, l1d, core_id), dtlb(tlb_params),
+              rng(rng_seed)
+        {
+        }
+
+        std::deque<FetchedUop> fetchPipe;
+        std::deque<RobEntry> rob;
+        StoreBuffer sb;
+        Tlb dtlb;
+        std::unique_ptr<SpbEngine> spb;
+        TraceSource *trace = nullptr;
+        Rng rng;
+        SeqNum nextSeq = 1;
+        std::uint64_t nextToken = 1;
+        unsigned iqCount = 0; //!< this thread's share of the shared IQ
+        unsigned lqCount = 0;
+        unsigned intRegsFree = 0;
+        unsigned fpRegsFree = 0;
+        bool wrongPathMode = false;
+        Addr lastDataAddr = 0x10000000;
+        CoreStats stats;
+    };
+
+    // Pipeline stages (each walks threads in rotating priority order).
+    void completeAndRecover(Thread &t);
+    void commitStage();
+    void issueStage();
+    void dispatchStage();
+    void fetchStage();
+
+    RobEntry *findBySeq(Thread &t, SeqNum seq);
+    bool producerDone(const Thread &t, SeqNum seq) const;
+    bool sourcesReady(const Thread &t, const RobEntry &e) const;
+    void squashAfter(Thread &t, SeqNum branch_seq);
+    void startLoad(Thread &t, RobEntry &e);
+    void issueLoadToL1(int tid, SeqNum seq, std::uint64_t token);
+    void execStore(Thread &t, RobEntry &e);
+    MicroOp synthesizeWrongPath(Thread &t);
+    StallResource dispatchBlocker(const Thread &t,
+                                  const FetchedUop &f) const;
+
+    CoreConfig config_;
+    CoreParams p_;
+    SimClock *clock_;
+    CacheController *l1d_;
+    std::vector<std::unique_ptr<Thread>> ctx_;
+    unsigned sbPerThread_;
+    unsigned robPerThread_;
+    unsigned lqPerThread_;
+    unsigned iqShared_;
+    unsigned iqInUse_ = 0;
+    int rotate_ = 0; //!< round-robin priority pointer
+};
+
+} // namespace spburst

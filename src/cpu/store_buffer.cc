@@ -1,0 +1,173 @@
+#include "cpu/store_buffer.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "core/spb.hh"
+#include "mem/cache_controller.hh"
+
+namespace spburst
+{
+
+StoreBuffer::StoreBuffer(unsigned capacity, CacheController *l1d, int core)
+    : capacity_(capacity), l1d_(l1d), core_(core)
+{
+    SPB_ASSERT(capacity >= 1, "store buffer needs at least one entry");
+}
+
+StoreBuffer::Entry *
+StoreBuffer::findBySeq(SeqNum seq)
+{
+    for (auto &e : entries_) {
+        if (e.seq == seq)
+            return &e;
+    }
+    return nullptr;
+}
+
+void
+StoreBuffer::allocate(SeqNum seq, Region region)
+{
+    SPB_ASSERT(!full(), "store buffer overflow");
+    Entry e;
+    e.seq = seq;
+    e.region = region;
+    entries_.push_back(e);
+}
+
+void
+StoreBuffer::setAddress(SeqNum seq, Addr addr, unsigned size)
+{
+    Entry *e = findBySeq(seq);
+    SPB_ASSERT(e != nullptr, "setAddress: store %lu not in SB",
+               static_cast<unsigned long>(seq));
+    e->addr = addr;
+    e->size = size;
+    e->addressKnown = true;
+}
+
+void
+StoreBuffer::markSenior(SeqNum seq)
+{
+    Entry *e = findBySeq(seq);
+    SPB_ASSERT(e != nullptr, "markSenior: store %lu not in SB",
+               static_cast<unsigned long>(seq));
+    SPB_ASSERT(e->addressKnown, "store %lu committed without an address",
+               static_cast<unsigned long>(seq));
+    e->senior = true;
+    const Addr commit_addr = e->addr;     // the committing store's own
+    const unsigned commit_size = e->size; // address/size (SPB input)
+
+    // Coalesce consecutive same-block senior stores into one entry.
+    if (coalescing_) {
+        for (std::size_t i = 1; i < entries_.size(); ++i) {
+            if (entries_[i].seq != seq)
+                continue;
+            Entry &prev = entries_[i - 1];
+            if (prev.senior && prev.addressKnown &&
+                sameBlock(prev.addr, e->addr)) {
+                // Fold this store into its predecessor: extend the
+                // covered range (contiguous bursts stay exact; the
+                // range is an over-approximation otherwise).
+                const Addr lo = std::min(prev.addr, e->addr);
+                const Addr hi = std::max(prev.addr + prev.size,
+                                         e->addr + e->size);
+                prev.addr = lo;
+                prev.size = static_cast<unsigned>(hi - lo);
+                ++stats_.coalesced;
+                entries_.erase(entries_.begin() +
+                               static_cast<std::ptrdiff_t>(i));
+                e = &prev;
+            }
+            break;
+        }
+    }
+
+    if (prefetchAtCommit_ && l1d_) {
+        MemRequest pf;
+        pf.cmd = MemCmd::StorePF;
+        pf.blockAddr = blockAlign(commit_addr);
+        pf.core = core_;
+        pf.region = e->region;
+        l1d_->issueStorePrefetch(pf);
+    }
+    if (spb_)
+        spb_->onStoreCommit(commit_addr, commit_size, e->region);
+}
+
+void
+StoreBuffer::squashFrom(SeqNum seq)
+{
+    while (!entries_.empty() && entries_.back().seq >= seq) {
+        SPB_ASSERT(!entries_.back().senior,
+                   "squashing a senior store (%lu)",
+                   static_cast<unsigned long>(entries_.back().seq));
+        entries_.pop_back();
+        ++stats_.squashed;
+    }
+}
+
+void
+StoreBuffer::tick(Cycle now)
+{
+    (void)now;
+    stats_.occupancySum += entries_.size();
+    if (full())
+        ++stats_.fullCycles;
+
+    if (drainInFlight_ || entries_.empty() || !entries_.front().senior)
+        return;
+
+    // TSO: only the head may drain; anything behind it waits.
+    const Entry &head = entries_.front();
+    if (l1d_ && !l1d_->probeOwned(head.addr))
+        ++stats_.headBlockedCycles;
+
+    drainInFlight_ = true;
+    const std::uint64_t token = ++drainToken_;
+    MemRequest req;
+    req.cmd = MemCmd::WriteOwnReq;
+    req.blockAddr = blockAlign(head.addr);
+    req.core = core_;
+    req.region = head.region;
+    if (!l1d_) {
+        // Detached mode (unit tests without a hierarchy): drain in one
+        // cycle.
+        entries_.pop_front();
+        ++stats_.drained;
+        drainInFlight_ = false;
+        return;
+    }
+    l1d_->drainStore(req, [this, token] {
+        SPB_ASSERT(token == drainToken_, "stale drain completion");
+        SPB_ASSERT(!entries_.empty() && entries_.front().senior,
+                   "drain completed without a senior head");
+        entries_.pop_front();
+        ++stats_.drained;
+        drainInFlight_ = false;
+    });
+}
+
+bool
+StoreBuffer::forwards(SeqNum load_seq, Addr addr, unsigned size)
+{
+    // Search youngest-to-oldest for the most recent older store whose
+    // (known) address covers the load.
+    for (auto it = entries_.rbegin(); it != entries_.rend(); ++it) {
+        if (it->seq >= load_seq || !it->addressKnown)
+            continue;
+        if (it->addr <= addr && addr + size <= it->addr + it->size) {
+            ++stats_.forwards;
+            return true;
+        }
+    }
+    return false;
+}
+
+Region
+StoreBuffer::headRegion() const
+{
+    return entries_.empty() ? Region::App : entries_.front().region;
+}
+
+} // namespace spburst

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * The store buffer / store queue under study.
+ *
+ * Entries are allocated at dispatch (a full SB therefore stalls
+ * dispatch — the "SB-induced stall" of the paper), receive their
+ * address at execute, become *senior* when the store commits, and are
+ * freed when the store has drained into the L1D. Senior stores drain
+ * strictly in order (TSO store→store order); a drain that misses blocks
+ * everything behind it until ownership arrives — the serialization SPB
+ * exists to hide. Loads forward from older, address-known entries.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "trace/uop.hh"
+
+namespace spburst
+{
+
+class CacheController;
+class SpbEngine;
+
+/** Store-buffer statistics. */
+struct StoreBufferStats
+{
+    std::uint64_t drained = 0;          //!< stores written to the L1D
+    std::uint64_t forwards = 0;         //!< loads served from the SB
+    std::uint64_t headBlockedCycles = 0; //!< head waiting for ownership
+    std::uint64_t squashed = 0;         //!< wrong-path entries removed
+    std::uint64_t occupancySum = 0;     //!< per-cycle occupancy integral
+    std::uint64_t fullCycles = 0;       //!< cycles at capacity
+    std::uint64_t coalesced = 0;        //!< entries merged (coalescing)
+};
+
+/** TSO store buffer with in-order drain and load forwarding. */
+class StoreBuffer
+{
+  public:
+    /**
+     * @param capacity SB entries (56 / 28 / 14 / ... in the paper).
+     * @param l1d      The core's L1D controller.
+     * @param core     Owning core id.
+     */
+    StoreBuffer(unsigned capacity, CacheController *l1d, int core);
+
+    /** Attach the SPB engine (notified on every senior store). */
+    void setSpbEngine(SpbEngine *spb) { spb_ = spb; }
+
+    /** At-commit write-prefetch hook toggle. */
+    void setPrefetchAtCommit(bool on) { prefetchAtCommit_ = on; }
+
+    /**
+     * Non-speculative store coalescing (Ros & Kaxiras [24], discussed
+     * in the paper's related work): when a store commits directly
+     * behind a senior store to the same block, the two merge into one
+     * SB entry, freeing capacity. TSO-safe because only *consecutive*
+     * same-block seniors merge. Off by default.
+     */
+    void setCoalescing(bool on) { coalescing_ = on; }
+
+    // ---- pipeline hooks ----
+
+    bool full() const { return entries_.size() >= capacity_; }
+    std::size_t size() const { return entries_.size(); }
+    unsigned capacity() const { return capacity_; }
+
+    /** Dispatch: reserve an entry (caller must check !full()). */
+    void allocate(SeqNum seq, Region region);
+
+    /** Execute: the store's address is now known. */
+    void setAddress(SeqNum seq, Addr addr, unsigned size);
+
+    /** Commit: mark senior; triggers at-commit prefetch and SPB. */
+    void markSenior(SeqNum seq);
+
+    /** Squash all (necessarily non-senior) entries with seq >= @p seq. */
+    void squashFrom(SeqNum seq);
+
+    /** Advance one cycle: drain the head if possible. */
+    void tick(Cycle now);
+
+    /**
+     * Store-to-load forwarding: true if an older entry with a known
+     * address covers the load.
+     */
+    bool forwards(SeqNum load_seq, Addr addr, unsigned size);
+
+    /** Region of the head entry (stall attribution, Fig. 3). */
+    Region headRegion() const;
+
+    /** True if the head is senior but still waiting on the L1D. */
+    bool headDraining() const { return drainInFlight_; }
+
+    const StoreBufferStats &stats() const { return stats_; }
+
+  private:
+    struct Entry
+    {
+        SeqNum seq = kInvalidSeqNum;
+        Addr addr = kInvalidAddr;
+        unsigned size = 0;
+        Region region = Region::App;
+        bool senior = false;
+        bool addressKnown = false;
+    };
+
+    Entry *findBySeq(SeqNum seq);
+
+    unsigned capacity_;
+    CacheController *l1d_;
+    int core_;
+    SpbEngine *spb_ = nullptr;
+    bool prefetchAtCommit_ = false;
+    bool coalescing_ = false;
+    std::deque<Entry> entries_; // program order; senior prefix drains
+    bool drainInFlight_ = false;
+    std::uint64_t drainToken_ = 0; //!< guards stale drain callbacks
+    StoreBufferStats stats_;
+};
+
+} // namespace spburst

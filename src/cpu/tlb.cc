@@ -1,0 +1,69 @@
+#include "cpu/tlb.hh"
+
+#include "common/logging.hh"
+
+namespace spburst
+{
+
+Tlb::Tlb(const TlbParams &params)
+    : params_(params),
+      sets_(params.entries / params.ways),
+      entries_(params.entries)
+{
+    SPB_ASSERT(params.ways > 0 && params.entries % params.ways == 0,
+               "TLB entries (%u) must be a multiple of ways (%u)",
+               params.entries, params.ways);
+    SPB_ASSERT(sets_ > 0, "TLB needs at least one set");
+}
+
+std::size_t
+Tlb::setIndex(Addr page) const
+{
+    return static_cast<std::size_t>(page % sets_);
+}
+
+Cycle
+Tlb::access(Addr vaddr)
+{
+    if (!params_.enabled)
+        return 0;
+    const Addr page = pageNumber(vaddr);
+    Entry *base = &entries_[setIndex(page) * params_.ways];
+
+    for (unsigned w = 0; w < params_.ways; ++w) {
+        Entry &e = base[w];
+        if (e.valid && e.page == page) {
+            e.lastUse = ++useClock_;
+            ++stats_.hits;
+            return 0;
+        }
+    }
+    // Miss: fill an invalid frame, or the LRU one.
+    Entry *victim = base;
+    for (unsigned w = 0; w < params_.ways; ++w) {
+        if (!base[w].valid) {
+            victim = &base[w];
+            break;
+        }
+        if (base[w].lastUse < victim->lastUse)
+            victim = &base[w];
+    }
+    ++stats_.misses;
+    victim->valid = true;
+    victim->page = page;
+    victim->lastUse = ++useClock_;
+    return params_.walkLatency;
+}
+
+bool
+Tlb::probe(Addr vaddr) const
+{
+    const Addr page = pageNumber(vaddr);
+    const Entry *base = &entries_[setIndex(page) * params_.ways];
+    for (unsigned w = 0; w < params_.ways; ++w)
+        if (base[w].valid && base[w].page == page)
+            return true;
+    return false;
+}
+
+} // namespace spburst

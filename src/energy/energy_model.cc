@@ -1,0 +1,70 @@
+#include "energy/energy_model.hh"
+
+#include "common/logging.hh"
+
+namespace spburst
+{
+
+EnergyModel::EnergyModel(const EnergyParams &params) : params_(params)
+{
+}
+
+EnergyBreakdown
+EnergyModel::compute(const EnergyInput &in) const
+{
+    SPB_ASSERT(in.core != nullptr && in.sb != nullptr,
+               "energy model needs core and SB stats");
+    const EnergyParams &p = params_;
+    EnergyBreakdown e;
+
+    // ---- Core dynamic energy ----
+    const CoreStats &c = *in.core;
+    const double fetched = static_cast<double>(c.fetchedUops);
+    const double issued = static_cast<double>(c.issuedUops);
+    const double committed = static_cast<double>(c.committedUops);
+    e.coreDynamicPj += fetched * (p.fetchPj + p.dispatchPj);
+    e.coreDynamicPj += issued * (p.issuePj + p.regfilePj + p.executePj);
+    e.coreDynamicPj += committed * p.commitPj;
+    e.coreDynamicPj +=
+        static_cast<double>(in.sb->drained) * p.sbEntryPj;
+    // Every load associatively searches the SB: the CAM cost that
+    // limits SB scaling (and that shrinking the SB saves).
+    e.coreDynamicPj += static_cast<double>(c.committedLoads +
+                                           c.wrongPathLoadsIssued) *
+                       p.sbCamPjPerEntry *
+                       static_cast<double>(in.sbEntries);
+
+    // ---- Cache dynamic energy ----
+    auto cacheEnergy = [](const CacheStats &s, double tag_pj,
+                          double data_pj) {
+        return static_cast<double>(s.tagAccesses) * tag_pj +
+               static_cast<double>(s.dataAccesses + s.fills) * data_pj;
+    };
+    if (in.l1d)
+        e.cacheDynamicPj += cacheEnergy(*in.l1d, p.l1TagPj, p.l1DataPj);
+    if (in.l2) {
+        e.cacheDynamicPj +=
+            static_cast<double>(in.l2->tagAccesses + in.l2->fills) *
+            p.l2AccessPj;
+    }
+    if (in.l3) {
+        e.cacheDynamicPj +=
+            static_cast<double>(in.l3->tagAccesses + in.l3->fills) *
+            p.l3AccessPj;
+    }
+    e.cacheDynamicPj +=
+        static_cast<double>(in.dramReads + in.dramWrites) *
+        p.dramAccessPj;
+
+    // ---- Leakage ----
+    const double seconds =
+        static_cast<double>(in.cycles) / (p.clockGhz * 1e9);
+    double leak_w = p.coreLeakW + p.l1LeakW + p.l2LeakW;
+    if (in.l3)
+        leak_w += p.l3LeakW;
+    e.leakagePj = leak_w * seconds * 1e12;
+
+    return e;
+}
+
+} // namespace spburst

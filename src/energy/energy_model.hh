@@ -1,0 +1,100 @@
+/**
+ * @file
+ * McPAT-style event-based energy model (relative, 22nm-flavoured).
+ *
+ * Energy = sum(event_count x per-event energy) + leakage_power x time.
+ * The per-event constants are representative values, not a McPAT
+ * reimplementation; the model is meant for the *relative* comparisons
+ * of the paper's Fig. 7 (cache dynamic / core dynamic / total energy,
+ * normalised to the at-commit baseline). The mechanisms that move those
+ * ratios are all captured: extra prefetch tag traffic (SPB cost),
+ * fewer wrong-path fetches/issues/L1 accesses (SPB benefit), and
+ * shorter runtime (leakage benefit). The SB's CAM search energy scales
+ * with its size, so shrinking the SB (the paper's energy-efficiency
+ * angle) pays off directly.
+ */
+
+#pragma once
+
+#include <cstdint>
+
+#include "common/stats.hh"
+#include "cpu/core.hh"
+#include "mem/cache_controller.hh"
+
+namespace spburst
+{
+
+/** Per-event energies (picojoules) and leakage powers (watts). */
+struct EnergyParams
+{
+    // Core events.
+    double fetchPj = 8.0;       //!< fetch+decode+rename, per uop
+    double dispatchPj = 4.0;    //!< ROB/IQ allocation, per uop
+    double issuePj = 6.0;       //!< wakeup/select, per issued uop
+    double regfilePj = 7.0;     //!< operand reads + writeback, per uop
+    double executePj = 6.0;     //!< FU energy, per issued uop
+    double commitPj = 2.0;      //!< retirement bookkeeping, per uop
+    double sbEntryPj = 3.0;     //!< SB insert + drain, per store
+    double sbCamPjPerEntry = 0.06; //!< CAM search: per SB entry, per load
+
+    // Cache/memory events.
+    double l1TagPj = 1.2;
+    double l1DataPj = 11.0;
+    double l2AccessPj = 42.0;
+    double l3AccessPj = 150.0;
+    double dramAccessPj = 5000.0;
+
+    // Leakage (whole-structure static power).
+    double coreLeakW = 0.12;
+    double l1LeakW = 0.01;
+    double l2LeakW = 0.04;
+    double l3LeakW = 0.14;
+
+    double clockGhz = 2.0; //!< converts cycles to seconds
+};
+
+/** Energy result, broken down the way Fig. 7 reports it. */
+struct EnergyBreakdown
+{
+    double cacheDynamicPj = 0.0; //!< L1+L2+L3 (+DRAM interface)
+    double coreDynamicPj = 0.0;
+    double leakagePj = 0.0;
+
+    double
+    totalPj() const
+    {
+        return cacheDynamicPj + coreDynamicPj + leakagePj;
+    }
+};
+
+/** Raw event counts the model consumes (one core's worth). */
+struct EnergyInput
+{
+    std::uint64_t cycles = 0;
+    const CoreStats *core = nullptr;
+    const StoreBufferStats *sb = nullptr;
+    unsigned sbEntries = 56;
+    const CacheStats *l1d = nullptr;
+    const CacheStats *l2 = nullptr;
+    const CacheStats *l3 = nullptr;      //!< pass once (shared level)
+    std::uint64_t dramReads = 0;          //!< pass once
+    std::uint64_t dramWrites = 0;         //!< pass once
+};
+
+/** Event-based energy model. */
+class EnergyModel
+{
+  public:
+    explicit EnergyModel(const EnergyParams &params = EnergyParams{});
+
+    /** Energy of one core + its share of the hierarchy. */
+    EnergyBreakdown compute(const EnergyInput &input) const;
+
+    const EnergyParams &params() const { return params_; }
+
+  private:
+    EnergyParams params_;
+};
+
+} // namespace spburst

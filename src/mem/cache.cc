@@ -1,0 +1,119 @@
+#include "mem/cache.hh"
+
+#include "common/logging.hh"
+
+namespace spburst
+{
+
+const char *
+cohStateName(CohState state)
+{
+    switch (state) {
+      case CohState::Invalid: return "I";
+      case CohState::Shared: return "S";
+      case CohState::Exclusive: return "E";
+      case CohState::Modified: return "M";
+    }
+    return "?";
+}
+
+const char *
+memCmdName(MemCmd cmd)
+{
+    switch (cmd) {
+      case MemCmd::ReadReq: return "ReadReq";
+      case MemCmd::ReadPF: return "ReadPF";
+      case MemCmd::WriteOwnReq: return "WriteOwnReq";
+      case MemCmd::StorePF: return "StorePF";
+      case MemCmd::SpbPF: return "SpbPF";
+      case MemCmd::Writeback: return "Writeback";
+    }
+    return "?";
+}
+
+SetAssocCache::SetAssocCache(const CacheGeometry &geometry)
+    : sets_(geometry.numSets()), ways_(geometry.ways),
+      frames_(sets_ * ways_)
+{
+    SPB_ASSERT(sets_ > 0 && (sets_ & (sets_ - 1)) == 0,
+               "cache sets must be a nonzero power of two (got %lu)",
+               static_cast<unsigned long>(sets_));
+}
+
+CacheBlk *
+SetAssocCache::setBase(Addr block_addr)
+{
+    return &frames_[setIndex(block_addr) * ways_];
+}
+
+CacheBlk *
+SetAssocCache::find(Addr block_addr)
+{
+    const Addr aligned = blockAlign(block_addr);
+    CacheBlk *base = setBase(aligned);
+    for (std::uint32_t w = 0; w < ways_; ++w) {
+        if (isValid(base[w].state) && base[w].tag == aligned)
+            return &base[w];
+    }
+    return nullptr;
+}
+
+const CacheBlk *
+SetAssocCache::find(Addr block_addr) const
+{
+    return const_cast<SetAssocCache *>(this)->find(block_addr);
+}
+
+void
+SetAssocCache::touch(CacheBlk &blk)
+{
+    blk.lastTouch = ++clock_;
+}
+
+CacheBlk &
+SetAssocCache::victim(Addr block_addr)
+{
+    CacheBlk *base = setBase(blockAlign(block_addr));
+    CacheBlk *lru = &base[0];
+    for (std::uint32_t w = 0; w < ways_; ++w) {
+        if (!isValid(base[w].state))
+            return base[w];
+        if (base[w].lastTouch < lru->lastTouch)
+            lru = &base[w];
+    }
+    return *lru;
+}
+
+void
+SetAssocCache::fill(CacheBlk &frame, Addr block_addr, CohState state)
+{
+    frame.tag = blockAlign(block_addr);
+    frame.state = state;
+    frame.prefetched = false;
+    frame.prefetchUsed = false;
+    frame.fillCmd = MemCmd::ReadReq;
+    touch(frame);
+}
+
+bool
+SetAssocCache::invalidate(Addr block_addr)
+{
+    CacheBlk *blk = find(block_addr);
+    if (!blk)
+        return false;
+    const bool dirty = blk->state == CohState::Modified;
+    blk->state = CohState::Invalid;
+    return dirty;
+}
+
+std::uint64_t
+SetAssocCache::validCount() const
+{
+    std::uint64_t n = 0;
+    for (const auto &f : frames_)
+        if (isValid(f.state))
+            ++n;
+    return n;
+}
+
+} // namespace spburst

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Set-associative cache tag/data array with LRU replacement.
+ *
+ * This class is purely structural (lookup / insert / evict / state);
+ * all timing, MSHRs, and hierarchy logic live in CacheController.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "mem/coherence.hh"
+#include "mem/request.hh"
+
+namespace spburst
+{
+
+/** One cache block frame. */
+struct CacheBlk
+{
+    Addr tag = 0;                        //!< block address (full, aligned)
+    CohState state = CohState::Invalid;  //!< MESI state
+    std::uint64_t lastTouch = 0;         //!< LRU timestamp
+    bool prefetched = false;             //!< filled by a prefetch
+    bool prefetchUsed = false;           //!< demand-referenced since fill
+    MemCmd fillCmd = MemCmd::ReadReq;    //!< command that caused the fill
+};
+
+/** Geometry of a cache. */
+struct CacheGeometry
+{
+    std::uint64_t sizeBytes = 32 * 1024;
+    std::uint32_t ways = 8;
+
+    std::uint64_t
+    numSets() const
+    {
+        return sizeBytes / (kBlockSize * ways);
+    }
+};
+
+/** Structural set-associative cache with LRU replacement. */
+class SetAssocCache
+{
+  public:
+    explicit SetAssocCache(const CacheGeometry &geometry);
+
+    /** Find the frame holding @p block_addr, or nullptr. Does NOT touch
+     *  LRU state; call touch() on a real access. */
+    CacheBlk *find(Addr block_addr);
+    const CacheBlk *find(Addr block_addr) const;
+
+    /** Promote a block to MRU. */
+    void touch(CacheBlk &blk);
+
+    /**
+     * Choose a victim frame in @p block_addr's set: an invalid frame if
+     * one exists, otherwise the LRU block. The caller is responsible
+     * for writing back the victim if dirty and then overwriting it.
+     */
+    CacheBlk &victim(Addr block_addr);
+
+    /** Install @p block_addr into @p frame with the given state. */
+    void fill(CacheBlk &frame, Addr block_addr, CohState state);
+
+    /** Invalidate a block if present; returns true if it was dirty. */
+    bool invalidate(Addr block_addr);
+
+    /** Number of valid blocks (for tests / occupancy stats). */
+    std::uint64_t validCount() const;
+
+    std::uint64_t numSets() const { return sets_; }
+    std::uint32_t numWays() const { return ways_; }
+
+    /** All frames (set-major); for stats finalisation and tests. */
+    const std::vector<CacheBlk> &frames() const { return frames_; }
+
+    /** Set index of an address (for conflict analysis in tests). */
+    std::uint64_t
+    setIndex(Addr block_addr) const
+    {
+        return blockNumber(block_addr) % sets_;
+    }
+
+  private:
+    std::uint64_t sets_;
+    std::uint32_t ways_;
+    std::vector<CacheBlk> frames_; // sets_ * ways_, set-major
+    std::uint64_t clock_ = 0;      // LRU timestamp source
+
+    CacheBlk *setBase(Addr block_addr);
+};
+
+} // namespace spburst

@@ -1,0 +1,603 @@
+#include "mem/cache_controller.hh"
+
+#include "common/logging.hh"
+#include "mem/coherence_hub.hh"
+
+namespace spburst
+{
+
+StatSet
+CacheStats::toStatSet() const
+{
+    StatSet s;
+    s.set("tag_accesses", static_cast<double>(tagAccesses));
+    s.set("tag_accesses_prefetch", static_cast<double>(tagAccessesPrefetch));
+    s.set("data_accesses", static_cast<double>(dataAccesses));
+    s.set("load_hits", static_cast<double>(loadHits));
+    s.set("load_misses", static_cast<double>(loadMisses));
+    s.set("wrong_path_loads", static_cast<double>(wrongPathLoads));
+    s.set("store_own_hits", static_cast<double>(storeOwnHits));
+    s.set("store_own_misses", static_cast<double>(storeOwnMisses));
+    s.set("upgrades", static_cast<double>(upgrades));
+    s.set("load_miss_cycles", static_cast<double>(loadMissCycles));
+    s.set("pf_issued", static_cast<double>(pfIssued));
+    s.set("pf_discarded", static_cast<double>(pfDiscarded));
+    s.set("pf_dropped_full", static_cast<double>(pfDroppedFull));
+    s.set("spb_issued", static_cast<double>(spbIssued));
+    s.set("spb_discarded", static_cast<double>(spbDiscarded));
+    s.set("fills", static_cast<double>(fills));
+    s.set("evictions", static_cast<double>(evictions));
+    s.set("writebacks_out", static_cast<double>(writebacksOut));
+    s.set("writebacks_in", static_cast<double>(writebacksIn));
+    s.set("evict_prefetched_unused",
+          static_cast<double>(evictPrefetchedUnused));
+    s.set("pf_successful", static_cast<double>(pfSuccessful));
+    s.set("pf_late", static_cast<double>(pfLate));
+    s.set("pf_early", static_cast<double>(pfEarly));
+    s.set("pf_never_used", static_cast<double>(pfNeverUsed));
+    s.set("load_hit_on_store_pf", static_cast<double>(loadHitOnStorePf));
+    s.set("mshr_demand_retries", static_cast<double>(mshrDemandRetries));
+    return s;
+}
+
+CacheController::CacheController(const CacheParams &params, SimClock *clock,
+                                 MemLevel *below, int core, bool is_l1d)
+    : params_(params),
+      clock_(clock),
+      below_(below),
+      core_(core),
+      l1d_(is_l1d),
+      tags_(params.geometry),
+      mshr_(params.mshrs)
+{
+    SPB_ASSERT(clock != nullptr, "cache '%s' needs a clock",
+               params.name.c_str());
+    SPB_ASSERT(below != nullptr, "cache '%s' needs a level below",
+               params.name.c_str());
+    SPB_ASSERT(params.demandReservedMshrs < params.mshrs,
+               "cache '%s': demand reserve must leave room for prefetches",
+               params.name.c_str());
+}
+
+// ---------------------------------------------------------------------
+// Generic level-to-level request path
+// ---------------------------------------------------------------------
+
+void
+CacheController::request(const MemRequest &req_in, FillCallback done)
+{
+    MemRequest req = req_in;
+    req.blockAddr = blockAlign(req.blockAddr);
+    const bool wants_own = wantsOwnership(req.cmd);
+
+    ++stats_.tagAccesses;
+    if (isPrefetch(req.cmd))
+        ++stats_.tagAccessesPrefetch;
+
+    // Shared level: consult the directory before anything else.
+    Cycle extra = 0;
+    bool hub_grant = true;
+    if (hub_)
+        extra = hub_->resolve(req, hub_grant);
+
+    CacheBlk *blk = tags_.find(req.blockAddr);
+    // At the shared level the hub has already reclaimed ownership from
+    // remote cores, so a data hit always satisfies ownership requests.
+    const bool satisfied =
+        blk && (!wants_own || hub_ || hasOwnership(blk->state));
+
+    // Non-L1 prefetchers (e.g. the FDP L2 prefetcher) train on the
+    // demand stream arriving from the level above.
+    if (prefetcher_ && !l1d_ &&
+        (req.cmd == MemCmd::ReadReq || req.cmd == MemCmd::WriteOwnReq)) {
+        notifyPrefetcher(req, satisfied);
+    }
+
+    if (satisfied) {
+        if (req.cmd == MemCmd::ReadReq)
+            ++stats_.loadHits;
+        else if (req.cmd == MemCmd::WriteOwnReq)
+            ++stats_.storeOwnHits;
+        tags_.touch(*blk);
+        if (!isPrefetch(req.cmd))
+            blk->prefetchUsed = true;
+        ++stats_.dataAccesses;
+        const bool grant =
+            wants_own || (hub_ ? hub_grant : hasOwnership(blk->state));
+        if (done) {
+            clock_->events.schedule(
+                clock_->now + params_.hitLatency + extra,
+                [done, grant] { done(grant); });
+        }
+        return;
+    }
+
+    // Miss: either no data or insufficient permission.
+    MshrTarget target;
+    target.needsOwnership = wants_own;
+    target.isPrefetch = isPrefetch(req.cmd);
+    target.demandLoad = req.cmd == MemCmd::ReadReq;
+    target.queuedAt = clock_->now;
+    target.done = std::move(done);
+
+    auto count_miss = [this, &req, blk, wants_own] {
+        if (req.cmd == MemCmd::ReadReq)
+            ++stats_.loadMisses;
+        else if (req.cmd == MemCmd::WriteOwnReq)
+            ++stats_.storeOwnMisses;
+        if (blk && wants_own)
+            ++stats_.upgrades;
+    };
+
+    if (MshrEntry *entry = mshr_.find(req.blockAddr)) {
+        count_miss();
+        entry->targets.push_back(std::move(target));
+        return;
+    }
+
+    if (mshr_.full()) {
+        // Replay next cycle; the callback is preserved and the miss is
+        // only counted once it stops being rejected.
+        ++stats_.mshrDemandRetries;
+        clock_->events.schedule(clock_->now + 1,
+                                [this, req, t = std::move(target)]() mutable {
+                                    request(req, std::move(t.done));
+                                });
+        return;
+    }
+
+    count_miss();
+    MshrEntry *entry = mshr_.allocate(req.blockAddr, req.cmd, clock_->now);
+    entry->extraLatency = extra;
+    entry->sharedGrant = hub_grant;
+    entry->targets.push_back(std::move(target));
+    forwardMiss(req);
+}
+
+void
+CacheController::forwardMiss(const MemRequest &req)
+{
+    // One cycle of lookup before the request leaves for the next level.
+    clock_->events.schedule(clock_->now + 1, [this, req] {
+        below_->request(req, [this, addr = req.blockAddr](bool ownership) {
+            handleFill(addr, ownership);
+        });
+    });
+}
+
+void
+CacheController::handleFill(Addr block_addr, bool ownership)
+{
+    MshrEntry *entry = mshr_.find(block_addr);
+    SPB_ASSERT(entry != nullptr, "%s: fill for block %#lx without MSHR",
+               params_.name.c_str(),
+               static_cast<unsigned long>(block_addr));
+
+    const MemCmd fill_cmd = entry->firstCmd;
+    const Cycle extra = entry->extraLatency;
+    const bool shared_grant = hub_ ? entry->sharedGrant : ownership;
+    std::vector<MshrTarget> targets = std::move(entry->targets);
+
+    for (const MshrTarget &t : targets) {
+        if (t.demandLoad)
+            stats_.loadMissCycles += clock_->now - t.queuedAt;
+    }
+
+    mshr_.deallocate(block_addr);
+    installBlock(block_addr, ownership, fill_cmd);
+
+    // If some target needs ownership the fill did not bring, complete
+    // the readers and launch an upgrade for the writers.
+    bool need_upgrade = false;
+    for (const MshrTarget &t : targets)
+        need_upgrade |= t.needsOwnership && !ownership;
+
+    if (!need_upgrade) {
+        CacheBlk *blk = tags_.find(block_addr);
+        for (MshrTarget &t : targets) {
+            if (!t.isPrefetch && blk)
+                blk->prefetchUsed = true;
+            completeTarget(t, shared_grant || ownership, extra);
+        }
+        return;
+    }
+
+    MemRequest upgrade;
+    upgrade.cmd = MemCmd::WriteOwnReq;
+    upgrade.blockAddr = block_addr;
+    upgrade.core = core_;
+    ++stats_.upgrades;
+    MshrEntry *up = mshr_.allocate(block_addr, MemCmd::WriteOwnReq,
+                                   clock_->now);
+    // The upgrade cannot be refused MSHR space: we just freed an entry.
+    SPB_ASSERT(up != nullptr, "%s: no MSHR for upgrade",
+               params_.name.c_str());
+    for (MshrTarget &t : targets) {
+        if (t.needsOwnership) {
+            up->targets.push_back(std::move(t));
+        } else {
+            CacheBlk *blk = tags_.find(block_addr);
+            if (!t.isPrefetch && blk)
+                blk->prefetchUsed = true;
+            completeTarget(t, false, extra);
+        }
+    }
+    forwardMiss(upgrade);
+}
+
+void
+CacheController::completeTarget(MshrTarget &target, bool ownership,
+                                Cycle delay)
+{
+    if (!target.done)
+        return;
+    // The hub's remote-probe latency (shared level only) delays every
+    // waiter on this fill.
+    clock_->events.schedule(clock_->now + delay,
+                            [done = std::move(target.done), ownership] {
+                                done(ownership);
+                            });
+}
+
+void
+CacheController::installBlock(Addr block_addr, bool ownership,
+                              MemCmd fill_cmd)
+{
+    CacheBlk *blk = tags_.find(block_addr);
+    if (!blk) {
+        CacheBlk &frame = tags_.victim(block_addr);
+        if (isValid(frame.state))
+            evictFrame(frame);
+        tags_.fill(frame, block_addr,
+                   ownership ? CohState::Exclusive : CohState::Shared);
+        ++stats_.fills;
+        blk = &frame;
+    } else {
+        if (ownership && !hasOwnership(blk->state))
+            blk->state = CohState::Exclusive;
+        tags_.touch(*blk);
+    }
+    if (isPrefetch(fill_cmd)) {
+        blk->prefetched = true;
+        blk->prefetchUsed = false;
+        blk->fillCmd = fill_cmd;
+    } else if (fill_cmd == MemCmd::Writeback) {
+        blk->state = CohState::Modified;
+    }
+}
+
+void
+CacheController::evictFrame(CacheBlk &frame)
+{
+    ++stats_.evictions;
+    if (frame.prefetched && !frame.prefetchUsed) {
+        ++stats_.evictPrefetchedUnused;
+        if (l1d_ && isStorePrefetch(frame.fillCmd)) {
+            evictedUnusedPf_.insert(frame.tag);
+        } else if (l1d_ && frame.fillCmd == MemCmd::ReadPF && prefetcher_) {
+            PrefetchFeedback fb;
+            fb.pollutionEvict = true;
+            prefetcher_->notifyFeedback(fb);
+        }
+    }
+    bool dirty = frame.state == CohState::Modified;
+    if (backInvalidate_)
+        dirty |= backInvalidate_(frame.tag);
+    if (dirty) {
+        ++stats_.writebacksOut;
+        below_->writeback(frame.tag, core_);
+    }
+    if (hub_)
+        hub_->evicted(frame.tag);
+    frame.state = CohState::Invalid;
+}
+
+void
+CacheController::writeback(Addr block_addr, int core)
+{
+    (void)core;
+    ++stats_.writebacksIn;
+    const Addr aligned = blockAlign(block_addr);
+    CacheBlk *blk = tags_.find(aligned);
+    if (blk) {
+        blk->state = CohState::Modified;
+        tags_.touch(*blk);
+        return;
+    }
+    installBlock(aligned, true, MemCmd::Writeback);
+}
+
+bool
+CacheController::invalidateBlock(Addr block_addr)
+{
+    return tags_.invalidate(blockAlign(block_addr));
+}
+
+bool
+CacheController::downgradeBlock(Addr block_addr)
+{
+    CacheBlk *blk = tags_.find(blockAlign(block_addr));
+    if (!blk)
+        return false;
+    const bool dirty = blk->state == CohState::Modified;
+    blk->state = CohState::Shared;
+    return dirty;
+}
+
+// ---------------------------------------------------------------------
+// CPU-facing API (L1D)
+// ---------------------------------------------------------------------
+
+void
+CacheController::issueLoad(const MemRequest &req, MemCallback done)
+{
+    SPB_ASSERT(l1d_, "issueLoad on non-L1D cache '%s'",
+               params_.name.c_str());
+    const Addr addr = blockAlign(req.blockAddr);
+    if (req.wrongPath)
+        ++stats_.wrongPathLoads;
+
+    CacheBlk *blk = tags_.find(addr);
+    const bool hit = blk != nullptr;
+    if (hit && blk->prefetched && !blk->prefetchUsed) {
+        if (isStorePrefetch(blk->fillCmd)) {
+            ++stats_.loadHitOnStorePf;
+        } else if (prefetcher_) {
+            PrefetchFeedback fb;
+            fb.usefulHit = true;
+            prefetcher_->notifyFeedback(fb);
+        }
+    }
+    if (!hit && prefetcher_) {
+        if (MshrEntry *e = mshr_.find(addr);
+            e && e->firstCmd == MemCmd::ReadPF && !e->lateCounted) {
+            e->lateCounted = true;
+            PrefetchFeedback fb;
+            fb.latePrefetch = true;
+            prefetcher_->notifyFeedback(fb);
+        }
+    }
+    notifyPrefetcher(req, hit);
+
+    MemRequest r = req;
+    r.cmd = MemCmd::ReadReq;
+    request(r, done ? FillCallback([done](bool) { done(); })
+                    : FillCallback());
+}
+
+void
+CacheController::classifyStoreDemand(Addr block_addr, CacheBlk *blk)
+{
+    if (blk) {
+        if (blk->prefetched && !blk->prefetchUsed &&
+            isStorePrefetch(blk->fillCmd)) {
+            ++stats_.pfSuccessful;
+        }
+        return;
+    }
+    if (MshrEntry *e = mshr_.find(block_addr)) {
+        if (isStorePrefetch(e->firstCmd) && !e->lateCounted) {
+            e->lateCounted = true;
+            ++stats_.pfLate;
+        }
+        return;
+    }
+    if (evictedUnusedPf_.erase(block_addr) > 0)
+        ++stats_.pfEarly;
+}
+
+void
+CacheController::drainStore(const MemRequest &req, MemCallback done)
+{
+    SPB_ASSERT(l1d_, "drainStore on non-L1D cache '%s'",
+               params_.name.c_str());
+    const Addr addr = blockAlign(req.blockAddr);
+    CacheBlk *blk = tags_.find(addr);
+    classifyStoreDemand(addr, blk);
+
+    if (blk && hasOwnership(blk->state)) {
+        ++stats_.tagAccesses;
+        ++stats_.dataAccesses;
+        ++stats_.storeOwnHits;
+        blk->state = CohState::Modified;
+        blk->prefetchUsed = true;
+        tags_.touch(*blk);
+        notifyPrefetcher(req, true);
+        if (done)
+            clock_->events.schedule(clock_->now + 1, done);
+        return;
+    }
+
+    notifyPrefetcher(req, false);
+    MemRequest r = req;
+    r.cmd = MemCmd::WriteOwnReq;
+    request(r, [this, addr, done](bool) {
+        // Ownership (and data) arrived: perform the write.
+        if (CacheBlk *b = tags_.find(addr)) {
+            b->state = CohState::Modified;
+            b->prefetchUsed = true;
+            ++stats_.dataAccesses;
+        }
+        if (done)
+            done();
+    });
+}
+
+void
+CacheController::issueStorePrefetch(const MemRequest &req)
+{
+    SPB_ASSERT(l1d_, "issueStorePrefetch on non-L1D cache '%s'",
+               params_.name.c_str());
+    if (prefetchQueue_.size() >= params_.prefetchQueueCap) {
+        ++stats_.pfDroppedFull;
+        return;
+    }
+    MemRequest r = req;
+    r.blockAddr = blockAlign(r.blockAddr);
+    prefetchQueue_.push_back(QueuedPrefetch{r});
+    schedulePump();
+}
+
+void
+CacheController::enqueueBurst(Addr first_block, unsigned count, int core,
+                              Region region)
+{
+    SPB_ASSERT(l1d_, "enqueueBurst on non-L1D cache '%s'",
+               params_.name.c_str());
+    constexpr std::size_t kBurstQueueCap = 4 * kBlocksPerPage;
+    for (unsigned i = 0; i < count; ++i) {
+        if (burstQueue_.size() >= kBurstQueueCap) {
+            ++stats_.pfDroppedFull;
+            continue;
+        }
+        MemRequest r;
+        r.cmd = MemCmd::SpbPF;
+        r.blockAddr = blockAlign(first_block) + Addr{i} * kBlockSize;
+        r.core = core;
+        r.region = region;
+        burstQueue_.push_back(QueuedPrefetch{r});
+    }
+    schedulePump();
+}
+
+bool
+CacheController::probeOwned(Addr addr) const
+{
+    const CacheBlk *blk = tags_.find(blockAlign(addr));
+    return blk && hasOwnership(blk->state);
+}
+
+bool
+CacheController::probeValid(Addr addr) const
+{
+    return tags_.find(blockAlign(addr)) != nullptr;
+}
+
+// ---------------------------------------------------------------------
+// Prefetch / burst pump
+// ---------------------------------------------------------------------
+
+void
+CacheController::schedulePump()
+{
+    if (pumpScheduled_)
+        return;
+    pumpScheduled_ = true;
+    clock_->events.schedule(clock_->now + 1, [this] { pump(); });
+}
+
+CacheController::PfIssueResult
+CacheController::tryIssuePrefetch(const MemRequest &req)
+{
+    const Addr addr = req.blockAddr;
+    const bool is_spb = req.cmd == MemCmd::SpbPF;
+
+    CacheBlk *blk = tags_.find(addr);
+    ++stats_.tagAccesses;
+    ++stats_.tagAccessesPrefetch;
+
+    // Already present with sufficient permission: discard (PopReq).
+    if (blk && (!wantsOwnership(req.cmd) || hasOwnership(blk->state))) {
+        ++stats_.pfDiscarded;
+        if (is_spb)
+            ++stats_.spbDiscarded;
+        return PfIssueResult::Discarded;
+    }
+
+    // Already in flight: discard, but make sure ownership will arrive.
+    if (MshrEntry *e = mshr_.find(addr)) {
+        if (wantsOwnership(req.cmd) && !e->ownershipRequested) {
+            MshrTarget t;
+            t.needsOwnership = true;
+            t.isPrefetch = true;
+            t.queuedAt = clock_->now;
+            e->targets.push_back(std::move(t));
+        }
+        ++stats_.pfDiscarded;
+        if (is_spb)
+            ++stats_.spbDiscarded;
+        return PfIssueResult::Discarded;
+    }
+
+    // Leave headroom for demand misses.
+    if (mshr_.inUse() + params_.demandReservedMshrs >= mshr_.capacity())
+        return PfIssueResult::Retry;
+
+    if (blk && wantsOwnership(req.cmd))
+        ++stats_.upgrades;
+
+    MshrEntry *entry = mshr_.allocate(addr, req.cmd, clock_->now);
+    MshrTarget t;
+    t.needsOwnership = wantsOwnership(req.cmd);
+    t.isPrefetch = true;
+    t.queuedAt = clock_->now;
+    entry->targets.push_back(std::move(t));
+    ++stats_.pfIssued;
+    if (is_spb)
+        ++stats_.spbIssued;
+    forwardMiss(req);
+    return PfIssueResult::Issued;
+}
+
+void
+CacheController::pump()
+{
+    pumpScheduled_ = false;
+    std::uint32_t budget = params_.prefetchIssuePerCycle;
+
+    auto process = [&](std::deque<QueuedPrefetch> &queue) {
+        while (budget > 0 && !queue.empty()) {
+            const PfIssueResult r = tryIssuePrefetch(queue.front().req);
+            if (r == PfIssueResult::Retry)
+                return false; // resource pressure: stall this cycle
+            --budget; // Issued and Discarded both consumed a tag check
+            queue.pop_front();
+        }
+        return true;
+    };
+
+    // Bursts first: SPB is deliberately aggressive once triggered.
+    if (process(burstQueue_))
+        process(prefetchQueue_);
+
+    if (!burstQueue_.empty() || !prefetchQueue_.empty())
+        schedulePump();
+}
+
+void
+CacheController::notifyPrefetcher(const MemRequest &req, bool hit)
+{
+    if (!prefetcher_)
+        return;
+    std::vector<Addr> wanted;
+    prefetcher_->notifyAccess(req, hit, wanted);
+    for (Addr a : wanted) {
+        if (prefetchQueue_.size() >= params_.prefetchQueueCap) {
+            ++stats_.pfDroppedFull;
+            break;
+        }
+        MemRequest r;
+        r.cmd = MemCmd::ReadPF;
+        r.blockAddr = blockAlign(a);
+        r.core = req.core;
+        r.region = req.region;
+        prefetchQueue_.push_back(QueuedPrefetch{r});
+    }
+    if (!wanted.empty())
+        schedulePump();
+}
+
+void
+CacheController::finalizeStats()
+{
+    for (const CacheBlk &frame : tags_.frames()) {
+        if (isValid(frame.state) && frame.prefetched &&
+            !frame.prefetchUsed && isStorePrefetch(frame.fillCmd)) {
+            ++stats_.pfNeverUsed;
+        }
+    }
+    stats_.pfNeverUsed += evictedUnusedPf_.size();
+    evictedUnusedPf_.clear();
+}
+
+} // namespace spburst

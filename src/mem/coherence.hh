@@ -1,0 +1,43 @@
+/**
+ * @file
+ * MESI coherence states.
+ *
+ * Stable states only; transient states (IM, PF_IM, IS in the paper's
+ * Fig. 4) are represented by outstanding MSHR entries rather than by
+ * explicit tag states.
+ */
+
+#pragma once
+
+#include <cstdint>
+
+namespace spburst
+{
+
+/** Stable MESI state of a cached block. */
+enum class CohState : std::uint8_t
+{
+    Invalid,   //!< I: not present
+    Shared,    //!< S: clean, possibly in other caches
+    Exclusive, //!< E: clean, only copy — writable without a request
+    Modified,  //!< M: dirty, only copy
+};
+
+/** Human-readable state name ("I"/"S"/"E"/"M"). */
+const char *cohStateName(CohState state);
+
+/** True if the state permits a store without a coherence request. */
+constexpr bool
+hasOwnership(CohState state)
+{
+    return state == CohState::Exclusive || state == CohState::Modified;
+}
+
+/** True if the block holds valid data. */
+constexpr bool
+isValid(CohState state)
+{
+    return state != CohState::Invalid;
+}
+
+} // namespace spburst

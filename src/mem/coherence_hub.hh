@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Hook through which the shared last-level cache consults the
+ * directory before handing a block to a core. Implemented by
+ * DirectoryController in multicore systems; single-core systems leave
+ * the hub unset (every read fill may be Exclusive).
+ */
+
+#pragma once
+
+#include "common/types.hh"
+#include "mem/request.hh"
+
+namespace spburst
+{
+
+/** Coherence decision point at the shared level. */
+class CoherenceHub
+{
+  public:
+    virtual ~CoherenceHub() = default;
+
+    /**
+     * Resolve coherence for a request about to be satisfied at the
+     * shared level: invalidate or downgrade remote private copies and
+     * update the directory.
+     *
+     * @param req The request (core + command).
+     * @param[out] grant_ownership For reads: true if the block may be
+     *             returned Exclusive (no other sharer). Ownership
+     *             requests always end up granted.
+     * @return Extra cycles of latency (remote probes) to charge.
+     */
+    virtual Cycle resolve(const MemRequest &req, bool &grant_ownership) = 0;
+
+    /** The shared level evicted this block (inclusion enforcement has
+     *  already invalidated private copies). */
+    virtual void evicted(Addr block_addr) = 0;
+};
+
+} // namespace spburst

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Directory-based MESI coherence for multicore systems.
+ *
+ * The directory lives beside the shared L3 and tracks, per block, which
+ * cores' private hierarchies may hold a copy and which core (if any)
+ * owns it. Ownership requests (GetX / WritePF / GetPFx) invalidate
+ * remote copies; reads downgrade a remote owner. Remote probes cost a
+ * fixed round-trip latency, charged to the requester.
+ *
+ * Sharer information can be stale after silent private evictions; a
+ * probe to a core that no longer holds the block is a harmless no-op
+ * (the latency is charged regardless, a conservative approximation).
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hh"
+#include "mem/cache_controller.hh"
+#include "mem/coherence_hub.hh"
+
+namespace spburst
+{
+
+/** Per-core private hierarchy handles the directory can probe. */
+struct CorePorts
+{
+    CacheController *l1d = nullptr;
+    CacheController *l2 = nullptr;
+};
+
+/** Directory statistics. */
+struct DirectoryStats
+{
+    std::uint64_t invalidations = 0;   //!< remote copies invalidated
+    std::uint64_t invalidationsBySpb = 0; //!< caused by SPB bursts
+    std::uint64_t downgrades = 0;      //!< M -> S on remote read
+    std::uint64_t dirtyProbes = 0;     //!< probes that hit dirty data
+};
+
+/** MESI directory attached to the shared L3. */
+class DirectoryController : public CoherenceHub
+{
+  public:
+    explicit DirectoryController(Cycle remote_latency);
+
+    /** Register one core's private hierarchy (in core-id order). */
+    void addCore(const CorePorts &ports);
+
+    Cycle resolve(const MemRequest &req, bool &grant_ownership) override;
+    void evicted(Addr block_addr) override;
+
+    const DirectoryStats &stats() const { return stats_; }
+
+    /** Directory view of a block (for invariant tests). */
+    struct Entry
+    {
+        std::uint64_t sharers = 0; //!< bitmask of cores
+        int owner = -1;            //!< core with E/M, or -1
+    };
+
+    /** Lookup for tests; returns a default entry if untracked. */
+    Entry lookup(Addr block_addr) const;
+
+  private:
+    Cycle remoteLatency_;
+    std::vector<CorePorts> cores_;
+    std::unordered_map<Addr, Entry> dir_;
+    DirectoryStats stats_;
+};
+
+} // namespace spburst

@@ -1,0 +1,44 @@
+#include "mem/dram.hh"
+
+#include "common/logging.hh"
+
+namespace spburst
+{
+
+DramModel::DramModel(const DramParams &params, SimClock *clock)
+    : params_(params), clock_(clock),
+      busyUntil_(static_cast<std::size_t>(params.channels), 0)
+{
+    SPB_ASSERT(clock != nullptr, "DRAM model needs a clock");
+    SPB_ASSERT(params.channels > 0, "DRAM needs at least one channel");
+}
+
+Cycle
+DramModel::occupyChannel()
+{
+    std::size_t best = 0;
+    for (std::size_t c = 1; c < busyUntil_.size(); ++c) {
+        if (busyUntil_[c] < busyUntil_[best])
+            best = c;
+    }
+    const Cycle start = std::max(clock_->now, busyUntil_[best]);
+    busyUntil_[best] = start + params_.blockOccupancy;
+    queueDelay_ += start - clock_->now;
+    return start;
+}
+
+Cycle
+DramModel::read()
+{
+    ++reads_;
+    return occupyChannel() + params_.latency;
+}
+
+void
+DramModel::write()
+{
+    ++writes_;
+    occupyChannel();
+}
+
+} // namespace spburst

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Main-memory model: fixed access latency plus per-channel bandwidth
+ * (each block transfer occupies its channel for a few cycles). This is
+ * the "beyond L3" stage of the hierarchy; it is what makes SB-filling
+ * store bursts expensive and what bounds how fast an SPB burst can be
+ * filled.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/clock.hh"
+#include "common/types.hh"
+
+namespace spburst
+{
+
+/** DRAM timing knobs. */
+struct DramParams
+{
+    Cycle latency = 160;        //!< load-to-use latency beyond L3
+    Cycle blockOccupancy = 4;   //!< channel busy cycles per block
+    int channels = 2;           //!< independent channels
+};
+
+/** Simple latency/bandwidth DRAM model. */
+class DramModel
+{
+  public:
+    DramModel(const DramParams &params, SimClock *clock);
+
+    /** Issue a block read; returns the cycle its data is available. */
+    Cycle read();
+
+    /** Issue a block writeback; consumes channel bandwidth only. */
+    void write();
+
+    std::uint64_t reads() const { return reads_; }
+    std::uint64_t writes() const { return writes_; }
+
+    /** Cycles a just-issued read spent queued behind channel traffic
+     *  (aggregate, for bandwidth-pressure diagnostics). */
+    std::uint64_t queueDelay() const { return queueDelay_; }
+
+  private:
+    /** Pick the channel that frees up first and occupy it. */
+    Cycle occupyChannel();
+
+    DramParams params_;
+    SimClock *clock_;
+    std::vector<Cycle> busyUntil_;
+    std::uint64_t reads_ = 0;
+    std::uint64_t writes_ = 0;
+    std::uint64_t queueDelay_ = 0;
+};
+
+} // namespace spburst

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * MemLevel adapter over the DRAM model: the bottom of every hierarchy.
+ * Memory always grants ownership — there is no one below to share with.
+ */
+
+#pragma once
+
+#include "common/clock.hh"
+#include "mem/dram.hh"
+#include "mem/level.hh"
+
+namespace spburst
+{
+
+/** DRAM as the terminal memory level. */
+class DramLevel : public MemLevel
+{
+  public:
+    DramLevel(DramModel *dram, SimClock *clock) : dram_(dram), clock_(clock)
+    {
+    }
+
+    void
+    request(const MemRequest &req, FillCallback done) override
+    {
+        (void)req;
+        const Cycle ready = dram_->read();
+        if (done)
+            clock_->events.schedule(ready, [done] { done(true); });
+    }
+
+    void
+    writeback(Addr block_addr, int core) override
+    {
+        (void)block_addr;
+        (void)core;
+        dram_->write();
+    }
+
+  private:
+    DramModel *dram_;
+    SimClock *clock_;
+};
+
+} // namespace spburst

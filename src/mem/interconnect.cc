@@ -1,0 +1,38 @@
+#include "mem/interconnect.hh"
+
+#include "common/logging.hh"
+
+namespace spburst
+{
+
+Interconnect::Interconnect(MemLevel *below, Cycle one_way, SimClock *clock)
+    : below_(below), oneWay_(one_way), clock_(clock)
+{
+    SPB_ASSERT(below != nullptr && clock != nullptr,
+               "interconnect needs a far side and a clock");
+}
+
+void
+Interconnect::request(const MemRequest &req, FillCallback done)
+{
+    ++requestMessages_;
+    clock_->events.schedule(clock_->now + oneWay_, [this, req,
+                                                    done = std::move(done)] {
+        below_->request(req, [this, done](bool ownership) {
+            ++responseMessages_;
+            clock_->events.schedule(clock_->now + oneWay_,
+                                    [done, ownership] { done(ownership); });
+        });
+    });
+}
+
+void
+Interconnect::writeback(Addr block_addr, int core)
+{
+    ++writebackMessages_;
+    clock_->events.schedule(clock_->now + oneWay_, [this, block_addr, core] {
+        below_->writeback(block_addr, core);
+    });
+}
+
+} // namespace spburst

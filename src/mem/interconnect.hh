@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Point-to-point interconnect hop between cache levels: a fixed
+ * one-way latency plus message counting (the "network traffic" the
+ * paper tracks when quantifying SPB's overhead).
+ */
+
+#pragma once
+
+#include <cstdint>
+
+#include "common/clock.hh"
+#include "mem/level.hh"
+
+namespace spburst
+{
+
+/** Latency + accounting wrapper around the level below. */
+class Interconnect : public MemLevel
+{
+  public:
+    /**
+     * @param below    The level on the far side.
+     * @param one_way  Cycles per direction.
+     * @param clock    Shared clock.
+     */
+    Interconnect(MemLevel *below, Cycle one_way, SimClock *clock);
+
+    void request(const MemRequest &req, FillCallback done) override;
+    void writeback(Addr block_addr, int core) override;
+
+    std::uint64_t requestMessages() const { return requestMessages_; }
+    std::uint64_t responseMessages() const { return responseMessages_; }
+    std::uint64_t writebackMessages() const { return writebackMessages_; }
+
+  private:
+    MemLevel *below_;
+    Cycle oneWay_;
+    SimClock *clock_;
+    std::uint64_t requestMessages_ = 0;
+    std::uint64_t responseMessages_ = 0;
+    std::uint64_t writebackMessages_ = 0;
+};
+
+} // namespace spburst

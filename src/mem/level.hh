@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Interface between adjacent levels of the memory hierarchy.
+ *
+ * A level's `request` either supplies the block from its own array or
+ * recurses into the level below; the fill callback reports whether the
+ * block came back with write permission (MESI E/M) — the information
+ * the store buffer and the SPB machinery ultimately care about.
+ */
+
+#pragma once
+
+#include <functional>
+
+#include "common/types.hh"
+#include "mem/request.hh"
+
+namespace spburst
+{
+
+/** Fill completion: @p ownership_granted is true when the block arrives
+ *  with write permission (E/M). */
+using FillCallback = std::function<void(bool ownership_granted)>;
+
+/** One level of the memory hierarchy as seen from above. */
+class MemLevel
+{
+  public:
+    virtual ~MemLevel() = default;
+
+    /**
+     * Request a block (and ownership when the command demands it).
+     * @param req  The block-granular request.
+     * @param done Runs when data (and permission) is available to the
+     *             requesting level.
+     */
+    virtual void request(const MemRequest &req, FillCallback done) = 0;
+
+    /** Accept a dirty-block writeback from the level above. */
+    virtual void writeback(Addr block_addr, int core) = 0;
+};
+
+} // namespace spburst

@@ -1,0 +1,45 @@
+#include "mem/mshr.hh"
+
+#include "common/logging.hh"
+
+namespace spburst
+{
+
+MshrFile::MshrFile(std::size_t capacity) : capacity_(capacity)
+{
+    SPB_ASSERT(capacity > 0, "MSHR file needs at least one entry");
+}
+
+MshrEntry *
+MshrFile::find(Addr block_addr)
+{
+    auto it = entries_.find(blockAlign(block_addr));
+    return it == entries_.end() ? nullptr : &it->second;
+}
+
+MshrEntry *
+MshrFile::allocate(Addr block_addr, MemCmd cmd, Cycle now)
+{
+    const Addr aligned = blockAlign(block_addr);
+    SPB_ASSERT(entries_.find(aligned) == entries_.end(),
+               "MSHR double allocation for block %#lx",
+               static_cast<unsigned long>(aligned));
+    if (full())
+        return nullptr;
+    MshrEntry &e = entries_[aligned];
+    e.blockAddr = aligned;
+    e.firstCmd = cmd;
+    e.ownershipRequested = wantsOwnership(cmd);
+    e.allocCycle = now;
+    return &e;
+}
+
+void
+MshrFile::deallocate(Addr block_addr)
+{
+    const auto erased = entries_.erase(blockAlign(block_addr));
+    SPB_ASSERT(erased == 1, "MSHR deallocate of absent block %#lx",
+               static_cast<unsigned long>(blockAlign(block_addr)));
+}
+
+} // namespace spburst

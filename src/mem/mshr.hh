@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Miss Status Holding Registers.
+ *
+ * One MSHR entry tracks one outstanding block miss at one cache level;
+ * later requests to the same block merge as extra targets. The MSHR
+ * count bounds the memory-level parallelism of a cache (64 per cache in
+ * the paper's configuration) — it is what ultimately caps how much of
+ * an SPB burst can be in flight at once.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hh"
+#include "mem/level.hh"
+#include "mem/request.hh"
+
+namespace spburst
+{
+
+/** A requester waiting on an in-flight miss. */
+struct MshrTarget
+{
+    bool needsOwnership = false; //!< must wait for write permission
+    bool isPrefetch = false;     //!< no one is architecturally waiting
+    bool demandLoad = false;     //!< counts toward load miss latency
+    Cycle queuedAt = 0;          //!< cycle the target joined the entry
+    FillCallback done;           //!< completion callback (may be empty)
+};
+
+/** One outstanding miss. */
+struct MshrEntry
+{
+    Addr blockAddr = kInvalidAddr;
+    bool ownershipRequested = false; //!< in-flight request wants M/E
+    bool lateCounted = false;   //!< already classified as a late prefetch
+    MemCmd firstCmd = MemCmd::ReadReq; //!< command that allocated it
+    Cycle allocCycle = 0;
+    Cycle extraLatency = 0;     //!< coherence-hub latency (shared level)
+    bool sharedGrant = true;    //!< hub's read-ownership decision
+    std::vector<MshrTarget> targets;
+};
+
+/** Fixed-capacity MSHR file with block-address lookup. */
+class MshrFile
+{
+  public:
+    explicit MshrFile(std::size_t capacity);
+
+    /** Entry for @p block_addr if a miss is outstanding, else nullptr. */
+    MshrEntry *find(Addr block_addr);
+
+    /**
+     * Allocate an entry for a new miss.
+     * @return the new entry, or nullptr if the file is full.
+     */
+    MshrEntry *allocate(Addr block_addr, MemCmd cmd, Cycle now);
+
+    /** Release the entry for @p block_addr (must exist). */
+    void deallocate(Addr block_addr);
+
+    bool full() const { return entries_.size() >= capacity_; }
+    std::size_t inUse() const { return entries_.size(); }
+    std::size_t capacity() const { return capacity_; }
+
+  private:
+    std::size_t capacity_;
+    std::unordered_map<Addr, MshrEntry> entries_;
+};
+
+} // namespace spburst

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Interface the L1D controller uses to drive a cache prefetcher.
+ * Implementations live in src/prefetch; the mem library depends only on
+ * this abstract view.
+ */
+
+#pragma once
+
+#include <vector>
+
+#include "common/types.hh"
+#include "mem/request.hh"
+
+namespace spburst
+{
+
+/** Outcome feedback for adaptive prefetchers. */
+struct PrefetchFeedback
+{
+    bool usefulHit = false;   //!< a demand hit a prefetched block
+    bool latePrefetch = false; //!< demand merged into in-flight prefetch
+    bool pollutionEvict = false; //!< prefetched block evicted unused
+};
+
+/** Abstract L1 cache prefetcher (stream/stride/FDP implementations). */
+class PrefetcherIface
+{
+  public:
+    virtual ~PrefetcherIface() = default;
+
+    /**
+     * Observe a demand access at the L1D.
+     *
+     * @param req The demand request (loads and store drains).
+     * @param hit Whether it hit in the L1D.
+     * @param[out] out Block addresses the prefetcher wants fetched
+     *                 (appended; issued as ReadPF requests).
+     */
+    virtual void notifyAccess(const MemRequest &req, bool hit,
+                              std::vector<Addr> &out) = 0;
+
+    /** Feedback about prefetch usefulness (FDP throttling input). */
+    virtual void notifyFeedback(const PrefetchFeedback &feedback)
+    {
+        (void)feedback;
+    }
+};
+
+} // namespace spburst

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Memory request vocabulary.
+ *
+ * The command set mirrors the messages in the paper's running example
+ * (Fig. 4): demand loads (GetS), demand store-ownership requests (GetX,
+ * issued when the SB head drains into a block the L1 does not own),
+ * write-prefetches (WritePF — the at-commit / at-execute prefetch for
+ * ownership), SPB burst elements (GetPFx), and load prefetches from the
+ * L1 cache prefetcher.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "common/types.hh"
+#include "trace/uop.hh"
+
+namespace spburst
+{
+
+/** Kind of memory request. */
+enum class MemCmd : std::uint8_t
+{
+    ReadReq,     //!< demand load (GetS)
+    ReadPF,      //!< load prefetch from the L1 cache prefetcher
+    WriteOwnReq, //!< demand ownership for the draining SB head (GetX)
+    StorePF,     //!< at-commit / at-execute prefetch for ownership (WritePF)
+    SpbPF,       //!< SPB burst element (GetPFx)
+    Writeback,   //!< dirty-block writeback to the level below
+};
+
+/** Human-readable command name. */
+const char *memCmdName(MemCmd cmd);
+
+/** True for the three prefetch flavours. */
+constexpr bool
+isPrefetch(MemCmd cmd)
+{
+    return cmd == MemCmd::ReadPF || cmd == MemCmd::StorePF ||
+           cmd == MemCmd::SpbPF;
+}
+
+/** True if the request must return the block with write permission. */
+constexpr bool
+wantsOwnership(MemCmd cmd)
+{
+    return cmd == MemCmd::WriteOwnReq || cmd == MemCmd::StorePF ||
+           cmd == MemCmd::SpbPF;
+}
+
+/** True for prefetches that request ownership (store prefetches). */
+constexpr bool
+isStorePrefetch(MemCmd cmd)
+{
+    return cmd == MemCmd::StorePF || cmd == MemCmd::SpbPF;
+}
+
+/** One block-granular memory request. */
+struct MemRequest
+{
+    MemCmd cmd = MemCmd::ReadReq;
+    Addr blockAddr = 0;          //!< block-aligned address
+    int core = 0;                //!< issuing core
+    Region region = Region::App; //!< code region of the causing uop
+    bool wrongPath = false;      //!< issued from a misspeculated path
+};
+
+/** Completion callback: invoked when the request's data/permission is
+ *  available at the requesting level. */
+using MemCallback = std::function<void()>;
+
+} // namespace spburst

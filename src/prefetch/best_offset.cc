@@ -1,0 +1,95 @@
+#include "prefetch/best_offset.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace spburst
+{
+
+const std::vector<int> &
+BestOffsetPrefetcher::candidateOffsets()
+{
+    // Offsets with prime factors {2,3,5} up to 64, as in Michaud's
+    // design (truncated list).
+    static const std::vector<int> offsets{
+        1, 2, 3, 4, 5, 6, 8, 9, 10, 12, 15, 16,
+        18, 20, 24, 25, 27, 30, 32, 36, 40, 45, 48, 64,
+    };
+    return offsets;
+}
+
+BestOffsetPrefetcher::BestOffsetPrefetcher(const BestOffsetParams &params)
+    : params_(params),
+      rrTable_(params.rrEntries, kInvalidAddr),
+      scores_(candidateOffsets().size(), 0)
+{
+    SPB_ASSERT(params.rrEntries > 0, "BOP needs a recent-request table");
+}
+
+void
+BestOffsetPrefetcher::recordRecent(Addr block)
+{
+    rrTable_[block % rrTable_.size()] = block;
+}
+
+bool
+BestOffsetPrefetcher::wasRecent(Addr block) const
+{
+    return rrTable_[block % rrTable_.size()] == block;
+}
+
+void
+BestOffsetPrefetcher::endRound()
+{
+    ++stats_.rounds;
+    const auto &offsets = candidateOffsets();
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < scores_.size(); ++i)
+        if (scores_[i] > scores_[best])
+            best = i;
+    stats_.lastBestScore = scores_[best];
+    if (scores_[best] < params_.badScore) {
+        currentOffset_ = 0; // not enough regularity: stop prefetching
+        ++stats_.offChanges;
+    } else {
+        currentOffset_ = offsets[best];
+    }
+    stats_.lastBestOffset = currentOffset_;
+    std::fill(scores_.begin(), scores_.end(), 0);
+    roundAccesses_ = 0;
+    testIndex_ = 0;
+}
+
+void
+BestOffsetPrefetcher::notifyAccess(const MemRequest &req, bool hit,
+                                   std::vector<Addr> &out)
+{
+    (void)hit; // BOP trains on the full demand stream at this level
+    const Addr block = blockNumber(req.blockAddr);
+    const auto &offsets = candidateOffsets();
+
+    // Learning: test the next candidate offset against this access.
+    const int test_offset = offsets[testIndex_];
+    if (block >= static_cast<Addr>(test_offset) &&
+        wasRecent(block - static_cast<Addr>(test_offset))) {
+        unsigned &score = scores_[testIndex_];
+        if (++score >= params_.scoreMax) {
+            endRound();
+        }
+    }
+    testIndex_ = (testIndex_ + 1) % offsets.size();
+    if (testIndex_ == 0 && ++roundAccesses_ >= params_.roundMax)
+        endRound();
+
+    recordRecent(block);
+
+    // Prefetching with the current winner.
+    if (currentOffset_ > 0) {
+        out.push_back((block + static_cast<Addr>(currentOffset_))
+                      << kBlockShift);
+        ++stats_.issued;
+    }
+}
+
+} // namespace spburst

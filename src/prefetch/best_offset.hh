@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Best-Offset prefetcher (Michaud, HPCA 2016 — the paper's reference
+ * [19]), in a compact form suitable for the L2.
+ *
+ * BOP learns the best prefetch offset by testing candidate offsets
+ * against a table of recently requested base addresses: when a demand
+ * for block X arrives and X - O was recently requested, offset O gets
+ * a point. The learning phase runs in rounds; the winning offset is
+ * used for prefetching during the next round, or prefetching is
+ * disabled if no offset scores above the noise floor.
+ */
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "mem/prefetcher_iface.hh"
+
+namespace spburst
+{
+
+/** Tuning knobs of the best-offset prefetcher. */
+struct BestOffsetParams
+{
+    unsigned scoreMax = 31;     //!< early round termination score
+    unsigned badScore = 4;      //!< below this the prefetcher turns off
+    unsigned roundMax = 100;    //!< accesses per offset per round
+    unsigned rrEntries = 64;    //!< recent-requests table size
+};
+
+/** Statistics of a BestOffsetPrefetcher instance. */
+struct BestOffsetStats
+{
+    std::uint64_t rounds = 0;       //!< learning rounds completed
+    std::uint64_t issued = 0;       //!< prefetches emitted
+    std::uint64_t offChanges = 0;   //!< rounds ending with PF disabled
+    int lastBestOffset = 0;         //!< winning offset of the last round
+    unsigned lastBestScore = 0;
+};
+
+/** The best-offset prefetch engine. */
+class BestOffsetPrefetcher : public PrefetcherIface
+{
+  public:
+    explicit BestOffsetPrefetcher(
+        const BestOffsetParams &params = BestOffsetParams{});
+
+    void notifyAccess(const MemRequest &req, bool hit,
+                      std::vector<Addr> &out) override;
+
+    const BestOffsetStats &stats() const { return stats_; }
+
+    /** Currently selected offset (0 = prefetching disabled). */
+    int currentOffset() const { return currentOffset_; }
+
+    /** The candidate offset list (Michaud's low-prime-factor set). */
+    static const std::vector<int> &candidateOffsets();
+
+  private:
+    void recordRecent(Addr block);
+    bool wasRecent(Addr block) const;
+    void endRound();
+
+    BestOffsetParams params_;
+    std::vector<Addr> rrTable_;   //!< recent base blocks (direct-mapped)
+    std::vector<unsigned> scores_; //!< per-candidate scores this round
+    std::size_t testIndex_ = 0;   //!< next candidate to test
+    unsigned roundAccesses_ = 0;
+    int currentOffset_ = 1;       //!< 0 disables prefetching
+    BestOffsetStats stats_;
+};
+
+} // namespace spburst

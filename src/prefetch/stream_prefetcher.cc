@@ -1,0 +1,183 @@
+#include "prefetch/stream_prefetcher.hh"
+
+#include "common/logging.hh"
+
+namespace spburst
+{
+
+namespace
+{
+
+/** Feedback-directed aggressiveness ladder (degree, distance). */
+constexpr struct
+{
+    unsigned degree;
+    unsigned distance;
+} kLadder[] = {
+    {1, 1},  // very conservative (== Stream mode)
+    {1, 4},
+    {2, 8},
+    {4, 16}, // default Adaptive start
+    {4, 32},
+    {8, 48}, // == Aggressive mode operating point
+};
+constexpr unsigned kLadderSize = sizeof(kLadder) / sizeof(kLadder[0]);
+constexpr unsigned kAggressiveLevel = kLadderSize - 1;
+constexpr unsigned kAdaptiveStart = 3;
+
+// FDP-style thresholds.
+constexpr double kAccHigh = 0.75;
+constexpr double kAccLow = 0.40;
+constexpr double kPollutionHigh = 0.25;
+constexpr double kLateHigh = 0.10;
+
+} // namespace
+
+const char *
+prefetcherModeName(PrefetcherMode mode)
+{
+    switch (mode) {
+      case PrefetcherMode::Stream: return "stream";
+      case PrefetcherMode::Aggressive: return "aggressive";
+      case PrefetcherMode::Adaptive: return "adaptive";
+    }
+    return "?";
+}
+
+StreamPrefetcher::StreamPrefetcher(PrefetcherMode mode)
+    : mode_(mode),
+      level_(mode == PrefetcherMode::Stream
+                 ? 0
+                 : (mode == PrefetcherMode::Aggressive ? kAggressiveLevel
+                                                       : kAdaptiveStart))
+{
+}
+
+unsigned
+StreamPrefetcher::degree() const
+{
+    return kLadder[level_].degree;
+}
+
+unsigned
+StreamPrefetcher::distance() const
+{
+    return kLadder[level_].distance;
+}
+
+StreamPrefetcher::Stream *
+StreamPrefetcher::findStream(Addr block)
+{
+    for (auto &s : table_) {
+        if (!s.valid)
+            continue;
+        // Ascending streams: match the same block or a small forward
+        // skip (covers unrolled/shuffled access order).
+        if (block >= s.lastBlock && block <= s.lastBlock + 2)
+            return &s;
+    }
+    return nullptr;
+}
+
+StreamPrefetcher::Stream *
+StreamPrefetcher::allocStream(Addr block)
+{
+    Stream *victim = &table_[0];
+    for (auto &s : table_) {
+        if (!s.valid)
+            return &s;
+        if (s.lastUse < victim->lastUse)
+            victim = &s;
+    }
+    (void)block;
+    return victim;
+}
+
+void
+StreamPrefetcher::notifyAccess(const MemRequest &req, bool hit,
+                               std::vector<Addr> &out)
+{
+    (void)hit; // streams train on every demand access
+    const Addr block = blockNumber(req.blockAddr);
+
+    Stream *s = findStream(block);
+    if (!s) {
+        s = allocStream(block);
+        s->valid = true;
+        s->lastBlock = block;
+        s->cursor = block;
+        s->confidence = 0;
+        s->lastUse = ++useClock_;
+        return;
+    }
+
+    s->lastUse = ++useClock_;
+    if (block > s->lastBlock)
+        ++s->confidence;
+    s->lastBlock = block;
+    if (s->confidence < kTrainThreshold)
+        return;
+
+    ++stats_.trainings;
+    const Addr want = block + distance();
+    unsigned emitted = 0;
+    if (s->cursor < block)
+        s->cursor = block;
+    while (s->cursor < want && emitted < degree()) {
+        ++s->cursor;
+        out.push_back(s->cursor << kBlockShift);
+        ++emitted;
+    }
+    stats_.issued += emitted;
+    intervalIssued_ += emitted;
+}
+
+void
+StreamPrefetcher::notifyFeedback(const PrefetchFeedback &feedback)
+{
+    if (feedback.usefulHit) {
+        ++stats_.usefulHits;
+        ++intervalUseful_;
+    }
+    if (feedback.latePrefetch) {
+        ++stats_.late;
+        ++intervalLate_;
+    }
+    if (feedback.pollutionEvict) {
+        ++stats_.pollution;
+        ++intervalPollution_;
+    }
+    ++intervalEvents_;
+    if (mode_ == PrefetcherMode::Adaptive &&
+        intervalEvents_ >= kAdaptInterval) {
+        maybeAdapt();
+    }
+}
+
+void
+StreamPrefetcher::maybeAdapt()
+{
+    const double issued = static_cast<double>(
+        intervalIssued_ == 0 ? 1 : intervalIssued_);
+    const double accuracy = static_cast<double>(intervalUseful_) / issued;
+    const double pollution =
+        static_cast<double>(intervalPollution_) / issued;
+    const double lateness = static_cast<double>(intervalLate_) / issued;
+
+    if ((accuracy < kAccLow || pollution > kPollutionHigh) && level_ > 0) {
+        --level_;
+        ++stats_.throttleDowns;
+    } else if (accuracy > kAccHigh && lateness > kLateHigh &&
+               level_ + 1 < kLadderSize) {
+        ++level_;
+        ++stats_.throttleUps;
+    }
+
+    intervalIssued_ = 0;
+    intervalUseful_ = 0;
+    intervalLate_ = 0;
+    intervalPollution_ = 0;
+    intervalEvents_ = 0;
+}
+
+} // namespace spburst

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * L1 stream (stride) prefetcher, plus the feedback-directed variants of
+ * Srinath et al. [HPCA'07] the paper compares against in Fig. 16.
+ *
+ * All three configurations share the same stream-detection engine; they
+ * differ in prefetch degree/distance policy:
+ *
+ *  - Stream:     fixed degree 1, distance 1 — the paper's baseline
+ *                ("L1 prefetcher may only prefetch the next block").
+ *  - Aggressive: fixed high degree/distance.
+ *  - Adaptive:   degree/distance move along an aggressiveness ladder
+ *                driven by accuracy / lateness / pollution feedback
+ *                (feedback-directed prefetching).
+ */
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "mem/prefetcher_iface.hh"
+
+namespace spburst
+{
+
+/** Which degree/distance policy a StreamPrefetcher uses. */
+enum class PrefetcherMode : std::uint8_t
+{
+    Stream,     //!< baseline next-block stream prefetcher
+    Aggressive, //!< fixed high degree (FDP "very aggressive" point)
+    Adaptive,   //!< feedback-directed throttling
+};
+
+/** Human-readable mode name. */
+const char *prefetcherModeName(PrefetcherMode mode);
+
+/** Statistics of a stream prefetcher instance. */
+struct StreamPrefetcherStats
+{
+    std::uint64_t trainings = 0;  //!< accesses that matched a stream
+    std::uint64_t issued = 0;     //!< prefetch addresses emitted
+    std::uint64_t usefulHits = 0; //!< feedback: demand hit prefetched blk
+    std::uint64_t late = 0;       //!< feedback: in-flight when demanded
+    std::uint64_t pollution = 0;  //!< feedback: evicted unused
+    std::uint64_t throttleUps = 0;
+    std::uint64_t throttleDowns = 0;
+};
+
+/** Stream/stride prefetcher with optional feedback-directed throttling. */
+class StreamPrefetcher : public PrefetcherIface
+{
+  public:
+    explicit StreamPrefetcher(PrefetcherMode mode);
+
+    void notifyAccess(const MemRequest &req, bool hit,
+                      std::vector<Addr> &out) override;
+    void notifyFeedback(const PrefetchFeedback &feedback) override;
+
+    PrefetcherMode mode() const { return mode_; }
+    const StreamPrefetcherStats &stats() const { return stats_; }
+
+    /** Current (degree, distance) operating point. */
+    unsigned degree() const;
+    unsigned distance() const;
+
+    /** Current adaptive ladder index (tests). */
+    unsigned aggressivenessLevel() const { return level_; }
+
+  private:
+    struct Stream
+    {
+        Addr lastBlock = kInvalidAddr; //!< last block number seen
+        Addr cursor = 0;               //!< furthest block prefetched
+        int confidence = 0;
+        std::uint64_t lastUse = 0;
+        bool valid = false;
+    };
+
+    /** Aggressiveness ladder: (degree, distance) per level. */
+    struct Level
+    {
+        unsigned degree;
+        unsigned distance;
+    };
+
+    Stream *findStream(Addr block);
+    Stream *allocStream(Addr block);
+    void maybeAdapt();
+
+    static constexpr int kStreams = 16;
+    static constexpr int kTrainThreshold = 2;
+    static constexpr std::uint64_t kAdaptInterval = 2048; // feedback events
+
+    PrefetcherMode mode_;
+    std::array<Stream, kStreams> table_;
+    std::uint64_t useClock_ = 0;
+    unsigned level_; //!< index into the ladder (Adaptive mode)
+
+    // Interval feedback counters (Adaptive mode).
+    std::uint64_t intervalIssued_ = 0;
+    std::uint64_t intervalUseful_ = 0;
+    std::uint64_t intervalLate_ = 0;
+    std::uint64_t intervalPollution_ = 0;
+    std::uint64_t intervalEvents_ = 0;
+
+    StreamPrefetcherStats stats_;
+};
+
+} // namespace spburst

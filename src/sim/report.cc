@@ -1,0 +1,117 @@
+#include "sim/report.hh"
+
+#include <cmath>
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace spburst
+{
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+namespace
+{
+
+/** Render a double the way JSON wants it (no inf/nan). */
+std::string
+jsonNumber(double v)
+{
+    if (!std::isfinite(v))
+        return "null";
+    std::ostringstream os;
+    os.precision(15);
+    os << v;
+    return os.str();
+}
+
+} // namespace
+
+std::string
+toJson(const SimResult &result)
+{
+    const StatSet stats = result.toStatSet();
+    std::ostringstream os;
+    os << "{\"workload\":\"" << jsonEscape(result.workload) << "\"";
+    os << ",\"threads\":" << result.cores.size();
+    for (const auto &[name, value] : stats.entries())
+        os << ",\"" << jsonEscape(name) << "\":" << jsonNumber(value);
+    os << "}";
+    return os.str();
+}
+
+std::string
+toJson(const std::vector<SimResult> &results)
+{
+    std::ostringstream os;
+    os << "[";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        if (i)
+            os << ",\n ";
+        os << toJson(results[i]);
+    }
+    os << "]";
+    return os.str();
+}
+
+std::string
+toCsv(const std::vector<SimResult> &results)
+{
+    // Column union in first-seen order.
+    std::vector<std::string> columns;
+    std::set<std::string> seen;
+    std::vector<StatSet> stats;
+    stats.reserve(results.size());
+    for (const auto &r : results) {
+        stats.push_back(r.toStatSet());
+        for (const auto &[name, value] : stats.back().entries()) {
+            (void)value;
+            if (seen.insert(name).second)
+                columns.push_back(name);
+        }
+    }
+
+    std::ostringstream os;
+    os << "workload";
+    for (const auto &c : columns)
+        os << "," << c;
+    os << "\n";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        os << results[i].workload;
+        for (const auto &c : columns) {
+            os << ",";
+            if (stats[i].has(c)) {
+                std::ostringstream v;
+                v.precision(12);
+                v << stats[i].get(c);
+                os << v.str();
+            }
+        }
+        os << "\n";
+    }
+    return os.str();
+}
+
+} // namespace spburst

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Machine-readable result export: JSON and CSV serialisation of
+ * SimResult / StatSet for downstream analysis (plotting the figures,
+ * regression tracking, spreadsheet import).
+ */
+
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+#include "sim/system.hh"
+
+namespace spburst
+{
+
+/** Serialise one result as a JSON object (flat stats + metadata). */
+std::string toJson(const SimResult &result);
+
+/** Serialise several results as a JSON array. */
+std::string toJson(const std::vector<SimResult> &results);
+
+/**
+ * Serialise results as CSV: one row per result, one column per
+ * statistic (union of names; absent values empty).
+ */
+std::string toCsv(const std::vector<SimResult> &results);
+
+/** Escape a string for inclusion in a JSON document. */
+std::string jsonEscape(const std::string &s);
+
+} // namespace spburst

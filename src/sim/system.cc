@@ -1,0 +1,258 @@
+#include "sim/system.hh"
+
+#include "common/logging.hh"
+
+namespace spburst
+{
+
+const char *
+l1PrefetcherKindName(L1PrefetcherKind kind)
+{
+    switch (kind) {
+      case L1PrefetcherKind::None: return "none";
+      case L1PrefetcherKind::Stream: return "stream";
+      case L1PrefetcherKind::Aggressive: return "aggressive";
+      case L1PrefetcherKind::Adaptive: return "adaptive";
+      case L1PrefetcherKind::BestOffset: return "best-offset";
+    }
+    return "?";
+}
+
+double
+SimResult::ipc() const
+{
+    if (cycles == 0)
+        return 0.0;
+    return static_cast<double>(committedUops()) /
+           static_cast<double>(cycles);
+}
+
+std::uint64_t
+SimResult::committedUops() const
+{
+    std::uint64_t total = 0;
+    for (const auto &c : cores)
+        total += c.committedUops;
+    return total;
+}
+
+double
+SimResult::sbStallRatio() const
+{
+    if (cycles == 0 || cores.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (const auto &c : cores)
+        sum += static_cast<double>(c.sbStalls()) /
+               static_cast<double>(cycles);
+    return sum / static_cast<double>(cores.size());
+}
+
+std::uint64_t
+SimResult::sbStalls() const
+{
+    std::uint64_t total = 0;
+    for (const auto &c : cores)
+        total += c.sbStalls();
+    return total;
+}
+
+std::uint64_t
+SimResult::totalIssueStalls() const
+{
+    std::uint64_t total = 0;
+    for (const auto &c : cores)
+        total += c.totalDispatchStalls();
+    return total;
+}
+
+std::uint64_t
+SimResult::execStallsL1d() const
+{
+    std::uint64_t total = 0;
+    for (const auto &c : cores)
+        total += c.execStallL1dPending;
+    return total;
+}
+
+StatSet
+SimResult::toStatSet() const
+{
+    StatSet s;
+    s.set("cycles", static_cast<double>(cycles));
+    s.set("ipc", ipc());
+    s.set("sb_stall_ratio", sbStallRatio());
+    for (std::size_t c = 0; c < cores.size(); ++c) {
+        s.merge("core" + std::to_string(c) + ".", cores[c].toStatSet());
+        s.merge("l1d" + std::to_string(c) + ".", l1d[c].toStatSet());
+    }
+    s.set("dram.reads", static_cast<double>(dramReads));
+    s.set("dram.writes", static_cast<double>(dramWrites));
+    s.set("energy.cache_dynamic_pj", energy.cacheDynamicPj);
+    s.set("energy.core_dynamic_pj", energy.coreDynamicPj);
+    s.set("energy.leakage_pj", energy.leakagePj);
+    s.set("energy.total_pj", energy.totalPj());
+    return s;
+}
+
+System::System(const SystemConfig &config)
+    : config_(config),
+      mem_([&config] {
+          MemSystemParams m = config.mem;
+          m.cores = config.threads;
+          return m;
+      }(), &clock_)
+{
+    SPB_ASSERT(config_.threads >= 1, "need at least one thread");
+
+    const ProfileParams &profile = findProfile(config_.workload);
+
+    for (int t = 0; t < config_.threads; ++t) {
+        if (config_.l1Prefetcher != L1PrefetcherKind::None) {
+            // The L1 always runs the Table I stream prefetcher; the
+            // aggressive/adaptive FDP schemes are L2 prefetchers (as
+            // in Srinath et al.), trained on the L1 miss stream.
+            prefetchers_.push_back(std::make_unique<StreamPrefetcher>(
+                PrefetcherMode::Stream));
+            mem_.l1d(t).setPrefetcher(prefetchers_.back().get());
+            if (config_.l1Prefetcher == L1PrefetcherKind::Aggressive ||
+                config_.l1Prefetcher == L1PrefetcherKind::Adaptive) {
+                l2Prefetchers_.push_back(
+                    std::make_unique<StreamPrefetcher>(
+                        config_.l1Prefetcher ==
+                                L1PrefetcherKind::Aggressive
+                            ? PrefetcherMode::Aggressive
+                            : PrefetcherMode::Adaptive));
+                mem_.l2(t).setPrefetcher(l2Prefetchers_.back().get());
+            } else if (config_.l1Prefetcher ==
+                       L1PrefetcherKind::BestOffset) {
+                l2Prefetchers_.push_back(
+                    std::make_unique<BestOffsetPrefetcher>());
+                mem_.l2(t).setPrefetcher(l2Prefetchers_.back().get());
+            }
+        }
+
+        traces_.push_back(buildWorkload(profile, config_.seed, t,
+                                        config_.threads));
+
+        CoreConfig cc;
+        cc.params = config_.coreParams;
+        if (config_.sbSize != 0)
+            cc.params.sqSize = config_.sbSize;
+        cc.policy = config_.policy;
+        cc.useSpb = config_.useSpb;
+        cc.spb = config_.spb;
+        cc.idealSb = config_.idealSb;
+        cc.coalescingSb = config_.coalescingSb;
+        cores_.push_back(std::make_unique<Core>(
+            cc, t, &clock_, &mem_.l1d(t), traces_.back().get()));
+    }
+}
+
+System::~System() = default;
+
+void
+System::tickOnce()
+{
+    clock_.tick();
+    for (auto &core : cores_)
+        core->tick();
+}
+
+SimResult
+System::run()
+{
+    const std::uint64_t target = config_.maxUopsPerCore;
+    const std::uint64_t cycle_limit =
+        target * config_.cyclesPerUopLimit + 100'000;
+
+    auto all_done = [&] {
+        for (const auto &core : cores_)
+            if (core->committed() < target)
+                return false;
+        return true;
+    };
+
+    while (!all_done()) {
+        tickOnce();
+        if (clock_.now > cycle_limit) {
+            SPB_FATAL("simulation of '%s' exceeded the cycle limit "
+                      "(%lu cycles, %lu/%lu uops on core 0) — livelock?",
+                      config_.workload.c_str(),
+                      static_cast<unsigned long>(clock_.now),
+                      static_cast<unsigned long>(cores_[0]->committed()),
+                      static_cast<unsigned long>(target));
+        }
+    }
+    mem_.finalizeStats();
+    return snapshot();
+}
+
+SimResult
+System::snapshot()
+{
+    SimResult r;
+    r.workload = config_.workload;
+    r.cycles = clock_.now;
+    for (int t = 0; t < config_.threads; ++t) {
+        r.cores.push_back(cores_[t]->stats());
+        r.sbs.push_back(cores_[t]->storeBuffer().stats());
+        if (const SpbEngine *spb = cores_[t]->spbEngine())
+            r.spbs.push_back(spb->stats());
+        r.l1d.push_back(mem_.l1d(t).stats());
+        r.l2.push_back(mem_.l2(t).stats());
+        if (t < static_cast<int>(prefetchers_.size()) &&
+            prefetchers_[t]) {
+            r.l1pf.push_back(prefetchers_[t]->stats());
+        }
+    }
+    r.l3 = mem_.l3().stats();
+    r.dramReads = mem_.dram().reads();
+    r.dramWrites = mem_.dram().writes();
+    if (auto *dir = mem_.directory())
+        r.directory = dir->stats();
+
+    // Energy: per-core events plus one share of the shared structures.
+    EnergyModel model;
+    for (int t = 0; t < config_.threads; ++t) {
+        EnergyInput in;
+        in.cycles = r.cycles;
+        in.core = &r.cores[t];
+        in.sb = &r.sbs[t];
+        in.sbEntries = cores_[t]->effectiveSbSize();
+        in.l1d = &r.l1d[t];
+        in.l2 = &r.l2[t];
+        if (t == 0) { // shared structures charged once
+            in.l3 = &r.l3;
+            in.dramReads = r.dramReads;
+            in.dramWrites = r.dramWrites;
+        }
+        const EnergyBreakdown e = model.compute(in);
+        r.energy.cacheDynamicPj += e.cacheDynamicPj;
+        r.energy.coreDynamicPj += e.coreDynamicPj;
+        r.energy.leakagePj += e.leakagePj;
+    }
+    return r;
+}
+
+SimResult
+runSystem(const SystemConfig &config)
+{
+    System system(config);
+    return system.run();
+}
+
+SystemConfig
+makeConfig(const std::string &workload, unsigned sb_size,
+           StorePrefetchPolicy policy, bool use_spb, bool ideal_sb)
+{
+    SystemConfig cfg;
+    cfg.workload = workload;
+    cfg.sbSize = sb_size;
+    cfg.policy = policy;
+    cfg.useSpb = use_spb;
+    cfg.idealSb = ideal_sb;
+    return cfg;
+}
+
+} // namespace spburst

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Top-level simulated system: N cores (each with its own trace, store
+ * buffer, optional SPB engine and L1 prefetcher) over the shared memory
+ * hierarchy. This is the entry point examples, tests and benchmark
+ * harnesses use.
+ */
+
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/clock.hh"
+#include "common/stats.hh"
+#include "core/spb.hh"
+#include "cpu/core.hh"
+#include "cpu/params.hh"
+#include "energy/energy_model.hh"
+#include "mem/memory_system.hh"
+#include "prefetch/best_offset.hh"
+#include "prefetch/stream_prefetcher.hh"
+#include "trace/workloads.hh"
+
+namespace spburst
+{
+
+/**
+ * Cache-prefetcher configuration (Fig. 16 axis). Stream is the Table I
+ * L1 prefetcher; Aggressive/Adaptive add an FDP prefetcher at the L2
+ * (as in Srinath et al.) on top of the L1 stream prefetcher.
+ */
+enum class L1PrefetcherKind : std::uint8_t
+{
+    None,
+    Stream,     //!< Table I default
+    Aggressive, //!< + fixed very-aggressive FDP at the L2
+    Adaptive,   //!< + feedback-directed FDP at the L2
+    BestOffset, //!< + best-offset prefetcher [19] at the L2 (extension)
+};
+
+/** Human-readable prefetcher-kind name. */
+const char *l1PrefetcherKindName(L1PrefetcherKind kind);
+
+/** Complete configuration of one simulation run. */
+struct SystemConfig
+{
+    CoreParams coreParams = skylakeParams();
+    StorePrefetchPolicy policy = StorePrefetchPolicy::AtCommit;
+    bool useSpb = false;
+    SpbParams spb;
+    bool idealSb = false;
+    /** Non-speculative store coalescing in the SB (related work [24]). */
+    bool coalescingSb = false;
+    /** Convenience override for coreParams.sqSize (the SB under study;
+     *  0 keeps coreParams.sqSize). */
+    unsigned sbSize = 0;
+    L1PrefetcherKind l1Prefetcher = L1PrefetcherKind::Stream;
+    MemSystemParams mem = MemSystemParams::tableI();
+    std::string workload = "x264";
+    int threads = 1;
+    std::uint64_t seed = 1;
+    std::uint64_t maxUopsPerCore = 400'000;
+    /** Safety net: abort after maxUopsPerCore * this many cycles. */
+    std::uint64_t cyclesPerUopLimit = 400;
+};
+
+/** Everything a run produced. */
+struct SimResult
+{
+    std::string workload;
+    std::uint64_t cycles = 0;
+    std::vector<CoreStats> cores;
+    std::vector<StoreBufferStats> sbs;
+    std::vector<SpbStats> spbs;           //!< empty unless SPB enabled
+    std::vector<CacheStats> l1d;
+    std::vector<CacheStats> l2;
+    CacheStats l3;
+    std::uint64_t dramReads = 0;
+    std::uint64_t dramWrites = 0;
+    DirectoryStats directory;             //!< zeros on single core
+    std::vector<StreamPrefetcherStats> l1pf;
+    EnergyBreakdown energy;               //!< whole system
+
+    /** Committed uops per cycle, summed over cores. */
+    double ipc() const;
+
+    /** Total committed uops. */
+    std::uint64_t committedUops() const;
+
+    /** Fraction of dispatch-stall cycles caused by a full SB,
+     *  relative to total cycles (Fig. 1 metric), averaged over cores. */
+    double sbStallRatio() const;
+
+    /** Aggregate SB-induced dispatch stalls over cores. */
+    std::uint64_t sbStalls() const;
+
+    /** Aggregate dispatch stalls over cores and resources. */
+    std::uint64_t totalIssueStalls() const;
+
+    /** Aggregate execution stalls with L1D misses pending. */
+    std::uint64_t execStallsL1d() const;
+
+    /** Flatten into named statistics. */
+    StatSet toStatSet() const;
+};
+
+/** A fully wired simulated machine. */
+class System
+{
+  public:
+    explicit System(const SystemConfig &config);
+    ~System();
+
+    /** Run to completion (every core commits maxUopsPerCore). */
+    SimResult run();
+
+    /** Advance one cycle (fine-grained control for tests/examples). */
+    void tickOnce();
+
+    /** Per-core accessors for tests and examples. */
+    Core &core(int i) { return *cores_.at(i); }
+    MemorySystem &memory() { return mem_; }
+    SimClock &clock() { return clock_; }
+
+    /** Collect results so far without running further. */
+    SimResult snapshot();
+
+    const SystemConfig &config() const { return config_; }
+
+  private:
+    SystemConfig config_;
+    SimClock clock_;
+    MemorySystem mem_;
+    std::vector<std::unique_ptr<StreamPrefetcher>> prefetchers_;
+    std::vector<std::unique_ptr<PrefetcherIface>> l2Prefetchers_;
+    std::vector<std::unique_ptr<TraceSource>> traces_;
+    std::vector<std::unique_ptr<Core>> cores_;
+};
+
+/** Build, run, and return the result in one call. */
+SimResult runSystem(const SystemConfig &config);
+
+/**
+ * Convenience config builder used throughout benches and tests:
+ * Table I system with @p workload, SB size @p sb_size, policy
+ * @p policy, optional SPB / ideal-SB flags.
+ */
+SystemConfig makeConfig(const std::string &workload, unsigned sb_size,
+                        StorePrefetchPolicy policy, bool use_spb = false,
+                        bool ideal_sb = false);
+
+} // namespace spburst

@@ -1,0 +1,326 @@
+#include "trace/segments.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace spburst
+{
+
+namespace
+{
+
+/** Slot value meaning "segment exhausted". */
+constexpr std::uint64_t kDoneSlot = ~0ULL;
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// StoreBurstSegment
+// ---------------------------------------------------------------------
+
+StoreBurstSegment::StoreBurstSegment(Addr start, std::uint64_t bytes,
+                                     std::uint8_t store_size, Region region,
+                                     std::uint64_t pc_base, bool shuffled,
+                                     bool descending)
+    : start_(start),
+      numStores_(bytes / store_size),
+      storeSize_(store_size),
+      region_(region),
+      pcBase_(pc_base),
+      shuffled_(shuffled),
+      descending_(descending)
+{
+    SPB_ASSERT(store_size > 0 && kBlockSize % store_size == 0,
+               "store size %u must divide the block size", store_size);
+    if (numStores_ == 0)
+        numStores_ = 1;
+}
+
+Addr
+StoreBurstSegment::storeAddr(std::uint64_t index) const
+{
+    if (descending_)
+        index = numStores_ - 1 - index;
+    if (!shuffled_)
+        return start_ + index * storeSize_;
+    // Interleave the stores of two adjacent blocks: the loop-unrolled
+    // order 0,B,1,B+1,... covers every byte but the raw address stream
+    // is not monotonic (roms-style shuffling, paper Sec. IV).
+    const std::uint64_t spb = kBlockSize / storeSize_; // stores per block
+    const std::uint64_t group = 2 * spb;
+    const std::uint64_t j = index % group;
+    const std::uint64_t pos = (j & 1) * spb + (j >> 1);
+    return start_ + (index - j + pos) * storeSize_;
+}
+
+bool
+StoreBurstSegment::produce(MicroOp &op)
+{
+    if (slot_ == kDoneSlot)
+        return false;
+    if (slot_ == 8) { // loop index update
+        op = uops::alu(pcBase_ + 8 * 4, 1);
+        slot_ = 9;
+        return true;
+    }
+    if (slot_ == 9) { // loop back-edge, well predicted
+        op = uops::branch(pcBase_ + 9 * 4, false, 1);
+        slot_ = (emitted_ >= numStores_) ? kDoneSlot : 0;
+        return true;
+    }
+    op = uops::store(pcBase_ + slot_ * 4, storeAddr(emitted_), storeSize_,
+                     0, region_);
+    ++emitted_;
+    ++slot_;
+    if (slot_ == 8 || emitted_ >= numStores_)
+        slot_ = 8;
+    return true;
+}
+
+// ---------------------------------------------------------------------
+// CopyBurstSegment
+// ---------------------------------------------------------------------
+
+CopyBurstSegment::CopyBurstSegment(Addr src, Addr dst, std::uint64_t bytes,
+                                   std::uint8_t elem_size, Region region,
+                                   std::uint64_t pc_base)
+    : src_(src),
+      dst_(dst),
+      numElems_(bytes / elem_size),
+      elemSize_(elem_size),
+      region_(region),
+      pcBase_(pc_base)
+{
+    SPB_ASSERT(elem_size > 0 && kBlockSize % elem_size == 0,
+               "element size %u must divide the block size", elem_size);
+    if (numElems_ == 0)
+        numElems_ = 1;
+}
+
+bool
+CopyBurstSegment::produce(MicroOp &op)
+{
+    if (slot_ == kDoneSlot)
+        return false;
+    if (slot_ == 16) {
+        op = uops::alu(pcBase_ + 16 * 4, 1);
+        slot_ = 17;
+        return true;
+    }
+    if (slot_ == 17) {
+        op = uops::branch(pcBase_ + 17 * 4, false, 1);
+        slot_ = (emitted_ >= numElems_) ? kDoneSlot : 0;
+        return true;
+    }
+    if ((slot_ & 1) == 0) { // even slot: load from the source
+        op = uops::load(pcBase_ + slot_ * 4, src_ + emitted_ * elemSize_,
+                        elemSize_);
+        op.region = region_;
+        ++slot_;
+        return true;
+    }
+    // odd slot: store to the destination, data from the preceding load
+    op = uops::store(pcBase_ + slot_ * 4, dst_ + emitted_ * elemSize_,
+                     elemSize_, 1, region_);
+    ++emitted_;
+    ++slot_;
+    if (slot_ == 16 || emitted_ >= numElems_)
+        slot_ = 16;
+    return true;
+}
+
+// ---------------------------------------------------------------------
+// StridedLoadSegment
+// ---------------------------------------------------------------------
+
+StridedLoadSegment::StridedLoadSegment(Addr start, std::uint64_t stride,
+                                       std::uint64_t count, bool fp,
+                                       std::uint64_t pc_base)
+    : start_(start), stride_(stride), count_(count == 0 ? 1 : count),
+      fp_(fp), pcBase_(pc_base)
+{
+}
+
+bool
+StridedLoadSegment::produce(MicroOp &op)
+{
+    if (slot_ == kDoneSlot)
+        return false;
+    if (slot_ == 8) {
+        op = uops::branch(pcBase_ + 8 * 4, false, 1);
+        slot_ = (emitted_ >= count_) ? kDoneSlot : 0;
+        return true;
+    }
+    if ((slot_ & 1) == 0) {
+        op = uops::load(pcBase_ + slot_ * 4, start_ + emitted_ * stride_);
+        ++slot_;
+        return true;
+    }
+    op = uops::alu(pcBase_ + slot_ * 4, 1);
+    if (fp_)
+        op.cls = OpClass::FpAdd;
+    ++emitted_;
+    ++slot_;
+    if (slot_ == 8 || emitted_ >= count_)
+        slot_ = 8;
+    return true;
+}
+
+// ---------------------------------------------------------------------
+// PointerChaseSegment
+// ---------------------------------------------------------------------
+
+PointerChaseSegment::PointerChaseSegment(Addr base, std::uint64_t ws_bytes,
+                                         std::uint64_t count,
+                                         std::uint64_t pc_base, Rng *rng)
+    : base_(base), wsBytes_(ws_bytes), count_(count == 0 ? 1 : count),
+      pcBase_(pc_base), rng_(rng)
+{
+    SPB_ASSERT(rng_ != nullptr, "PointerChaseSegment needs an RNG");
+    SPB_ASSERT(ws_bytes >= kBlockSize, "working set below one block");
+}
+
+bool
+PointerChaseSegment::produce(MicroOp &op)
+{
+    if (slot_ == kDoneSlot)
+        return false;
+    if ((slot_ & 1) == 0) {
+        // Temporal locality: most pointer dereferences land in a hot
+        // subset (list heads, top-of-tree nodes); the rest roam the
+        // whole working set.
+        const std::uint64_t hot =
+            std::min<std::uint64_t>(wsBytes_, 32 * 1024);
+        const std::uint64_t span = rng_->chance(0.7) ? hot : wsBytes_;
+        const Addr off = blockAlign(rng_->below(span));
+        // Address depends on the previous load's value (distance 2:
+        // one intervening ALU op).
+        const std::uint8_t dist = emitted_ == 0 ? 0 : 2;
+        op = uops::load(pcBase_, base_ + off, 8, dist);
+        slot_ = 1;
+        return true;
+    }
+    op = uops::alu(pcBase_ + 4, 1);
+    ++emitted_;
+    slot_ = (emitted_ >= count_) ? kDoneSlot : 0;
+    return true;
+}
+
+// ---------------------------------------------------------------------
+// AluChainSegment
+// ---------------------------------------------------------------------
+
+AluChainSegment::AluChainSegment(std::uint64_t count, double fp_fraction,
+                                 double mul_fraction, double div_fraction,
+                                 std::uint64_t pc_base, Rng *rng)
+    : count_(count == 0 ? 1 : count),
+      fpFraction_(fp_fraction),
+      mulFraction_(mul_fraction),
+      divFraction_(div_fraction),
+      pcBase_(pc_base),
+      rng_(rng)
+{
+    SPB_ASSERT(rng_ != nullptr, "AluChainSegment needs an RNG");
+}
+
+bool
+AluChainSegment::produce(MicroOp &op)
+{
+    if (emitted_ >= count_)
+        return false;
+    const bool fp = rng_->chance(fpFraction_);
+    OpClass cls = fp ? OpClass::FpAdd : OpClass::IntAlu;
+    if (rng_->chance(divFraction_))
+        cls = fp ? OpClass::FpDiv : OpClass::IntDiv;
+    else if (rng_->chance(mulFraction_))
+        cls = fp ? OpClass::FpMul : OpClass::IntMul;
+    op = uops::alu(pcBase_ + (emitted_ % 16) * 4, emitted_ == 0 ? 0 : 1);
+    op.cls = cls;
+    ++emitted_;
+    return true;
+}
+
+// ---------------------------------------------------------------------
+// BranchyLoadSegment
+// ---------------------------------------------------------------------
+
+BranchyLoadSegment::BranchyLoadSegment(Addr base, std::uint64_t ws_bytes,
+                                       std::uint64_t count,
+                                       double mispredict_rate,
+                                       std::uint64_t pc_base, Rng *rng)
+    : base_(base), wsBytes_(ws_bytes), count_(count == 0 ? 1 : count),
+      mispredictRate_(mispredict_rate), pcBase_(pc_base), rng_(rng)
+{
+    SPB_ASSERT(rng_ != nullptr, "BranchyLoadSegment needs an RNG");
+    SPB_ASSERT(ws_bytes >= kBlockSize, "working set below one block");
+}
+
+bool
+BranchyLoadSegment::produce(MicroOp &op)
+{
+    if (slot_ == kDoneSlot)
+        return false;
+    switch (slot_) {
+      case 0: {
+        const std::uint64_t hot =
+            std::min<std::uint64_t>(wsBytes_, 32 * 1024);
+        const std::uint64_t span = rng_->chance(0.7) ? hot : wsBytes_;
+        curAddr_ = base_ + blockAlign(rng_->below(span));
+        op = uops::load(pcBase_, curAddr_);
+        slot_ = 1;
+        return true;
+      }
+      case 1:
+        op = uops::alu(pcBase_ + 4, 1);
+        slot_ = 2;
+        return true;
+      default:
+        // Branch depends on the ALU result one uop back, which in turn
+        // depends on the load: its resolution time tracks the load.
+        op = uops::branch(pcBase_ + 8, rng_->chance(mispredictRate_), 1);
+        ++emitted_;
+        slot_ = (emitted_ >= count_) ? kDoneSlot : 0;
+        return true;
+    }
+}
+
+// ---------------------------------------------------------------------
+// ScatterStoreSegment
+// ---------------------------------------------------------------------
+
+ScatterStoreSegment::ScatterStoreSegment(Addr base, std::uint64_t ws_bytes,
+                                         std::uint64_t count,
+                                         std::uint64_t pc_base, Rng *rng)
+    : base_(base), wsBytes_(ws_bytes), count_(count == 0 ? 1 : count),
+      pcBase_(pc_base), rng_(rng)
+{
+    SPB_ASSERT(rng_ != nullptr, "ScatterStoreSegment needs an RNG");
+    SPB_ASSERT(ws_bytes >= kBlockSize, "working set below one block");
+}
+
+bool
+ScatterStoreSegment::produce(MicroOp &op)
+{
+    if (slot_ == kDoneSlot)
+        return false;
+    if (slot_ == 4) {
+        op = uops::alu(pcBase_ + 4 * 4, 1);
+        slot_ = 5;
+        return true;
+    }
+    if (slot_ == 5) {
+        op = uops::branch(pcBase_ + 5 * 4, false, 1);
+        slot_ = (emitted_ >= count_) ? kDoneSlot : 0;
+        return true;
+    }
+    const Addr off = rng_->below(wsBytes_) & ~Addr{7};
+    op = uops::store(pcBase_ + slot_ * 4, base_ + off, 8, 0, Region::App);
+    ++emitted_;
+    ++slot_;
+    if (slot_ == 4 || emitted_ >= count_)
+        slot_ = 4;
+    return true;
+}
+
+} // namespace spburst

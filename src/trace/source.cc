@@ -1,0 +1,31 @@
+#include "trace/source.hh"
+
+#include "common/logging.hh"
+
+namespace spburst
+{
+
+VectorSource::VectorSource(std::vector<MicroOp> uops, bool loop,
+                           std::string name)
+    : uops_(std::move(uops)), loop_(loop), name_(std::move(name))
+{
+    SPB_ASSERT(!uops_.empty(), "VectorSource needs at least one uop");
+}
+
+MicroOp
+VectorSource::next()
+{
+    ++produced_;
+    if (pos_ >= uops_.size()) {
+        if (!loop_) {
+            MicroOp nop;
+            nop.cls = OpClass::IntAlu;
+            nop.pc = 0xdead0000;
+            return nop;
+        }
+        pos_ = 0;
+    }
+    return uops_[pos_++];
+}
+
+} // namespace spburst

@@ -1,0 +1,92 @@
+#include "trace/uop.hh"
+
+namespace spburst
+{
+
+const char *
+opClassName(OpClass cls)
+{
+    switch (cls) {
+      case OpClass::IntAlu: return "IntAlu";
+      case OpClass::IntMul: return "IntMul";
+      case OpClass::IntDiv: return "IntDiv";
+      case OpClass::FpAdd: return "FpAdd";
+      case OpClass::FpMul: return "FpMul";
+      case OpClass::FpDiv: return "FpDiv";
+      case OpClass::Load: return "Load";
+      case OpClass::Store: return "Store";
+      case OpClass::Branch: return "Branch";
+    }
+    return "?";
+}
+
+const char *
+regionName(Region region)
+{
+    switch (region) {
+      case Region::App: return "app";
+      case Region::Memcpy: return "memcpy";
+      case Region::Memset: return "memset";
+      case Region::Calloc: return "calloc";
+      case Region::ClearPage: return "clear_page";
+      case Region::OtherLib: return "other_lib";
+    }
+    return "?";
+}
+
+namespace uops
+{
+
+MicroOp
+alu(std::uint64_t pc, std::uint8_t src1, std::uint8_t src2)
+{
+    MicroOp op;
+    op.pc = pc;
+    op.cls = OpClass::IntAlu;
+    op.srcDist1 = src1;
+    op.srcDist2 = src2;
+    op.hasDest = true;
+    return op;
+}
+
+MicroOp
+load(std::uint64_t pc, Addr addr, std::uint8_t size, std::uint8_t addrSrc)
+{
+    MicroOp op;
+    op.pc = pc;
+    op.cls = OpClass::Load;
+    op.addr = addr;
+    op.size = size;
+    op.srcDist1 = addrSrc;
+    op.hasDest = true;
+    return op;
+}
+
+MicroOp
+store(std::uint64_t pc, Addr addr, std::uint8_t size, std::uint8_t dataSrc,
+      Region region)
+{
+    MicroOp op;
+    op.pc = pc;
+    op.cls = OpClass::Store;
+    op.addr = addr;
+    op.size = size;
+    op.srcDist1 = dataSrc;
+    op.region = region;
+    return op;
+}
+
+MicroOp
+branch(std::uint64_t pc, bool mispredicted, std::uint8_t src1)
+{
+    MicroOp op;
+    op.pc = pc;
+    op.cls = OpClass::Branch;
+    op.mispredicted = mispredicted;
+    op.srcDist1 = src1;
+    return op;
+}
+
+} // namespace uops
+
+} // namespace spburst

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Micro-operation model.
+ *
+ * The simulator is trace-driven: workloads are streams of MicroOp
+ * records. A MicroOp carries everything the out-of-order core needs to
+ * model timing — operation class (selects functional unit and latency),
+ * data dependences as backward distances in the dynamic uop stream,
+ * memory address/size for loads and stores, branch outcome, and a
+ * code-region label used to reproduce the paper's Figure 3 (which code
+ * locations cause SB-induced stalls).
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hh"
+
+namespace spburst
+{
+
+/** Functional class of a micro-op; selects FU pool and latency. */
+enum class OpClass : std::uint8_t
+{
+    IntAlu,  //!< integer add/sub/logic (1 cycle)
+    IntMul,  //!< integer multiply (4 cycles)
+    IntDiv,  //!< integer divide (22 cycles)
+    FpAdd,   //!< floating-point add (5 cycles)
+    FpMul,   //!< floating-point multiply (5 cycles)
+    FpDiv,   //!< floating-point divide (22 cycles)
+    Load,    //!< memory read (AGU + L1D access)
+    Store,   //!< memory write (AGU; drains via the store buffer)
+    Branch,  //!< conditional branch (1 cycle to resolve once sources ready)
+};
+
+/** Number of distinct OpClass values. */
+inline constexpr int kNumOpClasses = 9;
+
+/** Human-readable OpClass name. */
+const char *opClassName(OpClass cls);
+
+/** True for FpAdd/FpMul/FpDiv. */
+constexpr bool
+isFloatOp(OpClass cls)
+{
+    return cls == OpClass::FpAdd || cls == OpClass::FpMul ||
+           cls == OpClass::FpDiv;
+}
+
+/** True for Load/Store. */
+constexpr bool
+isMemOp(OpClass cls)
+{
+    return cls == OpClass::Load || cls == OpClass::Store;
+}
+
+/**
+ * Code-region label of the static instruction a uop came from.
+ *
+ * The paper's characterisation (Sec. III-B, Fig. 3) attributes
+ * SB-induced stalls to stores in system libraries (memcpy, memset,
+ * calloc), the OS (clear_page_orig), or the application itself.
+ */
+enum class Region : std::uint8_t
+{
+    App,       //!< application code
+    Memcpy,    //!< libc memcpy
+    Memset,    //!< libc memset
+    Calloc,    //!< libc calloc (zeroing)
+    ClearPage, //!< kernel clear_page_orig
+    OtherLib,  //!< other library code
+};
+
+/** Number of distinct Region values. */
+inline constexpr int kNumRegions = 6;
+
+/** Human-readable Region name. */
+const char *regionName(Region region);
+
+/**
+ * One dynamic micro-operation.
+ *
+ * Dependences are encoded as backward distances in the committed uop
+ * stream: srcDist1 == 3 means "my first source is produced by the uop
+ * fetched 3 uops before me". Distance 0 means no (in-flight) source;
+ * the operand is considered always ready. Stores use srcDist1 for their
+ * data operand and srcDist2 for their address operand.
+ */
+struct MicroOp
+{
+    Addr addr = 0;                 //!< block-accurate target (mem ops)
+    std::uint64_t pc = 0;          //!< static program counter
+    OpClass cls = OpClass::IntAlu; //!< functional class
+    Region region = Region::App;   //!< static code region label
+    std::uint8_t size = 8;         //!< access size in bytes (mem ops)
+    std::uint8_t srcDist1 = 0;     //!< backward distance of source 1
+    std::uint8_t srcDist2 = 0;     //!< backward distance of source 2
+    bool mispredicted = false;     //!< branch: front-end predicts wrong
+    bool hasDest = false;          //!< produces a register value
+};
+
+/** Convenience factories for building handcrafted test traces. */
+namespace uops
+{
+
+MicroOp alu(std::uint64_t pc, std::uint8_t src1 = 0, std::uint8_t src2 = 0);
+MicroOp load(std::uint64_t pc, Addr addr, std::uint8_t size = 8,
+             std::uint8_t addrSrc = 0);
+MicroOp store(std::uint64_t pc, Addr addr, std::uint8_t size = 8,
+              std::uint8_t dataSrc = 0, Region region = Region::App);
+MicroOp branch(std::uint64_t pc, bool mispredicted = false,
+               std::uint8_t src1 = 0);
+
+} // namespace uops
+
+} // namespace spburst

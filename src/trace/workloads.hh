@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Named synthetic workload profiles.
+ *
+ * The paper evaluates SPEC CPU 2017 (single-core, 2B-instruction ROI)
+ * and PARSEC with 8 threads. Neither suite is redistributable here, so
+ * each application is replaced by a synthetic profile calibrated to the
+ * paper's own characterisation (Figs. 1 and 3): the SB-bound
+ * applications (bwaves, cactuBSSN, x264, blender, cam4, deepsjeng,
+ * fotonik3d, roms; PARSEC: bodytrack, dedup, ferret, x264) issue large
+ * contiguous store bursts from the code regions the paper names
+ * (memcpy/memset/calloc/clear_page or application loops), while the
+ * remaining applications are load-, branch- or compute-bound. See
+ * DESIGN.md for the substitution rationale.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "trace/program.hh"
+#include "trace/uop.hh"
+
+namespace spburst
+{
+
+/** Tunable knobs of one synthetic application profile. */
+struct ProfileParams
+{
+    std::string name;         //!< application name (e.g. "x264")
+    bool sbBound = false;     //!< >2% SB stalls at SB56 in the paper
+
+    // Contiguous store bursts (the behaviour SPB targets).
+    double burstWeight = 0.0;       //!< selection weight of burst phases
+    double memcpyShare = 0.0;       //!< fraction of bursts that are copies
+    Region burstRegion = Region::App; //!< dominant burst code location
+    std::uint64_t burstBytes = 8192;  //!< bytes written per activation
+    bool shuffledStores = false;      //!< roms-style unroll interleaving
+
+    // Other behaviour.
+    double chaseWeight = 0.0;    //!< dependent pointer chasing
+    double stridedWeight = 0.0;  //!< streaming strided loads
+    double aluWeight = 0.0;      //!< arithmetic chains
+    double branchyWeight = 0.0;  //!< load-dependent branches
+    double scatterWeight = 0.0;  //!< sparse random stores
+
+    std::uint64_t loadWsBytes = 1 << 20;      //!< load working set
+    std::uint64_t storeArenaBytes = 64 << 20; //!< area bursts roam over
+    double mispredictRate = 0.02; //!< branchy-phase mispredict chance
+    double fpFraction = 0.0;      //!< fp share of arithmetic
+    /** If set, pointer-chase/branchy loads read the *store* arena, so
+     *  SPB's write-permission prefetches also serve future loads (the
+     *  paper's super-linear effect) — or thrash the L1 when the burst
+     *  evicts a resident set (the roms pathology). */
+    bool loadsFromStoreArena = false;
+
+    // Multi-threaded (PARSEC) profiles only.
+    double sharedFraction = 0.0;  //!< loads/stores hitting a shared region
+};
+
+/** All SPEC CPU 2017-like profiles, paper order (SB-bound ones first). */
+const std::vector<ProfileParams> &specProfiles();
+
+/** All PARSEC-like profiles. */
+const std::vector<ProfileParams> &parsecProfiles();
+
+/** Profile lookup by name across both suites; fatal if unknown. */
+const ProfileParams &findProfile(const std::string &name);
+
+/** Names of every SPEC-like profile. */
+std::vector<std::string> allSpecNames();
+
+/** Names of the SB-bound SPEC-like profiles. */
+std::vector<std::string> sbBoundSpecNames();
+
+/** Names of every PARSEC-like profile. */
+std::vector<std::string> allParsecNames();
+
+/** Names of the SB-bound PARSEC-like profiles. */
+std::vector<std::string> sbBoundParsecNames();
+
+/**
+ * Build the endless uop stream for one hardware thread of a profile.
+ *
+ * @param params     The profile.
+ * @param seed       Determinism seed (combined with threadId).
+ * @param thread_id  Hardware thread running this stream (address-space
+ *                   offsets and seeds are derived from it).
+ * @param num_threads Total threads of the (PARSEC) run; 1 for SPEC.
+ */
+std::unique_ptr<TraceSource> buildWorkload(const ProfileParams &params,
+                                           std::uint64_t seed,
+                                           int thread_id = 0,
+                                           int num_threads = 1);
+
+/** Convenience: look up @p name and build thread 0. */
+std::unique_ptr<TraceSource> makeWorkload(const std::string &name,
+                                          std::uint64_t seed);
+
+} // namespace spburst

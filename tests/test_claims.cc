@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Headline-claim shape tests: slower checks (bigger runs) asserting the
+ * paper's central quantitative relationships hold in this reproduction.
+ * These are the "did we reproduce the paper" gates; the bench harnesses
+ * print the full data.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/system.hh"
+#include "trace/workloads.hh"
+
+namespace spburst
+{
+namespace
+{
+
+constexpr std::uint64_t kUops = 60'000;
+
+double
+normToIdeal(const std::string &w, unsigned sb, StorePrefetchPolicy p,
+            bool spb)
+{
+    SystemConfig ideal = makeConfig(w, 56, p, false, true);
+    ideal.maxUopsPerCore = kUops;
+    SystemConfig cfg = makeConfig(w, sb, p, spb);
+    cfg.maxUopsPerCore = kUops;
+    return static_cast<double>(runSystem(ideal).cycles) /
+           static_cast<double>(runSystem(cfg).cycles);
+}
+
+TEST(PaperClaims, Claim1_AtCommit56IsNearIdeal)
+{
+    // "a 56-entry SB with the default prefetch policy yields ~98% of
+    // an ideal SB" — checked on a non-pathological SB-bound app.
+    const double v = normToIdeal("cam4", 56,
+                                 StorePrefetchPolicy::AtCommit, false);
+    EXPECT_GT(v, 0.93);
+}
+
+TEST(PaperClaims, Claim2_SpbRecoversSmallSbPerformance)
+{
+    // SB14: at-commit falls hard, SPB recovers most of it (paper:
+    // 70.1% -> 92.6% for SB-bound apps).
+    const double ac =
+        normToIdeal("bwaves", 14, StorePrefetchPolicy::AtCommit, false);
+    const double spb =
+        normToIdeal("bwaves", 14, StorePrefetchPolicy::AtCommit, true);
+    EXPECT_LT(ac, 0.80);
+    EXPECT_GT(spb, ac + 0.10);
+}
+
+TEST(PaperClaims, Claim3_Spb20MatchesAtCommit56)
+{
+    // "a 20-entry SB with SPB achieves the average performance of a
+    // standard 56-entry SB" — per-app check on x264.
+    SystemConfig ac56 =
+        makeConfig("x264", 56, StorePrefetchPolicy::AtCommit);
+    ac56.maxUopsPerCore = kUops;
+    SystemConfig spb20 =
+        makeConfig("x264", 20, StorePrefetchPolicy::AtCommit, true);
+    spb20.maxUopsPerCore = kUops;
+    const auto a = runSystem(ac56).cycles;
+    const auto b = runSystem(spb20).cycles;
+    EXPECT_LT(static_cast<double>(b),
+              static_cast<double>(a) * 1.05)
+        << "SPB@20 should be within 5% of at-commit@56";
+}
+
+TEST(PaperClaims, Claim4_SpbSuccessRateFarAboveAtCommit)
+{
+    // Fig. 11: at-commit success 5-10%, SPB 30-50%.
+    auto success_rate = [](bool spb) {
+        SystemConfig cfg = makeConfig(
+            "bwaves", 28, StorePrefetchPolicy::AtCommit, spb);
+        cfg.maxUopsPerCore = kUops;
+        const SimResult r = runSystem(cfg);
+        const auto &l1 = r.l1d[0];
+        const double classified =
+            static_cast<double>(l1.pfSuccessful + l1.pfLate +
+                                l1.pfEarly + l1.pfNeverUsed);
+        return classified == 0.0
+                   ? 0.0
+                   : static_cast<double>(l1.pfSuccessful) / classified;
+    };
+    const double ac = success_rate(false);
+    const double spb = success_rate(true);
+    EXPECT_LT(ac, 0.25);
+    EXPECT_GT(spb, 0.5);
+}
+
+TEST(PaperClaims, Claim5_SpbStorageIs67Bits)
+{
+    SpbParams p; // paper configuration: N = 48
+    SpbDetector d(p);
+    // 58 + 4 + 6 = 68 with an exact ceil(log2(48+1)) count register;
+    // the paper's 67 assumes a 5-bit count. Either way: tiny.
+    EXPECT_LE(d.storageBits(), 68u);
+    EXPECT_GE(d.storageBits(), 67u);
+}
+
+TEST(PaperClaims, Claim6_SpbOrthogonalToAggressivePrefetchers)
+{
+    // Fig. 16: even with an aggressive L1 prefetcher, SPB still beats
+    // plain at-commit (the cache prefetcher cannot remove SB stalls).
+    SystemConfig ac =
+        makeConfig("bwaves", 14, StorePrefetchPolicy::AtCommit);
+    ac.l1Prefetcher = L1PrefetcherKind::Aggressive;
+    ac.maxUopsPerCore = kUops;
+    SystemConfig spb = ac;
+    spb.useSpb = true;
+    EXPECT_LT(runSystem(spb).cycles, runSystem(ac).cycles);
+}
+
+TEST(PaperClaims, Claim7_SbBoundClassificationMatchesPaper)
+{
+    // The >2% rule at SB56 must classify (at least) the paper's
+    // SB-bound applications as SB-bound in our reproduction too —
+    // checked on the clearest four.
+    for (const char *w : {"bwaves", "cactuBSSN", "roms", "x264"}) {
+        SystemConfig cfg =
+            makeConfig(w, 56, StorePrefetchPolicy::AtCommit);
+        cfg.maxUopsPerCore = kUops;
+        EXPECT_GT(runSystem(cfg).sbStallRatio(), 0.02) << w;
+    }
+}
+
+} // namespace
+} // namespace spburst

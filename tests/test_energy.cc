@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Unit tests for the event-based energy model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "energy/energy_model.hh"
+
+namespace spburst
+{
+namespace
+{
+
+EnergyInput
+baseInput(const CoreStats &core, const StoreBufferStats &sb,
+          const CacheStats &l1)
+{
+    EnergyInput in;
+    in.cycles = 1000;
+    in.core = &core;
+    in.sb = &sb;
+    in.l1d = &l1;
+    return in;
+}
+
+TEST(EnergyModel, LeakageScalesWithCycles)
+{
+    EnergyModel model;
+    CoreStats core;
+    StoreBufferStats sb;
+    CacheStats l1;
+    EnergyInput in = baseInput(core, sb, l1);
+    const double e1 = model.compute(in).leakagePj;
+    in.cycles = 2000;
+    const double e2 = model.compute(in).leakagePj;
+    EXPECT_NEAR(e2, 2.0 * e1, 1e-9);
+    EXPECT_GT(e1, 0.0);
+}
+
+TEST(EnergyModel, CoreDynamicScalesWithActivity)
+{
+    EnergyModel model;
+    CoreStats core;
+    StoreBufferStats sb;
+    CacheStats l1;
+    core.fetchedUops = 1000;
+    core.issuedUops = 800;
+    core.committedUops = 700;
+    EnergyInput in = baseInput(core, sb, l1);
+    const double e1 = model.compute(in).coreDynamicPj;
+    core.fetchedUops = 2000;
+    core.issuedUops = 1600;
+    core.committedUops = 1400;
+    const double e2 = model.compute(in).coreDynamicPj;
+    EXPECT_NEAR(e2, 2.0 * e1, 1e-9);
+}
+
+TEST(EnergyModel, WrongPathWorkCostsEnergy)
+{
+    // Two runs committing the same work; the one with more fetched
+    // (wrong-path) uops must burn more core energy — the effect SPB
+    // exploits in Fig. 7.
+    EnergyModel model;
+    CoreStats lean, wasteful;
+    StoreBufferStats sb;
+    CacheStats l1;
+    lean.fetchedUops = 1000;
+    lean.issuedUops = 900;
+    lean.committedUops = 900;
+    wasteful = lean;
+    wasteful.fetchedUops = 1600; // extra wrong-path fetches
+    wasteful.issuedUops = 1200;
+    EnergyInput a = baseInput(lean, sb, l1);
+    EnergyInput b = baseInput(wasteful, sb, l1);
+    EXPECT_GT(model.compute(b).coreDynamicPj,
+              model.compute(a).coreDynamicPj);
+}
+
+TEST(EnergyModel, SbCamEnergyScalesWithSbSize)
+{
+    EnergyModel model;
+    CoreStats core;
+    core.committedLoads = 10'000;
+    StoreBufferStats sb;
+    CacheStats l1;
+    EnergyInput in = baseInput(core, sb, l1);
+    in.sbEntries = 14;
+    const double small = model.compute(in).coreDynamicPj;
+    in.sbEntries = 56;
+    const double big = model.compute(in).coreDynamicPj;
+    EXPECT_GT(big, small)
+        << "a larger SB CAM must cost more per load search";
+}
+
+TEST(EnergyModel, CacheEnergyCountsTagAndData)
+{
+    EnergyModel model;
+    CoreStats core;
+    StoreBufferStats sb;
+    CacheStats l1;
+    EnergyInput in = baseInput(core, sb, l1);
+    const double none = model.compute(in).cacheDynamicPj;
+    l1.tagAccesses = 1000;
+    l1.dataAccesses = 500;
+    const double some = model.compute(in).cacheDynamicPj;
+    EXPECT_GT(some, none);
+}
+
+TEST(EnergyModel, DramDominatesPerAccess)
+{
+    EnergyModel model;
+    EXPECT_GT(model.params().dramAccessPj, model.params().l3AccessPj);
+    EXPECT_GT(model.params().l3AccessPj, model.params().l2AccessPj);
+    EXPECT_GT(model.params().l2AccessPj, model.params().l1DataPj);
+}
+
+} // namespace
+} // namespace spburst

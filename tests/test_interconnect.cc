@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Unit tests for the interconnect hop and the DRAM MemLevel adapter,
+ * plus VectorSource trace behaviour.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/clock.hh"
+#include "mem/dram_level.hh"
+#include "mem/interconnect.hh"
+#include "trace/source.hh"
+
+namespace spburst
+{
+namespace
+{
+
+TEST(Interconnect, AddsLatencyBothWays)
+{
+    SimClock clock;
+    DramModel dram(DramParams{100, 4, 2}, &clock);
+    DramLevel level(&dram, &clock);
+    Interconnect icn(&level, 6, &clock);
+
+    bool done = false;
+    Cycle done_at = 0;
+    MemRequest req;
+    req.cmd = MemCmd::ReadReq;
+    req.blockAddr = 0x1000;
+    icn.request(req, [&](bool ownership) {
+        EXPECT_TRUE(ownership);
+        done = true;
+        done_at = clock.now;
+    });
+    for (int i = 0; i < 300 && !done; ++i)
+        clock.tick();
+    ASSERT_TRUE(done);
+    // 6 out + 100 DRAM + 6 back = 112.
+    EXPECT_EQ(done_at, 112u);
+}
+
+TEST(Interconnect, CountsMessages)
+{
+    SimClock clock;
+    DramModel dram(DramParams{10, 1, 2}, &clock);
+    DramLevel level(&dram, &clock);
+    Interconnect icn(&level, 2, &clock);
+
+    int completions = 0;
+    MemRequest req;
+    req.cmd = MemCmd::ReadReq;
+    for (int i = 0; i < 5; ++i) {
+        req.blockAddr = 0x1000 + i * kBlockSize;
+        icn.request(req, [&](bool) { ++completions; });
+    }
+    icn.writeback(0x9000, 0);
+    for (int i = 0; i < 100; ++i)
+        clock.tick();
+    EXPECT_EQ(completions, 5);
+    EXPECT_EQ(icn.requestMessages(), 5u);
+    EXPECT_EQ(icn.responseMessages(), 5u);
+    EXPECT_EQ(icn.writebackMessages(), 1u);
+    EXPECT_EQ(dram.writes(), 1u);
+}
+
+TEST(DramLevel, WritebackConsumesBandwidthNotLatency)
+{
+    SimClock clock;
+    DramModel dram(DramParams{100, 4, 1}, &clock);
+    DramLevel level(&dram, &clock);
+    level.writeback(0x1000, 0);
+    EXPECT_EQ(dram.writes(), 1u);
+    // A read right after queues behind the writeback on the channel.
+    bool done = false;
+    Cycle done_at = 0;
+    MemRequest req;
+    req.blockAddr = 0x2000;
+    level.request(req, [&](bool) {
+        done = true;
+        done_at = clock.now;
+    });
+    for (int i = 0; i < 300 && !done; ++i)
+        clock.tick();
+    EXPECT_EQ(done_at, 104u);
+}
+
+TEST(VectorSource, LoopsByDefault)
+{
+    VectorSource src({uops::alu(0x1), uops::alu(0x2)});
+    EXPECT_EQ(src.next().pc, 0x1u);
+    EXPECT_EQ(src.next().pc, 0x2u);
+    EXPECT_EQ(src.next().pc, 0x1u);
+    EXPECT_EQ(src.produced(), 3u);
+}
+
+TEST(VectorSource, NonLoopEmitsNops)
+{
+    VectorSource src({uops::store(0x1, 0x1000)}, false);
+    EXPECT_EQ(src.next().cls, OpClass::Store);
+    const MicroOp pad = src.next();
+    EXPECT_EQ(pad.cls, OpClass::IntAlu);
+}
+
+} // namespace
+} // namespace spburst

@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Unit tests for the L1 stream prefetcher and its feedback-directed
+ * (aggressive / adaptive) variants.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "common/rng.hh"
+#include "prefetch/stream_prefetcher.hh"
+
+namespace spburst
+{
+namespace
+{
+
+MemRequest
+loadAt(Addr addr)
+{
+    MemRequest r;
+    r.cmd = MemCmd::ReadReq;
+    r.blockAddr = blockAlign(addr);
+    return r;
+}
+
+std::vector<Addr>
+feedSequential(StreamPrefetcher &pf, Addr base, int blocks)
+{
+    std::vector<Addr> out;
+    for (int i = 0; i < blocks; ++i)
+        pf.notifyAccess(loadAt(base + i * kBlockSize), false, out);
+    return out;
+}
+
+TEST(StreamPrefetcher, ModeOperatingPoints)
+{
+    EXPECT_EQ(StreamPrefetcher(PrefetcherMode::Stream).degree(), 1u);
+    EXPECT_EQ(StreamPrefetcher(PrefetcherMode::Stream).distance(), 1u);
+    EXPECT_EQ(StreamPrefetcher(PrefetcherMode::Aggressive).degree(), 8u);
+    EXPECT_EQ(StreamPrefetcher(PrefetcherMode::Aggressive).distance(),
+              48u);
+    EXPECT_EQ(StreamPrefetcher(PrefetcherMode::Adaptive).degree(), 4u);
+}
+
+TEST(StreamPrefetcher, NoPrefetchBeforeTraining)
+{
+    StreamPrefetcher pf(PrefetcherMode::Stream);
+    std::vector<Addr> out;
+    pf.notifyAccess(loadAt(0x1000), false, out);
+    EXPECT_TRUE(out.empty()) << "first touch must not prefetch";
+    pf.notifyAccess(loadAt(0x1040), false, out);
+    EXPECT_TRUE(out.empty()) << "below the training threshold";
+}
+
+TEST(StreamPrefetcher, TrainedStreamEmitsNextBlock)
+{
+    StreamPrefetcher pf(PrefetcherMode::Stream);
+    const auto out = feedSequential(pf, 0x1000, 4);
+    ASSERT_FALSE(out.empty());
+    // Degree 1, distance 1: the next block after the trigger.
+    EXPECT_EQ(out.front(), blockAlign(0x1000) + 3 * kBlockSize);
+    EXPECT_GE(pf.stats().trainings, 1u);
+}
+
+TEST(StreamPrefetcher, DoesNotReissueCoveredBlocks)
+{
+    StreamPrefetcher pf(PrefetcherMode::Stream);
+    const auto out = feedSequential(pf, 0x1000, 16);
+    std::set<Addr> unique(out.begin(), out.end());
+    EXPECT_EQ(unique.size(), out.size()) << "no duplicate prefetches";
+}
+
+TEST(StreamPrefetcher, AggressiveRunsFurtherAhead)
+{
+    StreamPrefetcher stream(PrefetcherMode::Stream);
+    StreamPrefetcher aggressive(PrefetcherMode::Aggressive);
+    const auto a = feedSequential(stream, 0x1000, 8);
+    const auto b = feedSequential(aggressive, 0x1000, 8);
+    EXPECT_GT(b.size(), a.size());
+    ASSERT_FALSE(b.empty());
+    EXPECT_GT(*std::max_element(b.begin(), b.end()),
+              *std::max_element(a.begin(), a.end()));
+}
+
+TEST(StreamPrefetcher, RandomAccessesNeverTrain)
+{
+    StreamPrefetcher pf(PrefetcherMode::Aggressive);
+    std::vector<Addr> out;
+    Rng rng(3);
+    for (int i = 0; i < 200; ++i)
+        pf.notifyAccess(loadAt(rng.below(1u << 30)), false, out);
+    EXPECT_LT(out.size(), 20u) << "random traffic must stay quiet";
+}
+
+TEST(StreamPrefetcher, TracksMultipleStreams)
+{
+    StreamPrefetcher pf(PrefetcherMode::Stream);
+    std::vector<Addr> out;
+    for (int i = 0; i < 8; ++i) {
+        pf.notifyAccess(loadAt(0x100000 + i * kBlockSize), false, out);
+        pf.notifyAccess(loadAt(0x900000 + i * kBlockSize), false, out);
+    }
+    bool low = false, high = false;
+    for (Addr a : out) {
+        low |= a < 0x200000;
+        high |= a >= 0x900000;
+    }
+    EXPECT_TRUE(low && high) << "both streams must be detected";
+}
+
+TEST(AdaptivePrefetcher, ThrottlesDownOnPollution)
+{
+    StreamPrefetcher pf(PrefetcherMode::Adaptive);
+    const unsigned start = pf.aggressivenessLevel();
+    feedSequential(pf, 0x1000, 64); // generate some issue volume
+    PrefetchFeedback bad;
+    bad.pollutionEvict = true;
+    for (int i = 0; i < 5000; ++i)
+        pf.notifyFeedback(bad);
+    EXPECT_LT(pf.aggressivenessLevel(), start);
+    EXPECT_GE(pf.stats().throttleDowns, 1u);
+}
+
+TEST(AdaptivePrefetcher, RampsUpWhenAccurateButLate)
+{
+    StreamPrefetcher pf(PrefetcherMode::Adaptive);
+    const unsigned start = pf.aggressivenessLevel();
+    // Small issue volume + lots of useful & late feedback.
+    feedSequential(pf, 0x1000, 6);
+    PrefetchFeedback good;
+    good.usefulHit = true;
+    good.latePrefetch = true;
+    for (int i = 0; i < 5000; ++i)
+        pf.notifyFeedback(good);
+    EXPECT_GT(pf.aggressivenessLevel(), start);
+    EXPECT_GE(pf.stats().throttleUps, 1u);
+}
+
+TEST(AdaptivePrefetcher, FixedModesNeverAdapt)
+{
+    StreamPrefetcher pf(PrefetcherMode::Aggressive);
+    PrefetchFeedback bad;
+    bad.pollutionEvict = true;
+    for (int i = 0; i < 5000; ++i)
+        pf.notifyFeedback(bad);
+    EXPECT_EQ(pf.degree(), 8u) << "aggressive mode is fixed";
+}
+
+TEST(StreamPrefetcher, FeedbackCountersAccumulate)
+{
+    StreamPrefetcher pf(PrefetcherMode::Adaptive);
+    PrefetchFeedback fb;
+    fb.usefulHit = true;
+    pf.notifyFeedback(fb);
+    fb = PrefetchFeedback{};
+    fb.latePrefetch = true;
+    pf.notifyFeedback(fb);
+    fb = PrefetchFeedback{};
+    fb.pollutionEvict = true;
+    pf.notifyFeedback(fb);
+    EXPECT_EQ(pf.stats().usefulHits, 1u);
+    EXPECT_EQ(pf.stats().late, 1u);
+    EXPECT_EQ(pf.stats().pollution, 1u);
+}
+
+TEST(StreamPrefetcher, ModeNames)
+{
+    EXPECT_STREQ(prefetcherModeName(PrefetcherMode::Stream), "stream");
+    EXPECT_STREQ(prefetcherModeName(PrefetcherMode::Aggressive),
+                 "aggressive");
+    EXPECT_STREQ(prefetcherModeName(PrefetcherMode::Adaptive),
+                 "adaptive");
+}
+
+} // namespace
+} // namespace spburst

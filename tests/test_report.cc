@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Unit tests for the JSON/CSV result exporters.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "sim/report.hh"
+#include "sim/system.hh"
+
+namespace spburst
+{
+namespace
+{
+
+SimResult
+tinyRun(const std::string &workload)
+{
+    SystemConfig cfg =
+        makeConfig(workload, 28, StorePrefetchPolicy::AtCommit, true);
+    cfg.maxUopsPerCore = 5'000;
+    return runSystem(cfg);
+}
+
+TEST(Report, JsonEscaping)
+{
+    EXPECT_EQ(jsonEscape("plain"), "plain");
+    EXPECT_EQ(jsonEscape("a\"b"), "a\\\"b");
+    EXPECT_EQ(jsonEscape("a\\b"), "a\\\\b");
+    EXPECT_EQ(jsonEscape("a\nb"), "a\\nb");
+}
+
+TEST(Report, JsonContainsCoreFields)
+{
+    const SimResult r = tinyRun("gcc");
+    const std::string json = toJson(r);
+    EXPECT_NE(json.find("\"workload\":\"gcc\""), std::string::npos);
+    EXPECT_NE(json.find("\"cycles\":"), std::string::npos);
+    EXPECT_NE(json.find("\"ipc\":"), std::string::npos);
+    EXPECT_NE(json.find("\"sb_stall_ratio\":"), std::string::npos);
+    EXPECT_EQ(json.front(), '{');
+    EXPECT_EQ(json.back(), '}');
+    // Balanced quotes: an even count.
+    EXPECT_EQ(std::count(json.begin(), json.end(), '"') % 2, 0);
+}
+
+TEST(Report, JsonArrayOfResults)
+{
+    const std::vector<SimResult> rs{tinyRun("gcc"), tinyRun("namd")};
+    const std::string json = toJson(rs);
+    EXPECT_EQ(json.front(), '[');
+    EXPECT_EQ(json.back(), ']');
+    EXPECT_NE(json.find("\"workload\":\"gcc\""), std::string::npos);
+    EXPECT_NE(json.find("\"workload\":\"namd\""), std::string::npos);
+}
+
+TEST(Report, CsvHasHeaderAndOneRowPerResult)
+{
+    const std::vector<SimResult> rs{tinyRun("gcc"), tinyRun("namd")};
+    const std::string csv = toCsv(rs);
+    // 1 header + 2 rows.
+    EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 3);
+    EXPECT_EQ(csv.rfind("workload,", 0), 0u);
+    EXPECT_NE(csv.find("\ngcc,"), std::string::npos);
+    EXPECT_NE(csv.find("\nnamd,"), std::string::npos);
+}
+
+TEST(Report, CsvColumnsAlign)
+{
+    const std::vector<SimResult> rs{tinyRun("gcc")};
+    const std::string csv = toCsv(rs);
+    const std::size_t header_cols =
+        static_cast<std::size_t>(std::count(
+            csv.begin(), csv.begin() + static_cast<long>(csv.find('\n')),
+            ',')) +
+        1;
+    const std::size_t row_start = csv.find('\n') + 1;
+    const std::size_t row_cols =
+        static_cast<std::size_t>(std::count(csv.begin() +
+                                                static_cast<long>(
+                                                    row_start),
+                                            csv.end(), ',')) +
+        1;
+    EXPECT_EQ(header_cols, row_cols);
+}
+
+} // namespace
+} // namespace spburst

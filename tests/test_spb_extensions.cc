@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Tests for the backward-burst extension (paper Sec. IV-A describes
+ * and declines it; this implementation makes it optional) and the
+ * descending-store workload support that exercises it.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/spb.hh"
+#include "trace/segments.hh"
+
+namespace spburst
+{
+namespace
+{
+
+SpbParams
+backwardParams(unsigned n)
+{
+    SpbParams p;
+    p.checkInterval = n;
+    p.backwardBursts = true;
+    return p;
+}
+
+TEST(ComputeBackwardBurst, PrecedingBlocksOfPage)
+{
+    // Store in block 5 of a page: blocks 0..4 precede it.
+    SpbBurst b = computeBackwardBurst(0x2000 + 5 * kBlockSize + 16);
+    EXPECT_EQ(b.firstBlock, 0x2000u);
+    EXPECT_EQ(b.count, 5u);
+
+    // First block of a page: nothing precedes.
+    b = computeBackwardBurst(0x2000);
+    EXPECT_EQ(b.count, 0u);
+}
+
+TEST(BackwardBursts, DescendingPatternFires)
+{
+    SpbDetector d(backwardParams(8));
+    // Stack-push pattern: descending 8-byte stores from near the end
+    // of a page.
+    Addr addr = 0x30000 + 32 * kBlockSize;
+    int bursts = 0;
+    for (int i = 0; i < 200; ++i, addr -= 8) {
+        const SpbBurst b = d.onStoreCommit(addr, 8);
+        bursts += b.count > 0;
+    }
+    EXPECT_GE(bursts, 1);
+    EXPECT_GE(d.stats().backwardBursts, 1u);
+}
+
+TEST(BackwardBursts, DisabledByDefault)
+{
+    SpbParams p;
+    p.checkInterval = 8;
+    SpbDetector d(p);
+    Addr addr = 0x30000 + 32 * kBlockSize;
+    for (int i = 0; i < 200; ++i, addr -= 8)
+        EXPECT_EQ(d.onStoreCommit(addr, 8).count, 0u)
+            << "paper default: no backward bursts";
+    EXPECT_EQ(d.stats().bursts, 0u);
+}
+
+TEST(BackwardBursts, ForwardPatternStillWinsTies)
+{
+    // An ascending pattern must fire the normal forward burst even
+    // with the extension enabled.
+    SpbDetector d(backwardParams(8));
+    SpbBurst last{};
+    for (int i = 0; i < 100; ++i) {
+        const SpbBurst b = d.onStoreCommit(0x40000 + i * 8, 8);
+        if (b.count > 0)
+            last = b;
+    }
+    ASSERT_GT(last.count, 0u);
+    EXPECT_GT(last.firstBlock, 0x40000u) << "forward burst expected";
+    EXPECT_EQ(d.stats().backwardBursts, 0u);
+}
+
+TEST(BackwardBursts, CostsFourMoreBits)
+{
+    SpbParams fwd;
+    fwd.checkInterval = 48;
+    SpbParams both = fwd;
+    both.backwardBursts = true;
+    EXPECT_EQ(SpbDetector(both).storageBits(),
+              SpbDetector(fwd).storageBits() + 4);
+}
+
+TEST(DescendingSegment, CoversSameBytesInReverse)
+{
+    StoreBurstSegment up(0x50000, 512, 8, Region::App, 0x400000);
+    StoreBurstSegment down(0x50000, 512, 8, Region::App, 0x400000,
+                           false, true);
+    std::vector<Addr> up_addrs, down_addrs;
+    MicroOp op;
+    while (up.produce(op))
+        if (op.cls == OpClass::Store)
+            up_addrs.push_back(op.addr);
+    while (down.produce(op))
+        if (op.cls == OpClass::Store)
+            down_addrs.push_back(op.addr);
+    ASSERT_EQ(up_addrs.size(), down_addrs.size());
+    for (std::size_t i = 0; i < up_addrs.size(); ++i)
+        EXPECT_EQ(down_addrs[i], up_addrs[up_addrs.size() - 1 - i]);
+}
+
+} // namespace
+} // namespace spburst

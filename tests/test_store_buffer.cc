@@ -1,0 +1,260 @@
+/**
+ * @file
+ * Unit tests for the store buffer: allocation, TSO in-order drain,
+ * seniority, store-to-load forwarding, squash behaviour and the
+ * at-commit prefetch hook.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/clock.hh"
+#include "cpu/store_buffer.hh"
+#include "mem/memory_system.hh"
+
+namespace spburst
+{
+namespace
+{
+
+class StoreBufferTest : public ::testing::Test
+{
+  protected:
+    void
+    build(unsigned capacity)
+    {
+        mem = std::make_unique<MemorySystem>(MemSystemParams::tableI(1),
+                                             &clock);
+        sb = std::make_unique<StoreBuffer>(capacity, &mem->l1d(0), 0);
+    }
+
+    void
+    addStore(SeqNum seq, Addr addr, bool senior = false)
+    {
+        sb->allocate(seq, Region::App);
+        sb->setAddress(seq, addr, 8);
+        if (senior)
+            sb->markSenior(seq);
+    }
+
+    void
+    tickN(int n)
+    {
+        for (int i = 0; i < n; ++i) {
+            clock.tick();
+            sb->tick(clock.now);
+        }
+    }
+
+    SimClock clock;
+    std::unique_ptr<MemorySystem> mem;
+    std::unique_ptr<StoreBuffer> sb;
+};
+
+TEST_F(StoreBufferTest, CapacityIsEnforced)
+{
+    build(2);
+    EXPECT_FALSE(sb->full());
+    addStore(1, 0x1000);
+    addStore(2, 0x1008);
+    EXPECT_TRUE(sb->full());
+    EXPECT_EQ(sb->size(), 2u);
+}
+
+TEST_F(StoreBufferTest, NonSeniorStoresDoNotDrain)
+{
+    build(4);
+    addStore(1, 0x1000, false);
+    tickN(50);
+    EXPECT_EQ(sb->size(), 1u);
+    EXPECT_EQ(sb->stats().drained, 0u);
+}
+
+TEST_F(StoreBufferTest, SeniorHeadDrains)
+{
+    build(4);
+    addStore(1, 0x1000, true);
+    tickN(400);
+    EXPECT_EQ(sb->size(), 0u);
+    EXPECT_EQ(sb->stats().drained, 1u);
+    EXPECT_TRUE(mem->l1d(0).probeOwned(0x1000));
+}
+
+TEST_F(StoreBufferTest, DrainIsStrictlyInOrder)
+{
+    build(4);
+    // Head misses (cold); a younger senior store to a warm block must
+    // NOT drain before it (TSO store->store order).
+    MemRequest warm;
+    warm.cmd = MemCmd::WriteOwnReq;
+    warm.blockAddr = 0x2000;
+    bool warm_done = false;
+    mem->l1d(0).drainStore(warm, [&] { warm_done = true; });
+    while (!warm_done)
+        clock.tick();
+
+    addStore(1, 0x9000, true); // cold head
+    addStore(2, 0x2000, true); // warm, but behind
+    tickN(3);
+    EXPECT_EQ(sb->size(), 2u) << "younger store must wait for the head";
+    tickN(400);
+    EXPECT_EQ(sb->stats().drained, 2u);
+}
+
+TEST_F(StoreBufferTest, PipelinedHitsDrainOnePerCycle)
+{
+    build(16);
+    // Warm 2 blocks.
+    for (Addr a : {Addr{0x3000}, Addr{0x3040}}) {
+        MemRequest r;
+        r.cmd = MemCmd::WriteOwnReq;
+        r.blockAddr = a;
+        bool done = false;
+        mem->l1d(0).drainStore(r, [&] { done = true; });
+        while (!done)
+            clock.tick();
+    }
+    for (int i = 0; i < 16; ++i)
+        addStore(i + 1, 0x3000 + i * 8, true);
+    const Cycle start = clock.now;
+    while (sb->size() > 0) {
+        clock.tick();
+        sb->tick(clock.now);
+        ASSERT_LT(clock.now, start + 100u);
+    }
+    const Cycle elapsed = clock.now - start;
+    EXPECT_LE(elapsed, 20u) << "owned-block drains sustain ~1/cycle";
+}
+
+TEST_F(StoreBufferTest, ForwardingMatchesOlderCoveringStore)
+{
+    build(8);
+    addStore(10, 0x4000);
+    // Exact overlap from an older store: forward.
+    EXPECT_TRUE(sb->forwards(11, 0x4000, 8));
+    // Contained access: forward.
+    EXPECT_TRUE(sb->forwards(11, 0x4004, 4));
+    // Partial/non-overlap: no forward.
+    EXPECT_FALSE(sb->forwards(11, 0x4008, 8));
+    // A load OLDER than the store must not forward from it.
+    EXPECT_FALSE(sb->forwards(9, 0x4000, 8));
+    EXPECT_EQ(sb->stats().forwards, 2u);
+}
+
+TEST_F(StoreBufferTest, ForwardingIgnoresAddresslessStores)
+{
+    build(8);
+    sb->allocate(1, Region::App); // address not yet computed
+    EXPECT_FALSE(sb->forwards(2, 0x5000, 8));
+}
+
+TEST_F(StoreBufferTest, SquashRemovesYoungTail)
+{
+    build(8);
+    addStore(1, 0x1000, true);
+    addStore(2, 0x2000);
+    addStore(3, 0x3000);
+    sb->squashFrom(2);
+    EXPECT_EQ(sb->size(), 1u);
+    EXPECT_EQ(sb->stats().squashed, 2u);
+    // The senior head is untouched and still drains.
+    tickN(400);
+    EXPECT_EQ(sb->stats().drained, 1u);
+}
+
+TEST_F(StoreBufferTest, AtCommitPrefetchFiresOncePerCommit)
+{
+    build(8);
+    sb->setPrefetchAtCommit(true);
+    sb->allocate(1, Region::Memset);
+    sb->setAddress(1, 0x6000, 8);
+    EXPECT_EQ(mem->l1d(0).stats().pfIssued +
+                  mem->l1d(0).stats().pfDiscarded,
+              0u)
+        << "no prefetch before commit";
+    sb->markSenior(1);
+    tickN(5);
+    EXPECT_GE(mem->l1d(0).stats().pfIssued, 1u);
+}
+
+TEST_F(StoreBufferTest, HeadRegionReportsBlockingCode)
+{
+    build(8);
+    sb->allocate(1, Region::ClearPage);
+    sb->setAddress(1, 0x7000, 8);
+    EXPECT_EQ(sb->headRegion(), Region::ClearPage);
+}
+
+TEST_F(StoreBufferTest, OccupancyStatsAccumulate)
+{
+    build(2);
+    addStore(1, 0x1000);
+    addStore(2, 0x2000);
+    tickN(3);
+    EXPECT_GE(sb->stats().occupancySum, 6u);
+    EXPECT_GE(sb->stats().fullCycles, 3u);
+}
+
+TEST_F(StoreBufferTest, CoalescingMergesConsecutiveSameBlockSeniors)
+{
+    build(8);
+    sb->setCoalescing(true);
+    // Four stores into one block, committed in order: they collapse
+    // into a single senior entry.
+    for (SeqNum s = 1; s <= 4; ++s)
+        addStore(s, 0x8000 + (s - 1) * 8);
+    for (SeqNum s = 1; s <= 4; ++s)
+        sb->markSenior(s);
+    EXPECT_EQ(sb->size(), 1u);
+    EXPECT_EQ(sb->stats().coalesced, 3u);
+    // The merged entry covers the whole written range: loads forward.
+    EXPECT_TRUE(sb->forwards(10, 0x8010, 8));
+    tickN(400);
+    EXPECT_EQ(sb->stats().drained, 1u) << "one block write suffices";
+}
+
+TEST_F(StoreBufferTest, CoalescingStopsAtBlockBoundary)
+{
+    build(8);
+    sb->setCoalescing(true);
+    addStore(1, 0x8038); // last word of block 0
+    addStore(2, 0x8040); // first word of block 1
+    sb->markSenior(1);
+    sb->markSenior(2);
+    EXPECT_EQ(sb->size(), 2u);
+    EXPECT_EQ(sb->stats().coalesced, 0u);
+}
+
+TEST_F(StoreBufferTest, CoalescingRequiresConsecutiveCommits)
+{
+    build(8);
+    sb->setCoalescing(true);
+    addStore(1, 0x8000);
+    addStore(2, 0x9000); // different block in between
+    addStore(3, 0x8008); // same block as #1, but not adjacent
+    for (SeqNum s = 1; s <= 3; ++s)
+        sb->markSenior(s);
+    EXPECT_EQ(sb->size(), 3u) << "non-consecutive stores must not merge";
+}
+
+TEST_F(StoreBufferTest, CoalescingDisabledByDefault)
+{
+    build(8);
+    for (SeqNum s = 1; s <= 4; ++s)
+        addStore(s, 0x8000 + (s - 1) * 8, true);
+    EXPECT_EQ(sb->size(), 4u);
+    EXPECT_EQ(sb->stats().coalesced, 0u);
+}
+
+TEST_F(StoreBufferTest, DetachedModeDrainsWithoutMemory)
+{
+    StoreBuffer detached(4, nullptr, 0);
+    detached.allocate(1, Region::App);
+    detached.setAddress(1, 0x1000, 8);
+    detached.markSenior(1);
+    detached.tick(1);
+    EXPECT_EQ(detached.stats().drained, 1u);
+    EXPECT_EQ(detached.size(), 0u);
+}
+
+} // namespace
+} // namespace spburst

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Unit tests for the data TLB and the best-offset prefetcher.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "cpu/tlb.hh"
+#include "prefetch/best_offset.hh"
+
+namespace spburst
+{
+namespace
+{
+
+// ---------------------------------------------------------------------
+// TLB
+// ---------------------------------------------------------------------
+
+TEST(Tlb, MissThenHit)
+{
+    Tlb tlb(TlbParams{});
+    EXPECT_EQ(tlb.access(0x1000), tlb.params().walkLatency);
+    EXPECT_EQ(tlb.access(0x1008), 0u) << "same page hits";
+    EXPECT_EQ(tlb.access(0x1fff), 0u);
+    EXPECT_EQ(tlb.access(0x2000), tlb.params().walkLatency)
+        << "next page misses";
+    EXPECT_EQ(tlb.stats().hits, 2u);
+    EXPECT_EQ(tlb.stats().misses, 2u);
+}
+
+TEST(Tlb, CapacityEvictsLru)
+{
+    TlbParams p;
+    p.entries = 8;
+    p.ways = 8; // fully associative, single set
+    Tlb tlb(p);
+    for (Addr page = 0; page < 8; ++page)
+        tlb.access(page << kPageShift);
+    EXPECT_TRUE(tlb.probe(0));
+    // Touch page 0 so page 1 becomes LRU, then insert a 9th page.
+    tlb.access(0);
+    tlb.access(8ull << kPageShift);
+    EXPECT_TRUE(tlb.probe(0));
+    EXPECT_FALSE(tlb.probe(1ull << kPageShift)) << "LRU page evicted";
+    EXPECT_TRUE(tlb.probe(8ull << kPageShift));
+}
+
+TEST(Tlb, DisabledCostsNothing)
+{
+    TlbParams p;
+    p.enabled = false;
+    Tlb tlb(p);
+    for (Addr a = 0; a < 100 * kPageSize; a += kPageSize)
+        EXPECT_EQ(tlb.access(a), 0u);
+    EXPECT_EQ(tlb.stats().misses, 0u);
+}
+
+TEST(Tlb, SetIndexingSpreadsPages)
+{
+    Tlb tlb(TlbParams{}); // 64 entries, 8-way -> 8 sets
+    // 8 pages mapping to the same set must all fit (8 ways)...
+    for (Addr page = 0; page < 64; page += 8)
+        tlb.access(page << kPageShift);
+    for (Addr page = 0; page < 64; page += 8)
+        EXPECT_TRUE(tlb.probe(page << kPageShift));
+    // ...and the 9th conflicts.
+    tlb.access(64ull << kPageShift);
+    int resident = 0;
+    for (Addr page = 0; page < 72; page += 8)
+        resident += tlb.probe(page << kPageShift);
+    EXPECT_EQ(resident, 8);
+}
+
+// ---------------------------------------------------------------------
+// Best-offset prefetcher
+// ---------------------------------------------------------------------
+
+MemRequest
+demandAt(Addr block)
+{
+    MemRequest r;
+    r.cmd = MemCmd::ReadReq;
+    r.blockAddr = block << kBlockShift;
+    return r;
+}
+
+TEST(BestOffset, LearnsAConstantStride)
+{
+    BestOffsetPrefetcher bop;
+    std::vector<Addr> out;
+    // Stride of 3 blocks, long enough to finish a learning round.
+    for (Addr b = 0; b < 4000; b += 3)
+        bop.notifyAccess(demandAt(b), false, out);
+    EXPECT_GE(bop.stats().rounds, 1u);
+    EXPECT_EQ(bop.stats().lastBestOffset, 3)
+        << "BOP must converge on the true stride";
+}
+
+TEST(BestOffset, PrefetchesWithTheCurrentOffset)
+{
+    BestOffsetPrefetcher bop; // starts with offset 1
+    std::vector<Addr> out;
+    bop.notifyAccess(demandAt(100), false, out);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0], Addr{101} << kBlockShift);
+}
+
+TEST(BestOffset, TurnsOffOnRandomTraffic)
+{
+    BestOffsetParams params;
+    params.roundMax = 20; // fast rounds for the test
+    BestOffsetPrefetcher bop(params);
+    Rng rng(5);
+    std::vector<Addr> out;
+    for (int i = 0; i < 30000; ++i) {
+        out.clear();
+        bop.notifyAccess(demandAt(rng.below(1u << 26)), false, out);
+    }
+    EXPECT_EQ(bop.currentOffset(), 0)
+        << "no offset scores on random traffic: prefetching stops";
+    EXPECT_GE(bop.stats().offChanges, 1u);
+}
+
+TEST(BestOffset, RecoversAfterPhaseChange)
+{
+    BestOffsetParams params;
+    params.roundMax = 20;
+    BestOffsetPrefetcher bop(params);
+    Rng rng(5);
+    std::vector<Addr> out;
+    for (int i = 0; i < 30000; ++i) {
+        out.clear();
+        bop.notifyAccess(demandAt(rng.below(1u << 26)), false, out);
+    }
+    ASSERT_EQ(bop.currentOffset(), 0);
+    // A regular phase re-enables prefetching with the right offset.
+    for (Addr b = 0; b < 20000; b += 2)
+        bop.notifyAccess(demandAt(b), false, out);
+    EXPECT_EQ(bop.stats().lastBestOffset, 2);
+}
+
+TEST(BestOffset, CandidateListIsSane)
+{
+    const auto &offsets = BestOffsetPrefetcher::candidateOffsets();
+    EXPECT_GE(offsets.size(), 16u);
+    EXPECT_EQ(offsets.front(), 1);
+    for (std::size_t i = 1; i < offsets.size(); ++i)
+        EXPECT_GT(offsets[i], offsets[i - 1]) << "sorted, unique";
+}
+
+} // namespace
+} // namespace spburst

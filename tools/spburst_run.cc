@@ -1,0 +1,231 @@
+/**
+ * @file
+ * `spburst_run` — the command-line driver: run any workload under any
+ * configuration and emit text, JSON or CSV. This is the tool a
+ * downstream user scripts experiments with.
+ *
+ *   spburst_run --workload=x264,roms --sb=14 --spb --format=csv
+ *   spburst_run --workload=sb-bound --policy=at-execute --uops=500000
+ *   spburst_run --workload=dedup --threads=8 --format=json
+ *   spburst_run --list-workloads
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/table.hh"
+#include "cpu/params.hh"
+#include "sim/report.hh"
+#include "sim/system.hh"
+#include "trace/workloads.hh"
+
+using namespace spburst;
+
+namespace
+{
+
+struct Options
+{
+    std::vector<std::string> workloads{"x264"};
+    unsigned sb = 56;
+    StorePrefetchPolicy policy = StorePrefetchPolicy::AtCommit;
+    bool spb = false;
+    bool ideal = false;
+    unsigned spbN = 48;
+    bool spbDynamic = false;
+    bool spbBackward = false;
+    L1PrefetcherKind l1pf = L1PrefetcherKind::Stream;
+    std::string core = "skylake";
+    int threads = 1;
+    std::uint64_t uops = 200'000;
+    std::uint64_t seed = 1;
+    std::string format = "text";
+};
+
+void
+usage()
+{
+    std::puts(
+        "spburst_run — run the SPB simulator\n"
+        "  --workload=NAME[,NAME...] | all | sb-bound | parsec\n"
+        "  --sb=N                 store-buffer entries (default 56)\n"
+        "  --policy=none|at-execute|at-commit   (default at-commit)\n"
+        "  --spb                  enable Store-Prefetch Bursts\n"
+        "  --spb-n=N              SPB window length (default 48)\n"
+        "  --spb-dynamic          dynamic-threshold variant\n"
+        "  --spb-backward         backward-burst extension\n"
+        "  --ideal                ideal (1024-entry) SB upper bound\n"
+        "  --l1pf=none|stream|aggressive|adaptive|best-offset\n"
+        "  --core=skylake|SLM|NHL|HSW|SKL|SNC    (default skylake)\n"
+        "  --threads=N            cores/threads (default 1)\n"
+        "  --uops=N               committed uops per core (default 200k)\n"
+        "  --seed=N               workload seed (default 1)\n"
+        "  --format=text|json|csv (default text)\n"
+        "  --list-workloads       print the workload registry and exit");
+}
+
+std::vector<std::string>
+expandWorkloads(const std::string &spec)
+{
+    if (spec == "all")
+        return allSpecNames();
+    if (spec == "sb-bound")
+        return sbBoundSpecNames();
+    if (spec == "parsec")
+        return allParsecNames();
+    std::vector<std::string> out;
+    std::size_t pos = 0;
+    while (pos != std::string::npos) {
+        const std::size_t comma = spec.find(',', pos);
+        out.push_back(spec.substr(
+            pos, comma == std::string::npos ? comma : comma - pos));
+        pos = comma == std::string::npos ? comma : comma + 1;
+    }
+    return out;
+}
+
+CoreParams
+coreByName(const std::string &name)
+{
+    if (name == "skylake")
+        return skylakeParams();
+    for (const CoreParams &p : tableIIPresets())
+        if (p.name == name)
+            return p;
+    SPB_FATAL("unknown core preset '%s'", name.c_str());
+}
+
+Options
+parse(int argc, char **argv)
+{
+    Options o;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&](const char *prefix) -> const char * {
+            const std::size_t n = std::strlen(prefix);
+            return arg.compare(0, n, prefix) == 0 ? arg.c_str() + n
+                                                  : nullptr;
+        };
+        if (const char *v = value("--workload=")) {
+            o.workloads = expandWorkloads(v);
+        } else if (const char *v = value("--sb=")) {
+            o.sb = static_cast<unsigned>(std::strtoul(v, nullptr, 10));
+        } else if (const char *v = value("--policy=")) {
+            if (std::strcmp(v, "none") == 0)
+                o.policy = StorePrefetchPolicy::None;
+            else if (std::strcmp(v, "at-execute") == 0)
+                o.policy = StorePrefetchPolicy::AtExecute;
+            else if (std::strcmp(v, "at-commit") == 0)
+                o.policy = StorePrefetchPolicy::AtCommit;
+            else
+                SPB_FATAL("unknown policy '%s'", v);
+        } else if (arg == "--spb") {
+            o.spb = true;
+        } else if (const char *v = value("--spb-n=")) {
+            o.spbN = static_cast<unsigned>(std::strtoul(v, nullptr, 10));
+        } else if (arg == "--spb-dynamic") {
+            o.spbDynamic = true;
+        } else if (arg == "--spb-backward") {
+            o.spbBackward = true;
+        } else if (arg == "--ideal") {
+            o.ideal = true;
+        } else if (const char *v = value("--l1pf=")) {
+            if (std::strcmp(v, "none") == 0)
+                o.l1pf = L1PrefetcherKind::None;
+            else if (std::strcmp(v, "stream") == 0)
+                o.l1pf = L1PrefetcherKind::Stream;
+            else if (std::strcmp(v, "aggressive") == 0)
+                o.l1pf = L1PrefetcherKind::Aggressive;
+            else if (std::strcmp(v, "adaptive") == 0)
+                o.l1pf = L1PrefetcherKind::Adaptive;
+            else if (std::strcmp(v, "best-offset") == 0)
+                o.l1pf = L1PrefetcherKind::BestOffset;
+            else
+                SPB_FATAL("unknown prefetcher '%s'", v);
+        } else if (const char *v = value("--core=")) {
+            o.core = v;
+        } else if (const char *v = value("--threads=")) {
+            o.threads = static_cast<int>(std::strtol(v, nullptr, 10));
+        } else if (const char *v = value("--uops=")) {
+            o.uops = std::strtoull(v, nullptr, 10);
+        } else if (const char *v = value("--seed=")) {
+            o.seed = std::strtoull(v, nullptr, 10);
+        } else if (const char *v = value("--format=")) {
+            o.format = v;
+        } else if (arg == "--list-workloads") {
+            std::printf("%-14s %-8s %s\n", "name", "suite", "SB-bound");
+            for (const auto &p : specProfiles())
+                std::printf("%-14s %-8s %s\n", p.name.c_str(), "spec",
+                            p.sbBound ? "yes" : "no");
+            for (const auto &p : parsecProfiles())
+                std::printf("%-14s %-8s %s\n", p.name.c_str(), "parsec",
+                            p.sbBound ? "yes" : "no");
+            std::exit(0);
+        } else if (arg == "--help" || arg == "-h") {
+            usage();
+            std::exit(0);
+        } else {
+            usage();
+            SPB_FATAL("unknown option '%s'", arg.c_str());
+        }
+    }
+    return o;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const Options o = parse(argc, argv);
+
+    std::vector<SimResult> results;
+    for (const auto &w : o.workloads) {
+        SystemConfig cfg = makeConfig(w, o.sb, o.policy, o.spb, o.ideal);
+        cfg.coreParams = coreByName(o.core);
+        if (o.sb != 0)
+            cfg.sbSize = o.sb;
+        cfg.spb.checkInterval = o.spbN;
+        cfg.spb.dynamicThreshold = o.spbDynamic;
+        cfg.spb.backwardBursts = o.spbBackward;
+        cfg.l1Prefetcher = o.l1pf;
+        cfg.threads = o.threads;
+        cfg.maxUopsPerCore = o.uops;
+        cfg.seed = o.seed;
+        results.push_back(runSystem(cfg));
+    }
+
+    if (o.format == "json") {
+        std::printf("%s\n", toJson(results).c_str());
+    } else if (o.format == "csv") {
+        std::printf("%s", toCsv(results).c_str());
+    } else if (o.format == "text") {
+        TextTable table("results",
+                        {"workload", "cycles", "IPC", "SB-stall%",
+                         "L1D load miss%", "drain miss%", "SPB bursts",
+                         "energy (uJ)"});
+        for (const auto &r : results) {
+            const auto &l1 = r.l1d[0];
+            table.addRow(
+                {r.workload, std::to_string(r.cycles),
+                 formatDouble(r.ipc(), 3),
+                 formatPercent(r.sbStallRatio()),
+                 formatPercent(ratio(
+                     static_cast<double>(l1.loadMisses),
+                     static_cast<double>(l1.loadHits + l1.loadMisses))),
+                 formatPercent(
+                     ratio(static_cast<double>(l1.storeOwnMisses),
+                           static_cast<double>(l1.storeOwnHits +
+                                               l1.storeOwnMisses))),
+                 std::to_string(r.spbs.empty() ? 0 : r.spbs[0].bursts),
+                 formatDouble(r.energy.totalPj() * 1e-6, 1)});
+        }
+        table.print();
+    } else {
+        SPB_FATAL("unknown format '%s'", o.format.c_str());
+    }
+    return 0;
+}
