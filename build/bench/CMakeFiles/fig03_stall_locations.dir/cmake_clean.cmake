@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_stall_locations.dir/fig03_stall_locations.cc.o"
+  "CMakeFiles/fig03_stall_locations.dir/fig03_stall_locations.cc.o.d"
+  "fig03_stall_locations"
+  "fig03_stall_locations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_stall_locations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

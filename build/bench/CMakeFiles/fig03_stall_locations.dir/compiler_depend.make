@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig03_stall_locations.
+# This may be replaced when dependencies are built.

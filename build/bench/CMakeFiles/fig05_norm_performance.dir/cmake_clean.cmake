@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_norm_performance.dir/fig05_norm_performance.cc.o"
+  "CMakeFiles/fig05_norm_performance.dir/fig05_norm_performance.cc.o.d"
+  "fig05_norm_performance"
+  "fig05_norm_performance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_norm_performance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

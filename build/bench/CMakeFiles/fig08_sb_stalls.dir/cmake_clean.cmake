@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_sb_stalls.dir/fig08_sb_stalls.cc.o"
+  "CMakeFiles/fig08_sb_stalls.dir/fig08_sb_stalls.cc.o.d"
+  "fig08_sb_stalls"
+  "fig08_sb_stalls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_sb_stalls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_per_app_sb_stalls.dir/fig09_per_app_sb_stalls.cc.o"
+  "CMakeFiles/fig09_per_app_sb_stalls.dir/fig09_per_app_sb_stalls.cc.o.d"
+  "fig09_per_app_sb_stalls"
+  "fig09_per_app_sb_stalls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_per_app_sb_stalls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_issue_stalls.dir/fig10_issue_stalls.cc.o"
+  "CMakeFiles/fig10_issue_stalls.dir/fig10_issue_stalls.cc.o.d"
+  "fig10_issue_stalls"
+  "fig10_issue_stalls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_issue_stalls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig11_prefetch_breakdown.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_l1_tag_overhead.dir/fig13_l1_tag_overhead.cc.o"
+  "CMakeFiles/fig13_l1_tag_overhead.dir/fig13_l1_tag_overhead.cc.o.d"
+  "fig13_l1_tag_overhead"
+  "fig13_l1_tag_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_l1_tag_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

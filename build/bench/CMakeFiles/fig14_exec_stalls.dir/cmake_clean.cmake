@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_exec_stalls.dir/fig14_exec_stalls.cc.o"
+  "CMakeFiles/fig14_exec_stalls.dir/fig14_exec_stalls.cc.o.d"
+  "fig14_exec_stalls"
+  "fig14_exec_stalls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_exec_stalls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

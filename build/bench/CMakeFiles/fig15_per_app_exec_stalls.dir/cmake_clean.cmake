@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_per_app_exec_stalls.dir/fig15_per_app_exec_stalls.cc.o"
+  "CMakeFiles/fig15_per_app_exec_stalls.dir/fig15_per_app_exec_stalls.cc.o.d"
+  "fig15_per_app_exec_stalls"
+  "fig15_per_app_exec_stalls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_per_app_exec_stalls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig15_per_app_exec_stalls.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_aggressive_prefetchers.dir/fig16_aggressive_prefetchers.cc.o"
+  "CMakeFiles/fig16_aggressive_prefetchers.dir/fig16_aggressive_prefetchers.cc.o.d"
+  "fig16_aggressive_prefetchers"
+  "fig16_aggressive_prefetchers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_aggressive_prefetchers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

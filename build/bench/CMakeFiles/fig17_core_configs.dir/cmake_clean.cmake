@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_core_configs.dir/fig17_core_configs.cc.o"
+  "CMakeFiles/fig17_core_configs.dir/fig17_core_configs.cc.o.d"
+  "fig17_core_configs"
+  "fig17_core_configs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_core_configs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18_parsec.dir/fig18_parsec.cc.o"
+  "CMakeFiles/fig18_parsec.dir/fig18_parsec.cc.o.d"
+  "fig18_parsec"
+  "fig18_parsec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_parsec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sens_n_sweep.dir/sens_n_sweep.cc.o"
+  "CMakeFiles/sens_n_sweep.dir/sens_n_sweep.cc.o.d"
+  "sens_n_sweep"
+  "sens_n_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sens_n_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sens_sb_size_sweep.dir/sens_sb_size_sweep.cc.o"
+  "CMakeFiles/sens_sb_size_sweep.dir/sens_sb_size_sweep.cc.o.d"
+  "sens_sb_size_sweep"
+  "sens_sb_size_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sens_sb_size_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

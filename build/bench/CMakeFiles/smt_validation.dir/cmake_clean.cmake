@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smt_validation.dir/smt_validation.cc.o"
+  "CMakeFiles/smt_validation.dir/smt_validation.cc.o.d"
+  "smt_validation"
+  "smt_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smt_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

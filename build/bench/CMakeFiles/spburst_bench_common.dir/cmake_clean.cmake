@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spburst_bench_common.dir/bench_common.cc.o"
+  "CMakeFiles/spburst_bench_common.dir/bench_common.cc.o.d"
+  "libspburst_bench_common.a"
+  "libspburst_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spburst_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

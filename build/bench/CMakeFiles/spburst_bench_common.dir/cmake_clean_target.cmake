@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libspburst_bench_common.a"
+)

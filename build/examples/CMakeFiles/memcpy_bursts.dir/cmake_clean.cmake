@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memcpy_bursts.dir/memcpy_bursts.cpp.o"
+  "CMakeFiles/memcpy_bursts.dir/memcpy_bursts.cpp.o.d"
+  "memcpy_bursts"
+  "memcpy_bursts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memcpy_bursts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/quickstart.cpp" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o" "gcc" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/spburst_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/prefetch/CMakeFiles/spburst_prefetch.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/spburst_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/spburst_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/spburst_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/spburst_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/spburst_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/spburst_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smt_partitioning.dir/smt_partitioning.cpp.o"
+  "CMakeFiles/smt_partitioning.dir/smt_partitioning.cpp.o.d"
+  "smt_partitioning"
+  "smt_partitioning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smt_partitioning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spburst_common.dir/logging.cc.o"
+  "CMakeFiles/spburst_common.dir/logging.cc.o.d"
+  "CMakeFiles/spburst_common.dir/rng.cc.o"
+  "CMakeFiles/spburst_common.dir/rng.cc.o.d"
+  "CMakeFiles/spburst_common.dir/stats.cc.o"
+  "CMakeFiles/spburst_common.dir/stats.cc.o.d"
+  "CMakeFiles/spburst_common.dir/table.cc.o"
+  "CMakeFiles/spburst_common.dir/table.cc.o.d"
+  "libspburst_common.a"
+  "libspburst_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spburst_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spburst_core.dir/spb.cc.o"
+  "CMakeFiles/spburst_core.dir/spb.cc.o.d"
+  "libspburst_core.a"
+  "libspburst_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spburst_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cpu/core.cc" "src/cpu/CMakeFiles/spburst_cpu.dir/core.cc.o" "gcc" "src/cpu/CMakeFiles/spburst_cpu.dir/core.cc.o.d"
+  "/root/repo/src/cpu/params.cc" "src/cpu/CMakeFiles/spburst_cpu.dir/params.cc.o" "gcc" "src/cpu/CMakeFiles/spburst_cpu.dir/params.cc.o.d"
+  "/root/repo/src/cpu/smt_core.cc" "src/cpu/CMakeFiles/spburst_cpu.dir/smt_core.cc.o" "gcc" "src/cpu/CMakeFiles/spburst_cpu.dir/smt_core.cc.o.d"
+  "/root/repo/src/cpu/store_buffer.cc" "src/cpu/CMakeFiles/spburst_cpu.dir/store_buffer.cc.o" "gcc" "src/cpu/CMakeFiles/spburst_cpu.dir/store_buffer.cc.o.d"
+  "/root/repo/src/cpu/tlb.cc" "src/cpu/CMakeFiles/spburst_cpu.dir/tlb.cc.o" "gcc" "src/cpu/CMakeFiles/spburst_cpu.dir/tlb.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mem/CMakeFiles/spburst_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/spburst_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/spburst_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/spburst_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

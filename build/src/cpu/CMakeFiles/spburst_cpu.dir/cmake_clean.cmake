@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spburst_cpu.dir/core.cc.o"
+  "CMakeFiles/spburst_cpu.dir/core.cc.o.d"
+  "CMakeFiles/spburst_cpu.dir/params.cc.o"
+  "CMakeFiles/spburst_cpu.dir/params.cc.o.d"
+  "CMakeFiles/spburst_cpu.dir/smt_core.cc.o"
+  "CMakeFiles/spburst_cpu.dir/smt_core.cc.o.d"
+  "CMakeFiles/spburst_cpu.dir/store_buffer.cc.o"
+  "CMakeFiles/spburst_cpu.dir/store_buffer.cc.o.d"
+  "CMakeFiles/spburst_cpu.dir/tlb.cc.o"
+  "CMakeFiles/spburst_cpu.dir/tlb.cc.o.d"
+  "libspburst_cpu.a"
+  "libspburst_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spburst_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

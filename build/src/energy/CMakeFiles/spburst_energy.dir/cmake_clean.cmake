@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spburst_energy.dir/energy_model.cc.o"
+  "CMakeFiles/spburst_energy.dir/energy_model.cc.o.d"
+  "libspburst_energy.a"
+  "libspburst_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spburst_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

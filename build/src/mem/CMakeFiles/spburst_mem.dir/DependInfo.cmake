@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/cache.cc" "src/mem/CMakeFiles/spburst_mem.dir/cache.cc.o" "gcc" "src/mem/CMakeFiles/spburst_mem.dir/cache.cc.o.d"
+  "/root/repo/src/mem/cache_controller.cc" "src/mem/CMakeFiles/spburst_mem.dir/cache_controller.cc.o" "gcc" "src/mem/CMakeFiles/spburst_mem.dir/cache_controller.cc.o.d"
+  "/root/repo/src/mem/directory.cc" "src/mem/CMakeFiles/spburst_mem.dir/directory.cc.o" "gcc" "src/mem/CMakeFiles/spburst_mem.dir/directory.cc.o.d"
+  "/root/repo/src/mem/dram.cc" "src/mem/CMakeFiles/spburst_mem.dir/dram.cc.o" "gcc" "src/mem/CMakeFiles/spburst_mem.dir/dram.cc.o.d"
+  "/root/repo/src/mem/interconnect.cc" "src/mem/CMakeFiles/spburst_mem.dir/interconnect.cc.o" "gcc" "src/mem/CMakeFiles/spburst_mem.dir/interconnect.cc.o.d"
+  "/root/repo/src/mem/memory_system.cc" "src/mem/CMakeFiles/spburst_mem.dir/memory_system.cc.o" "gcc" "src/mem/CMakeFiles/spburst_mem.dir/memory_system.cc.o.d"
+  "/root/repo/src/mem/mshr.cc" "src/mem/CMakeFiles/spburst_mem.dir/mshr.cc.o" "gcc" "src/mem/CMakeFiles/spburst_mem.dir/mshr.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/spburst_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/spburst_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spburst_mem.dir/cache.cc.o"
+  "CMakeFiles/spburst_mem.dir/cache.cc.o.d"
+  "CMakeFiles/spburst_mem.dir/cache_controller.cc.o"
+  "CMakeFiles/spburst_mem.dir/cache_controller.cc.o.d"
+  "CMakeFiles/spburst_mem.dir/directory.cc.o"
+  "CMakeFiles/spburst_mem.dir/directory.cc.o.d"
+  "CMakeFiles/spburst_mem.dir/dram.cc.o"
+  "CMakeFiles/spburst_mem.dir/dram.cc.o.d"
+  "CMakeFiles/spburst_mem.dir/interconnect.cc.o"
+  "CMakeFiles/spburst_mem.dir/interconnect.cc.o.d"
+  "CMakeFiles/spburst_mem.dir/memory_system.cc.o"
+  "CMakeFiles/spburst_mem.dir/memory_system.cc.o.d"
+  "CMakeFiles/spburst_mem.dir/mshr.cc.o"
+  "CMakeFiles/spburst_mem.dir/mshr.cc.o.d"
+  "libspburst_mem.a"
+  "libspburst_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spburst_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

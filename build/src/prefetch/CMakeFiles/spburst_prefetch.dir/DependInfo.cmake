@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/prefetch/best_offset.cc" "src/prefetch/CMakeFiles/spburst_prefetch.dir/best_offset.cc.o" "gcc" "src/prefetch/CMakeFiles/spburst_prefetch.dir/best_offset.cc.o.d"
+  "/root/repo/src/prefetch/stream_prefetcher.cc" "src/prefetch/CMakeFiles/spburst_prefetch.dir/stream_prefetcher.cc.o" "gcc" "src/prefetch/CMakeFiles/spburst_prefetch.dir/stream_prefetcher.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mem/CMakeFiles/spburst_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/spburst_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/spburst_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

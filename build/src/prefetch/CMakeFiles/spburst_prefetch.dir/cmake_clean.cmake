@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spburst_prefetch.dir/best_offset.cc.o"
+  "CMakeFiles/spburst_prefetch.dir/best_offset.cc.o.d"
+  "CMakeFiles/spburst_prefetch.dir/stream_prefetcher.cc.o"
+  "CMakeFiles/spburst_prefetch.dir/stream_prefetcher.cc.o.d"
+  "libspburst_prefetch.a"
+  "libspburst_prefetch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spburst_prefetch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spburst_sim.dir/report.cc.o"
+  "CMakeFiles/spburst_sim.dir/report.cc.o.d"
+  "CMakeFiles/spburst_sim.dir/system.cc.o"
+  "CMakeFiles/spburst_sim.dir/system.cc.o.d"
+  "libspburst_sim.a"
+  "libspburst_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spburst_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

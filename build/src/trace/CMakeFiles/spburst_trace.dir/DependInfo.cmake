@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/program.cc" "src/trace/CMakeFiles/spburst_trace.dir/program.cc.o" "gcc" "src/trace/CMakeFiles/spburst_trace.dir/program.cc.o.d"
+  "/root/repo/src/trace/segments.cc" "src/trace/CMakeFiles/spburst_trace.dir/segments.cc.o" "gcc" "src/trace/CMakeFiles/spburst_trace.dir/segments.cc.o.d"
+  "/root/repo/src/trace/source.cc" "src/trace/CMakeFiles/spburst_trace.dir/source.cc.o" "gcc" "src/trace/CMakeFiles/spburst_trace.dir/source.cc.o.d"
+  "/root/repo/src/trace/uop.cc" "src/trace/CMakeFiles/spburst_trace.dir/uop.cc.o" "gcc" "src/trace/CMakeFiles/spburst_trace.dir/uop.cc.o.d"
+  "/root/repo/src/trace/workloads.cc" "src/trace/CMakeFiles/spburst_trace.dir/workloads.cc.o" "gcc" "src/trace/CMakeFiles/spburst_trace.dir/workloads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/spburst_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spburst_trace.dir/program.cc.o"
+  "CMakeFiles/spburst_trace.dir/program.cc.o.d"
+  "CMakeFiles/spburst_trace.dir/segments.cc.o"
+  "CMakeFiles/spburst_trace.dir/segments.cc.o.d"
+  "CMakeFiles/spburst_trace.dir/source.cc.o"
+  "CMakeFiles/spburst_trace.dir/source.cc.o.d"
+  "CMakeFiles/spburst_trace.dir/uop.cc.o"
+  "CMakeFiles/spburst_trace.dir/uop.cc.o.d"
+  "CMakeFiles/spburst_trace.dir/workloads.cc.o"
+  "CMakeFiles/spburst_trace.dir/workloads.cc.o.d"
+  "libspburst_trace.a"
+  "libspburst_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spburst_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,43 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_cache.cc" "tests/CMakeFiles/spburst_tests.dir/test_cache.cc.o" "gcc" "tests/CMakeFiles/spburst_tests.dir/test_cache.cc.o.d"
+  "/root/repo/tests/test_claims.cc" "tests/CMakeFiles/spburst_tests.dir/test_claims.cc.o" "gcc" "tests/CMakeFiles/spburst_tests.dir/test_claims.cc.o.d"
+  "/root/repo/tests/test_common.cc" "tests/CMakeFiles/spburst_tests.dir/test_common.cc.o" "gcc" "tests/CMakeFiles/spburst_tests.dir/test_common.cc.o.d"
+  "/root/repo/tests/test_core.cc" "tests/CMakeFiles/spburst_tests.dir/test_core.cc.o" "gcc" "tests/CMakeFiles/spburst_tests.dir/test_core.cc.o.d"
+  "/root/repo/tests/test_core_more.cc" "tests/CMakeFiles/spburst_tests.dir/test_core_more.cc.o" "gcc" "tests/CMakeFiles/spburst_tests.dir/test_core_more.cc.o.d"
+  "/root/repo/tests/test_energy.cc" "tests/CMakeFiles/spburst_tests.dir/test_energy.cc.o" "gcc" "tests/CMakeFiles/spburst_tests.dir/test_energy.cc.o.d"
+  "/root/repo/tests/test_interconnect.cc" "tests/CMakeFiles/spburst_tests.dir/test_interconnect.cc.o" "gcc" "tests/CMakeFiles/spburst_tests.dir/test_interconnect.cc.o.d"
+  "/root/repo/tests/test_mem_system.cc" "tests/CMakeFiles/spburst_tests.dir/test_mem_system.cc.o" "gcc" "tests/CMakeFiles/spburst_tests.dir/test_mem_system.cc.o.d"
+  "/root/repo/tests/test_prefetch.cc" "tests/CMakeFiles/spburst_tests.dir/test_prefetch.cc.o" "gcc" "tests/CMakeFiles/spburst_tests.dir/test_prefetch.cc.o.d"
+  "/root/repo/tests/test_report.cc" "tests/CMakeFiles/spburst_tests.dir/test_report.cc.o" "gcc" "tests/CMakeFiles/spburst_tests.dir/test_report.cc.o.d"
+  "/root/repo/tests/test_smt.cc" "tests/CMakeFiles/spburst_tests.dir/test_smt.cc.o" "gcc" "tests/CMakeFiles/spburst_tests.dir/test_smt.cc.o.d"
+  "/root/repo/tests/test_spb.cc" "tests/CMakeFiles/spburst_tests.dir/test_spb.cc.o" "gcc" "tests/CMakeFiles/spburst_tests.dir/test_spb.cc.o.d"
+  "/root/repo/tests/test_spb_extensions.cc" "tests/CMakeFiles/spburst_tests.dir/test_spb_extensions.cc.o" "gcc" "tests/CMakeFiles/spburst_tests.dir/test_spb_extensions.cc.o.d"
+  "/root/repo/tests/test_store_buffer.cc" "tests/CMakeFiles/spburst_tests.dir/test_store_buffer.cc.o" "gcc" "tests/CMakeFiles/spburst_tests.dir/test_store_buffer.cc.o.d"
+  "/root/repo/tests/test_system.cc" "tests/CMakeFiles/spburst_tests.dir/test_system.cc.o" "gcc" "tests/CMakeFiles/spburst_tests.dir/test_system.cc.o.d"
+  "/root/repo/tests/test_tlb_bop.cc" "tests/CMakeFiles/spburst_tests.dir/test_tlb_bop.cc.o" "gcc" "tests/CMakeFiles/spburst_tests.dir/test_tlb_bop.cc.o.d"
+  "/root/repo/tests/test_trace.cc" "tests/CMakeFiles/spburst_tests.dir/test_trace.cc.o" "gcc" "tests/CMakeFiles/spburst_tests.dir/test_trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/spburst_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/prefetch/CMakeFiles/spburst_prefetch.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/spburst_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/spburst_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/spburst_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/spburst_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/spburst_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/spburst_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

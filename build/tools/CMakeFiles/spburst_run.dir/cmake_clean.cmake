@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spburst_run.dir/spburst_run.cc.o"
+  "CMakeFiles/spburst_run.dir/spburst_run.cc.o.d"
+  "spburst_run"
+  "spburst_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spburst_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
