@@ -44,6 +44,41 @@ main(int argc, char **argv)
                 "backward bursts / burst pacing / MSHR reserve / coalescing",
                 options);
     Runner runner(options);
+    {
+        std::vector<SystemConfig> grid;
+        for (const auto &w : suiteSbBound()) {
+            SystemConfig fwd = spbCfg(options, w, 14);
+            grid.push_back(fwd);
+            SystemConfig both = fwd;
+            both.spb.backwardBursts = true;
+            grid.push_back(both);
+            for (unsigned rate : {1u, 2u, 4u, 8u}) {
+                SystemConfig cfg = spbCfg(options, w, 14);
+                cfg.mem.l1d.prefetchIssuePerCycle = rate;
+                grid.push_back(cfg);
+            }
+            for (unsigned reserve : {0u, 4u, 8u, 16u, 32u}) {
+                SystemConfig cfg = spbCfg(options, w, 14);
+                cfg.mem.l1d.demandReservedMshrs = reserve;
+                grid.push_back(cfg);
+            }
+            SystemConfig base = makeConfig(
+                w, 14, StorePrefetchPolicy::AtCommit, false);
+            base.maxUopsPerCore = options.uops;
+            base.seed = options.seed;
+            grid.push_back(base);
+            SystemConfig coal = base;
+            coal.coalescingSb = true;
+            grid.push_back(coal);
+            SystemConfig spb = base;
+            spb.useSpb = true;
+            grid.push_back(spb);
+            SystemConfig spb_coal = spb;
+            spb_coal.coalescingSb = true;
+            grid.push_back(spb_coal);
+        }
+        runner.prewarm(grid);
+    }
 
     // ---- 1. Backward bursts on the normal suite --------------------
     {

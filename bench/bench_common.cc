@@ -2,8 +2,10 @@
 
 #include <cstdio>
 #include <cstring>
+#include <set>
 
 #include "common/logging.hh"
+#include "exp/spec.hh"
 #include "trace/workloads.hh"
 
 namespace spburst::bench
@@ -20,10 +22,16 @@ BenchOptions::parse(int argc, char **argv, std::uint64_t default_uops)
             o.uops = std::strtoull(arg + 7, nullptr, 10);
         } else if (std::strncmp(arg, "--seed=", 7) == 0) {
             o.seed = std::strtoull(arg + 7, nullptr, 10);
+        } else if (std::strncmp(arg, "--jobs=", 7) == 0) {
+            o.jobs = static_cast<unsigned>(
+                std::strtoul(arg + 7, nullptr, 10));
+        } else if (std::strcmp(arg, "--progress") == 0) {
+            o.progress = true;
         } else if (std::strcmp(arg, "--quick") == 0) {
             o.uops = 20'000;
         } else if (std::strcmp(arg, "--help") == 0) {
-            std::printf("options: --uops=N --seed=N --quick\n");
+            std::printf("options: --uops=N --seed=N --quick "
+                        "--jobs=N --progress\n");
             std::exit(0);
         } else {
             SPB_FATAL("unknown bench option '%s'", arg);
@@ -35,30 +43,72 @@ BenchOptions::parse(int argc, char **argv, std::uint64_t default_uops)
 std::string
 configKey(const SystemConfig &cfg)
 {
-    char buf[320];
-    std::snprintf(
-        buf, sizeof(buf),
-        "%s|sb%u|p%d|spb%d:%u:%d:%d|i%d|c%d|pf%d|t%d|s%lu|u%lu|%s|m%u:%zu",
-        cfg.workload.c_str(), cfg.sbSize, static_cast<int>(cfg.policy),
-        cfg.useSpb, cfg.spb.checkInterval, cfg.spb.dynamicThreshold,
-        cfg.spb.backwardBursts, cfg.idealSb, cfg.coalescingSb,
-        static_cast<int>(cfg.l1Prefetcher), cfg.threads,
-        static_cast<unsigned long>(cfg.seed),
-        static_cast<unsigned long>(cfg.maxUopsPerCore),
-        cfg.coreParams.name.c_str(), cfg.mem.l1d.prefetchIssuePerCycle,
-        cfg.mem.l1d.demandReservedMshrs);
-    return buf;
+    return exp::configKey(cfg);
+}
+
+SystemConfig
+Runner::makeStandardConfig(const std::string &workload, unsigned sb_size,
+                           const Strategy &strategy) const
+{
+    SystemConfig cfg = makeConfig(workload, sb_size, strategy.policy,
+                                  strategy.spb, strategy.ideal);
+    cfg.maxUopsPerCore = options_.uops;
+    cfg.seed = options_.seed;
+    return cfg;
 }
 
 const SimResult &
 Runner::run(const std::string &workload, unsigned sb_size,
             const Strategy &strategy)
 {
-    SystemConfig cfg = makeConfig(workload, sb_size, strategy.policy,
-                                  strategy.spb, strategy.ideal);
-    cfg.maxUopsPerCore = options_.uops;
-    cfg.seed = options_.seed;
-    return run(cfg);
+    return run(makeStandardConfig(workload, sb_size, strategy));
+}
+
+void
+Runner::prewarm(const std::vector<SystemConfig> &configs)
+{
+    std::vector<exp::Job> jobs;
+    jobs.reserve(configs.size());
+    std::set<std::string> queued;
+    for (const auto &cfg : configs) {
+        std::string key = exp::configKey(cfg);
+        if (cache_.count(key) || !queued.insert(key).second)
+            continue;
+        jobs.push_back(exp::Job{std::move(key), cfg});
+    }
+    if (jobs.empty())
+        return;
+
+    exp::EngineOptions engine;
+    engine.hostThreads = options_.jobs;
+    engine.progress = options_.progress;
+    const exp::ExperimentReport report = exp::runJobs(jobs, engine);
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        const exp::JobOutcome &out = report.outcomes[i];
+        if (out.status != exp::JobStatus::Completed)
+            SPB_FATAL("prewarm job '%s' failed: %s", out.key.c_str(),
+                      out.error.c_str());
+        cache_.emplace(out.key, out.result);
+    }
+}
+
+void
+Runner::prewarmGrid(const std::vector<std::string> &workloads,
+                    const std::vector<unsigned> &sb_sizes,
+                    const std::vector<Strategy> &strategies,
+                    bool ideal_baseline)
+{
+    std::vector<SystemConfig> grid;
+    grid.reserve(workloads.size() *
+                 (sb_sizes.size() * strategies.size() + 1));
+    for (const auto &w : workloads) {
+        if (ideal_baseline)
+            grid.push_back(makeStandardConfig(w, 56, kIdeal));
+        for (unsigned sb : sb_sizes)
+            for (const Strategy &s : strategies)
+                grid.push_back(makeStandardConfig(w, sb, s));
+    }
+    prewarm(grid);
 }
 
 const SimResult &

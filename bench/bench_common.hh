@@ -19,6 +19,7 @@
 
 #include "common/stats.hh"
 #include "common/table.hh"
+#include "exp/engine.hh"
 #include "sim/system.hh"
 
 namespace spburst::bench
@@ -29,8 +30,11 @@ struct BenchOptions
 {
     std::uint64_t uops = 120'000; //!< committed uops per core per run
     std::uint64_t seed = 1;
+    unsigned jobs = 0;            //!< host threads for prewarm (0=auto)
+    bool progress = false;        //!< live progress line on stderr
 
-    /** Parse --uops=N, --seed=N, --quick (uops=20k). */
+    /** Parse --uops=N, --seed=N, --quick (uops=20k), --jobs=N,
+     *  --progress. Unknown flags are rejected (fatal). */
     static BenchOptions parse(int argc, char **argv,
                               std::uint64_t default_uops = 120'000);
 };
@@ -62,11 +66,24 @@ inline const std::vector<Strategy> kRealStrategies{kAtExecute, kAtCommit,
 /** The SB sizes the paper evaluates. */
 inline const std::vector<unsigned> kSbSizes{14, 28, 56};
 
-/** Memoizing simulation runner (many figures share configurations). */
+/**
+ * Memoizing simulation runner (many figures share configurations).
+ *
+ * Figures declare their full (workload × config) grid up front with
+ * prewarm()/prewarmGrid(); the grid runs on the exp engine's host
+ * thread pool and fills the memo cache, so the table-building loops
+ * below hit the cache only. Results are bit-identical to serial
+ * execution for any --jobs value.
+ */
 class Runner
 {
   public:
     explicit Runner(const BenchOptions &options) : options_(options) {}
+
+    /** The config run(workload, sb, strategy) would execute. */
+    SystemConfig makeStandardConfig(const std::string &workload,
+                                    unsigned sb_size,
+                                    const Strategy &strategy) const;
 
     /** Build a config for (workload, SB size, strategy) and run it. */
     const SimResult &run(const std::string &workload, unsigned sb_size,
@@ -74,6 +91,18 @@ class Runner
 
     /** Run an arbitrary config (memoized on its key). */
     const SimResult &run(SystemConfig cfg);
+
+    /** Run every not-yet-cached config in parallel (--jobs threads)
+     *  and memoize the results. */
+    void prewarm(const std::vector<SystemConfig> &configs);
+
+    /** prewarm() of the standard grid workloads × sizes × strategies;
+     *  when @p ideal_baseline also (workload, SB56, ideal), the
+     *  normalisation denominator nearly every figure shares. */
+    void prewarmGrid(const std::vector<std::string> &workloads,
+                     const std::vector<unsigned> &sb_sizes,
+                     const std::vector<Strategy> &strategies,
+                     bool ideal_baseline = true);
 
     const BenchOptions &options() const { return options_; }
 
@@ -85,7 +114,7 @@ class Runner
     std::map<std::string, SimResult> cache_;
 };
 
-/** Unique cache key of a configuration. */
+/** Unique cache key of a configuration (alias of exp::configKey). */
 std::string configKey(const SystemConfig &cfg);
 
 /** Workload lists (paper ordering: SB-bound first). */

@@ -21,6 +21,7 @@ main(int argc, char **argv)
                 "SB-induced stall-cycle ratio, at-commit baseline",
                 options);
     Runner runner(options);
+    runner.prewarmGrid(suiteAll(), {56u, 28u, 14u}, {kAtCommit}, false);
 
     TextTable table("SB-induced stall ratio (fraction of cycles)",
                     {"workload", "SB56", "SB28", "SB14"});

@@ -21,6 +21,7 @@ main(int argc, char **argv)
                 "Code regions causing SB-induced stalls (SB56, at-commit)",
                 options);
     Runner runner(options);
+    runner.prewarmGrid(suiteSbBound(), {56u}, {kAtCommit}, false);
 
     std::vector<std::string> headers{"workload"};
     for (int r = 0; r < kNumRegions; ++r)

@@ -21,6 +21,7 @@ main(int argc, char **argv)
                 "better; 1.0 == ideal)",
                 options);
     Runner runner(options);
+    runner.prewarmGrid(suiteAll(), kSbSizes, kRealStrategies);
 
     // Normalised performance = ideal cycles / strategy cycles.
     auto norm = [&](const std::string &w, unsigned sb,

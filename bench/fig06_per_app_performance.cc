@@ -21,6 +21,8 @@ main(int argc, char **argv)
                 "(SB-bound workloads)",
                 options);
     Runner runner(options);
+    runner.prewarmGrid(suiteSbBound(), {14u, 28u, 56u},
+                       kRealStrategies);
 
     for (unsigned sb : {14u, 28u, 56u}) {
         TextTable table(

@@ -21,6 +21,8 @@ main(int argc, char **argv)
                 "Energy normalised to at-commit (lower is better)",
                 options);
     Runner runner(options);
+    runner.prewarmGrid(suiteAll(), kSbSizes,
+                       {kAtExecute, kAtCommit, kSpb}, false);
 
     auto norm_component = [&](const std::vector<std::string> &workloads,
                               unsigned sb, const Strategy &s,

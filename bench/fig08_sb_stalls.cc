@@ -20,6 +20,8 @@ main(int argc, char **argv)
                 "SB stalls normalised to at-commit (lower is better)",
                 options);
     Runner runner(options);
+    runner.prewarmGrid(suiteAll(), kSbSizes,
+                       {kAtCommit, kAtExecute, kSpb}, false);
 
     auto norm = [&](const std::vector<std::string> &workloads, unsigned sb,
                     const Strategy &s) {

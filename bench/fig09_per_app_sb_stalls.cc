@@ -20,6 +20,8 @@ main(int argc, char **argv)
                 "(lower is better)",
                 options);
     Runner runner(options);
+    runner.prewarmGrid(suiteSbBound(), {14u, 28u, 56u},
+                       {kAtCommit, kAtExecute, kSpb, kIdeal}, false);
 
     for (unsigned sb : {14u, 28u, 56u}) {
         TextTable table(std::to_string(sb) + "-entry SB",

@@ -21,6 +21,8 @@ main(int argc, char **argv)
                 "Issue-stall breakdown normalised to at-commit",
                 options);
     Runner runner(options);
+    runner.prewarmGrid(suiteAll(), kSbSizes, {kAtCommit, kSpb, kIdeal},
+                       false);
 
     struct Decomp
     {

@@ -21,6 +21,7 @@ main(int argc, char **argv)
                 "Store-prefetch outcome breakdown at the L1D",
                 options);
     Runner runner(options);
+    runner.prewarmGrid(suiteAll(), kSbSizes, {kAtCommit, kSpb}, false);
 
     struct Outcomes
     {

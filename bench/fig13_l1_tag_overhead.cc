@@ -20,6 +20,7 @@ main(int argc, char **argv)
                 "L1D tag accesses of SPB normalised to at-commit",
                 options);
     Runner runner(options);
+    runner.prewarmGrid(suiteAll(), kSbSizes, {kAtCommit, kSpb}, false);
 
     auto norm = [&](const std::vector<std::string> &workloads, unsigned sb,
                     auto field) {

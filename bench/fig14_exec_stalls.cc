@@ -21,6 +21,8 @@ main(int argc, char **argv)
                 "to at-commit (lower is better)",
                 options);
     Runner runner(options);
+    runner.prewarmGrid(suiteAll(), kSbSizes, {kAtCommit, kSpb, kIdeal},
+                       false);
 
     auto norm = [&](const std::vector<std::string> &workloads, unsigned sb,
                     const Strategy &s) {

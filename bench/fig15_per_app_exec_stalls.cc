@@ -22,6 +22,8 @@ main(int argc, char **argv)
                 "normalised to at-commit",
                 options);
     Runner runner(options);
+    runner.prewarmGrid(suiteSbBound(), {14u, 28u, 56u},
+                       {kAtCommit, kSpb, kIdeal}, false);
 
     for (unsigned sb : {14u, 28u, 56u}) {
         TextTable table(std::to_string(sb) + "-entry SB",

@@ -39,6 +39,17 @@ main(int argc, char **argv)
                 "prefetcher (lower is better; SB56)",
                 options);
     Runner runner(options);
+    {
+        std::vector<SystemConfig> grid;
+        for (const auto kind :
+             {L1PrefetcherKind::Stream, L1PrefetcherKind::Aggressive,
+              L1PrefetcherKind::Adaptive}) {
+            for (const auto &w : suiteSbBound())
+                for (const Strategy &s : {kIdeal, kAtCommit, kSpb})
+                    grid.push_back(cfgWith(options, w, kind, s, 56));
+        }
+        runner.prewarm(grid);
+    }
     constexpr unsigned kSb = 56;
 
     const std::vector<std::pair<const char *, L1PrefetcherKind>> kinds{

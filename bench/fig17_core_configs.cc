@@ -24,6 +24,33 @@ main(int argc, char **argv)
                 "configurations (lower is better)",
                 options);
     Runner runner(options);
+    {
+        std::vector<SystemConfig> grid;
+        for (const CoreParams &p : tableIIPresets()) {
+            auto make = [&](const Strategy &strat, unsigned sq_size,
+                            const std::string &w) {
+                SystemConfig cfg;
+                cfg.coreParams = p;
+                cfg.coreParams.name =
+                    p.name + "-sq" + std::to_string(sq_size);
+                cfg.coreParams.sqSize = sq_size;
+                cfg.policy = strat.policy;
+                cfg.useSpb = strat.spb;
+                cfg.idealSb = strat.ideal;
+                cfg.workload = w;
+                cfg.maxUopsPerCore = options.uops;
+                cfg.seed = options.seed;
+                return cfg;
+            };
+            for (const auto &w : suiteSbBound()) {
+                grid.push_back(make(kIdeal, p.sqSize, w));
+                for (unsigned sq : {p.sqSize, p.sqSize / 2})
+                    for (const Strategy &s : {kAtCommit, kSpb})
+                        grid.push_back(make(s, sq, w));
+            }
+        }
+        runner.prewarm(grid);
+    }
 
     // Table II itself.
     TextTable tab2("Table II: configurations",

@@ -41,6 +41,16 @@ main(int argc, char **argv)
                 "to the ideal SB",
                 options);
     Runner runner(options);
+    {
+        std::vector<SystemConfig> grid;
+        for (const auto &w : allParsecNames()) {
+            grid.push_back(parsecConfig(options, w, 56, kIdeal));
+            for (unsigned sb : kSbSizes)
+                for (const auto &s : {kAtCommit, kSpb})
+                    grid.push_back(parsecConfig(options, w, sb, s));
+        }
+        runner.prewarm(grid);
+    }
 
     const auto all = allParsecNames();
     const auto bound = sbBoundParsecNames();

@@ -39,6 +39,18 @@ main(int argc, char **argv)
                 "(geomean over SB-bound workloads, normalised to ideal)",
                 options);
     Runner runner(options);
+    {
+        std::vector<SystemConfig> grid;
+        for (const auto &w : suiteSbBound()) {
+            grid.push_back(runner.makeStandardConfig(w, 56, kIdeal));
+            for (unsigned sb : kSbSizes) {
+                for (unsigned n : {8u, 16u, 24u, 32u, 48u, 64u})
+                    grid.push_back(spbConfig(options, w, sb, n, false));
+                grid.push_back(spbConfig(options, w, sb, 48, true));
+            }
+        }
+        runner.prewarm(grid);
+    }
 
     const std::vector<unsigned> ns{8, 16, 24, 32, 48, 64};
     auto norm = [&](unsigned sb, unsigned n, bool dynamic) {

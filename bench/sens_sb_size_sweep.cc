@@ -24,6 +24,7 @@ main(int argc, char **argv)
     Runner runner(options);
 
     const std::vector<unsigned> sizes{8, 14, 20, 28, 40, 56, 72};
+    runner.prewarmGrid(suiteAll(), sizes, {kAtCommit, kSpb});
     auto norm = [&](const std::vector<std::string> &suite, unsigned sb,
                     const Strategy &s) {
         return geomeanOver(suite, [&](const std::string &w) {

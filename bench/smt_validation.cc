@@ -69,6 +69,22 @@ main(int argc, char **argv)
                 "real SMT-1/2/4 vs the paper's shrink-the-SB model",
                 options);
     Runner runner(options);
+    {
+        std::vector<SystemConfig> grid;
+        for (const char *w : {"bwaves", "x264"}) {
+            for (unsigned sb_model : {56u, 28u, 14u}) {
+                SystemConfig mac = makeConfig(
+                    w, sb_model, StorePrefetchPolicy::AtCommit, false);
+                mac.maxUopsPerCore = options.uops;
+                mac.seed = options.seed;
+                grid.push_back(mac);
+                SystemConfig mspb = mac;
+                mspb.useSpb = true;
+                grid.push_back(mspb);
+            }
+        }
+        runner.prewarm(grid);
+    }
 
     for (const char *w : {"bwaves", "x264"}) {
         TextTable table(std::string(w) +

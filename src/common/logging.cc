@@ -6,6 +6,19 @@
 
 namespace spburst
 {
+
+namespace
+{
+
+/** Depth of active FatalThrowGuards on this thread. */
+thread_local int t_fatalThrowDepth = 0;
+
+} // namespace
+
+FatalThrowGuard::FatalThrowGuard() { ++t_fatalThrowDepth; }
+
+FatalThrowGuard::~FatalThrowGuard() { --t_fatalThrowDepth; }
+
 namespace detail
 {
 
@@ -38,6 +51,8 @@ panicImpl(const char *file, int line, const std::string &msg)
 void
 fatalImpl(const char *file, int line, const std::string &msg)
 {
+    if (t_fatalThrowDepth > 0)
+        throw FatalError(msg);
     std::fprintf(stderr, "fatal: %s (%s:%d)\n", msg.c_str(), file, line);
     std::exit(1);
 }

@@ -12,15 +12,41 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <stdexcept>
 #include <string>
 
 namespace spburst
 {
 
+/**
+ * Thrown instead of exiting when SPB_FATAL fires under an active
+ * FatalThrowGuard. Lets batch drivers (the experiment engine) contain a
+ * bad configuration to one failed job instead of killing the process.
+ */
+class FatalError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/**
+ * RAII scope turning SPB_FATAL into a FatalError throw on the current
+ * thread. Nestable; panic() and assertions still abort.
+ */
+class FatalThrowGuard
+{
+  public:
+    FatalThrowGuard();
+    ~FatalThrowGuard();
+    FatalThrowGuard(const FatalThrowGuard &) = delete;
+    FatalThrowGuard &operator=(const FatalThrowGuard &) = delete;
+};
+
 namespace detail
 {
 
 [[noreturn]] void panicImpl(const char *file, int line, const std::string &msg);
+/** Exits — or throws FatalError under a FatalThrowGuard. */
 [[noreturn]] void fatalImpl(const char *file, int line, const std::string &msg);
 void warnImpl(const char *file, int line, const std::string &msg);
 

@@ -1,0 +1,110 @@
+#include "exp/spec.hh"
+
+#include <cstdio>
+#include <set>
+
+#include "common/logging.hh"
+
+namespace spburst::exp
+{
+
+std::string
+configKey(const SystemConfig &cfg)
+{
+    char buf[320];
+    std::snprintf(
+        buf, sizeof(buf),
+        "%s|sb%u|p%d|spb%d:%u:%d:%d|i%d|c%d|pf%d|t%d|s%lu|u%lu|%s|m%u:%zu",
+        cfg.workload.c_str(), cfg.sbSize, static_cast<int>(cfg.policy),
+        cfg.useSpb, cfg.spb.checkInterval, cfg.spb.dynamicThreshold,
+        cfg.spb.backwardBursts, cfg.idealSb, cfg.coalescingSb,
+        static_cast<int>(cfg.l1Prefetcher), cfg.threads,
+        static_cast<unsigned long>(cfg.seed),
+        static_cast<unsigned long>(cfg.maxUopsPerCore),
+        cfg.coreParams.name.c_str(), cfg.mem.l1d.prefetchIssuePerCycle,
+        cfg.mem.l1d.demandReservedMshrs);
+    return buf;
+}
+
+std::uint64_t
+mixSeed(std::uint64_t base, std::uint64_t jobIndex)
+{
+    // splitmix64 over (base, index); any schedule-independent mix
+    // with good avalanche would do.
+    std::uint64_t z = base + 0x9e3779b97f4a7c15ULL * (jobIndex + 1);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+std::vector<Job>
+ExperimentSpec::expand() const
+{
+    SPB_ASSERT(!workloads.empty(),
+               "experiment '%s' has no workloads", name.c_str());
+    for (const auto &axis : axes) {
+        SPB_ASSERT(!axis.variants.empty(),
+                   "experiment '%s' axis '%s' has no variants",
+                   name.c_str(), axis.name.c_str());
+    }
+
+    std::size_t per_workload = 1;
+    for (const auto &axis : axes)
+        per_workload *= axis.variants.size();
+
+    std::vector<Job> jobs;
+    jobs.reserve(workloads.size() * per_workload);
+    std::vector<std::size_t> digits(axes.size(), 0);
+    for (const auto &workload : workloads) {
+        for (std::size_t idx = 0; idx < per_workload; ++idx) {
+            // Decompose idx into one digit per axis, last axis fastest.
+            std::size_t rem = idx;
+            for (std::size_t a = axes.size(); a-- > 0;) {
+                digits[a] = rem % axes[a].variants.size();
+                rem /= axes[a].variants.size();
+            }
+            SystemConfig cfg = base;
+            cfg.workload = workload;
+            for (std::size_t a = 0; a < axes.size(); ++a)
+                axes[a].variants[digits[a]].apply(cfg);
+            if (perJobSeeds)
+                cfg.seed = mixSeed(base.seed, jobs.size());
+            jobs.push_back(Job{configKey(cfg), std::move(cfg)});
+        }
+    }
+
+    std::set<std::string> keys;
+    for (const auto &job : jobs) {
+        if (!keys.insert(job.key).second)
+            SPB_FATAL("experiment '%s': duplicate job '%s' — two "
+                      "variants resolve to the same configuration",
+                      name.c_str(), job.key.c_str());
+    }
+    return jobs;
+}
+
+Axis
+sbSizeAxis(const std::vector<unsigned> &sizes)
+{
+    Axis axis{"sb", {}};
+    for (unsigned sb : sizes) {
+        axis.variants.push_back(
+            {"sb" + std::to_string(sb),
+             [sb](SystemConfig &cfg) { cfg.sbSize = sb; }});
+    }
+    return axis;
+}
+
+Axis
+spbWindowAxis(const std::vector<unsigned> &ns)
+{
+    Axis axis{"spb-n", {}};
+    for (unsigned n : ns) {
+        axis.variants.push_back(
+            {"n" + std::to_string(n),
+             [n](SystemConfig &cfg) { cfg.spb.checkInterval = n; }});
+    }
+    return axis;
+}
+
+} // namespace spburst::exp

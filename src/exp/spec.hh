@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Declarative experiment descriptions.
+ *
+ * An ExperimentSpec is a grid: a list of workloads crossed with any
+ * number of configuration axes (SB sizes, policies, window lengths,
+ * prefetchers, core presets, ...). expand() materialises the Cartesian
+ * product into independent Jobs, each carrying a fully resolved
+ * SystemConfig and a unique, schedule-independent key. Everything a
+ * job will compute is fixed at expansion time — per-job seeds are
+ * derived from the job's position in the grid, never from which host
+ * thread happens to run it — so results are bit-identical regardless
+ * of thread count or schedule.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/system.hh"
+
+namespace spburst::exp
+{
+
+/**
+ * Unique identity of a configuration: every field that affects the
+ * simulation outcome, rendered into a short stable string. Used as the
+ * job key, the memoization key and the JSONL "job" field.
+ */
+std::string configKey(const SystemConfig &cfg);
+
+/** Deterministic per-job seed: splitmix64 mix of base seed and index. */
+std::uint64_t mixSeed(std::uint64_t base, std::uint64_t jobIndex);
+
+/** One independent unit of work: a keyed, fully resolved config. */
+struct Job
+{
+    std::string key;     //!< unique within the experiment
+    SystemConfig config;
+};
+
+/** One point on a configuration axis. */
+struct ConfigVariant
+{
+    std::string label;                         //!< e.g. "sb14", "SPB"
+    std::function<void(SystemConfig &)> apply; //!< mutates the config
+};
+
+/** One configuration axis (its variants multiply the grid). */
+struct Axis
+{
+    std::string name;
+    std::vector<ConfigVariant> variants;
+};
+
+/** A declarative sweep: workloads × axis1 × axis2 × ... */
+struct ExperimentSpec
+{
+    std::string name = "sweep";
+    /** Template every job starts from. */
+    SystemConfig base;
+    /** First (mandatory) axis; at least one workload. */
+    std::vector<std::string> workloads;
+    /** Further axes, applied left to right. */
+    std::vector<Axis> axes;
+    /** Derive cfg.seed = mixSeed(base.seed, jobIndex) per job, for
+     *  sweeps that want independent sampling noise per grid point. */
+    bool perJobSeeds = false;
+
+    /**
+     * Materialise the grid, workloads outermost, later axes innermost.
+     * Fatal if the expansion contains duplicate keys (two variants
+     * that resolve to the same configuration).
+     */
+    std::vector<Job> expand() const;
+};
+
+/** Convenience axis builders for the common numeric sweeps. */
+Axis sbSizeAxis(const std::vector<unsigned> &sizes);
+Axis spbWindowAxis(const std::vector<unsigned> &ns);
+
+} // namespace spburst::exp

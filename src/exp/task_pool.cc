@@ -1,0 +1,107 @@
+#include "exp/task_pool.hh"
+
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace spburst::exp
+{
+
+unsigned
+hostConcurrency()
+{
+    const unsigned n = std::thread::hardware_concurrency();
+    return n == 0 ? 1 : n;
+}
+
+namespace
+{
+
+/** One worker's deque of pending job indices. */
+struct WorkDeque
+{
+    std::mutex mutex;
+    std::deque<std::size_t> jobs;
+
+    bool
+    popFront(std::size_t &out)
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        if (jobs.empty())
+            return false;
+        out = jobs.front();
+        jobs.pop_front();
+        return true;
+    }
+
+    bool
+    stealBack(std::size_t &out)
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        if (jobs.empty())
+            return false;
+        out = jobs.back();
+        jobs.pop_back();
+        return true;
+    }
+};
+
+} // namespace
+
+void
+parallelFor(unsigned threads, std::size_t count,
+            const std::function<void(std::size_t)> &body)
+{
+    if (threads == 0)
+        threads = hostConcurrency();
+    if (count == 0)
+        return;
+    if (threads > count)
+        threads = static_cast<unsigned>(count);
+
+    if (threads == 1) {
+        for (std::size_t i = 0; i < count; ++i)
+            body(i);
+        return;
+    }
+
+    std::vector<WorkDeque> deques(threads);
+    for (std::size_t i = 0; i < count; ++i)
+        deques[i % threads].jobs.push_back(i);
+
+    std::mutex error_mutex;
+    std::exception_ptr first_error;
+
+    auto worker = [&](unsigned self) {
+        std::size_t job = 0;
+        for (;;) {
+            bool found = deques[self].popFront(job);
+            for (unsigned v = 1; !found && v < threads; ++v)
+                found = deques[(self + v) % threads].stealBack(job);
+            if (!found)
+                return;
+            try {
+                body(job);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(error_mutex);
+                if (!first_error)
+                    first_error = std::current_exception();
+            }
+        }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(threads - 1);
+    for (unsigned t = 1; t < threads; ++t)
+        pool.emplace_back(worker, t);
+    worker(0);
+    for (auto &t : pool)
+        t.join();
+
+    if (first_error)
+        std::rethrow_exception(first_error);
+}
+
+} // namespace spburst::exp

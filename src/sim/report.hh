@@ -32,4 +32,29 @@ std::string toCsv(const std::vector<SimResult> &results);
 /** Escape a string for inclusion in a JSON document. */
 std::string jsonEscape(const std::string &s);
 
+/**
+ * Serialise one result as a single JSONL line (no trailing newline):
+ * the toJson() object with a leading "job" identity field. This is the
+ * checkpoint format the experiment engine appends per completed job.
+ */
+std::string toJsonLine(const std::string &job, const SimResult &result);
+
+/** One parsed JSONL record: identity plus the flat numeric stats. */
+struct JsonlRecord
+{
+    std::string job;      //!< unique job key ("" if the line had none)
+    std::string workload;
+    StatSet stats;        //!< every numeric field, including "threads"
+};
+
+/**
+ * Parse JSONL produced by toJsonLine (one flat object per line).
+ * Malformed or truncated lines — e.g. the tail of a killed run — are
+ * skipped silently, which is what makes resume-after-kill safe.
+ */
+std::vector<JsonlRecord> parseJsonl(std::istream &in);
+
+/** parseJsonl over a file; empty result if the file does not exist. */
+std::vector<JsonlRecord> parseJsonlFile(const std::string &path);
+
 } // namespace spburst

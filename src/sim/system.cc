@@ -162,9 +162,17 @@ System::tickOnce()
 SimResult
 System::run()
 {
+    return run({});
+}
+
+SimResult
+System::run(const std::function<bool()> &interrupt)
+{
     const std::uint64_t target = config_.maxUopsPerCore;
     const std::uint64_t cycle_limit =
         target * config_.cyclesPerUopLimit + 100'000;
+    // Coarse enough that the poll never shows up in a profile.
+    constexpr std::uint64_t kInterruptPollCycles = 4096;
 
     auto all_done = [&] {
         for (const auto &core : cores_)
@@ -175,6 +183,12 @@ System::run()
 
     while (!all_done()) {
         tickOnce();
+        if (interrupt && clock_.now % kInterruptPollCycles == 0 &&
+            interrupt()) {
+            throw SimInterrupted("simulation of '" + config_.workload +
+                                 "' interrupted at cycle " +
+                                 std::to_string(clock_.now));
+        }
         if (clock_.now > cycle_limit) {
             SPB_FATAL("simulation of '%s' exceeded the cycle limit "
                       "(%lu cycles, %lu/%lu uops on core 0) — livelock?",

@@ -8,7 +8,9 @@
 
 #pragma once
 
+#include <functional>
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -106,6 +108,16 @@ struct SimResult
     StatSet toStatSet() const;
 };
 
+/**
+ * Thrown by System::run when its interrupt hook asks it to stop (the
+ * experiment engine's per-job wall-clock timeout).
+ */
+class SimInterrupted : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
 /** A fully wired simulated machine. */
 class System
 {
@@ -115,6 +127,13 @@ class System
 
     /** Run to completion (every core commits maxUopsPerCore). */
     SimResult run();
+
+    /**
+     * Run to completion, polling @p interrupt every few thousand
+     * cycles; throws SimInterrupted when it returns true. Used for
+     * cooperative wall-clock timeouts.
+     */
+    SimResult run(const std::function<bool()> &interrupt);
 
     /** Advance one cycle (fine-grained control for tests/examples). */
     void tickOnce();

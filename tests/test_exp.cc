@@ -1,0 +1,285 @@
+/**
+ * @file
+ * Unit tests for the experiment engine: spec expansion, the
+ * work-stealing pool, thread-count determinism, checkpoint/resume,
+ * timeout/retry and fatal-error containment.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "exp/engine.hh"
+#include "exp/spec.hh"
+#include "exp/task_pool.hh"
+#include "sim/report.hh"
+#include "sim/system.hh"
+
+namespace spburst
+{
+namespace
+{
+
+exp::ExperimentSpec
+smallSpec(std::uint64_t uops = 5'000)
+{
+    exp::ExperimentSpec spec;
+    spec.name = "unit";
+    spec.base = makeConfig("x264", 56, StorePrefetchPolicy::AtCommit);
+    spec.base.maxUopsPerCore = uops;
+    spec.workloads = {"x264", "bwaves"};
+    spec.axes.push_back(exp::sbSizeAxis({14, 56}));
+    exp::Axis strategy{"strategy", {}};
+    strategy.variants.push_back(
+        {"at-commit", [](SystemConfig &cfg) { cfg.useSpb = false; }});
+    strategy.variants.push_back(
+        {"spb", [](SystemConfig &cfg) { cfg.useSpb = true; }});
+    spec.axes.push_back(std::move(strategy));
+    return spec;
+}
+
+std::vector<std::string>
+sortedLines(const std::string &path)
+{
+    std::ifstream in(path);
+    EXPECT_TRUE(in.good()) << path;
+    std::vector<std::string> lines;
+    std::string line;
+    while (std::getline(in, line))
+        lines.push_back(line);
+    std::sort(lines.begin(), lines.end());
+    return lines;
+}
+
+std::string
+tmpPath(const std::string &name)
+{
+    return testing::TempDir() + "spburst_" + name;
+}
+
+TEST(Spec, ExpandIsTheFullGridInWorkloadMajorOrder)
+{
+    const auto jobs = smallSpec().expand();
+    ASSERT_EQ(jobs.size(), 8u); // 2 workloads x 2 SB sizes x 2 strategies
+
+    // Workloads outermost, later axes fastest.
+    EXPECT_EQ(jobs[0].config.workload, "x264");
+    EXPECT_EQ(jobs[3].config.workload, "x264");
+    EXPECT_EQ(jobs[4].config.workload, "bwaves");
+    EXPECT_EQ(jobs[0].config.sbSize, 14u);
+    EXPECT_FALSE(jobs[0].config.useSpb);
+    EXPECT_TRUE(jobs[1].config.useSpb);
+    EXPECT_EQ(jobs[2].config.sbSize, 56u);
+
+    std::set<std::string> keys;
+    for (const auto &job : jobs) {
+        EXPECT_TRUE(keys.insert(job.key).second) << job.key;
+        EXPECT_EQ(job.key, exp::configKey(job.config));
+    }
+}
+
+TEST(Spec, PerJobSeedsAreDistinctAndScheduleIndependent)
+{
+    exp::ExperimentSpec spec = smallSpec();
+    spec.perJobSeeds = true;
+    const auto jobs = spec.expand();
+    std::set<std::uint64_t> seeds;
+    for (const auto &job : jobs)
+        seeds.insert(job.config.seed);
+    EXPECT_EQ(seeds.size(), jobs.size());
+    // Expansion is pure: same spec, same seeds.
+    const auto again = spec.expand();
+    for (std::size_t i = 0; i < jobs.size(); ++i)
+        EXPECT_EQ(jobs[i].config.seed, again[i].config.seed);
+    EXPECT_EQ(jobs[0].config.seed, exp::mixSeed(spec.base.seed, 0));
+}
+
+TEST(Spec, MixSeedAvalanches)
+{
+    EXPECT_NE(exp::mixSeed(1, 0), exp::mixSeed(1, 1));
+    EXPECT_NE(exp::mixSeed(1, 0), exp::mixSeed(2, 0));
+    EXPECT_EQ(exp::mixSeed(7, 3), exp::mixSeed(7, 3));
+}
+
+TEST(SpecDeathTest, DuplicateVariantsAreFatal)
+{
+    exp::ExperimentSpec spec = smallSpec();
+    exp::Axis dup{"dup", {}};
+    dup.variants.push_back({"a", [](SystemConfig &) {}});
+    dup.variants.push_back({"b", [](SystemConfig &) {}});
+    spec.axes.push_back(std::move(dup));
+    EXPECT_EXIT(spec.expand(), testing::ExitedWithCode(1),
+                "duplicate job");
+}
+
+TEST(TaskPool, ParallelForCoversEveryIndexOnce)
+{
+    for (unsigned threads : {0u, 1u, 3u, 8u}) {
+        std::vector<std::atomic<int>> hits(101);
+        for (auto &h : hits)
+            h = 0;
+        exp::parallelFor(threads, hits.size(),
+                         [&](std::size_t i) { ++hits[i]; });
+        for (const auto &h : hits)
+            EXPECT_EQ(h.load(), 1) << "threads=" << threads;
+    }
+}
+
+TEST(TaskPool, ParallelForRethrowsBodyException)
+{
+    EXPECT_THROW(
+        exp::parallelFor(4, 64,
+                         [](std::size_t i) {
+                             if (i == 17)
+                                 throw std::runtime_error("boom");
+                         }),
+        std::runtime_error);
+}
+
+TEST(TaskPool, HostConcurrencyIsPositive)
+{
+    EXPECT_GE(exp::hostConcurrency(), 1u);
+}
+
+TEST(Engine, OutcomesComeBackInJobOrder)
+{
+    const auto jobs = smallSpec().expand();
+    const auto report = exp::runJobs(jobs, {});
+    ASSERT_EQ(report.outcomes.size(), jobs.size());
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        EXPECT_EQ(report.outcomes[i].key, jobs[i].key);
+        EXPECT_EQ(report.outcomes[i].status, exp::JobStatus::Completed);
+        EXPECT_EQ(report.outcomes[i].attempts, 1u);
+    }
+    EXPECT_EQ(report.completed(), jobs.size());
+    EXPECT_NE(report.find(jobs[3].key), nullptr);
+    EXPECT_EQ(report.find("no-such-key"), nullptr);
+}
+
+TEST(Engine, ResultsAreIdenticalForAnyThreadCount)
+{
+    const auto jobs = smallSpec().expand();
+
+    std::vector<std::string> reference;
+    for (unsigned threads : {1u, 4u, 8u}) {
+        const std::string path =
+            tmpPath("det_" + std::to_string(threads) + ".jsonl");
+        std::remove(path.c_str());
+        exp::EngineOptions options;
+        options.hostThreads = threads;
+        options.jsonlPath = path;
+        const auto report = exp::runJobs(jobs, options);
+        EXPECT_EQ(report.completed(), jobs.size());
+
+        const auto lines = sortedLines(path);
+        ASSERT_EQ(lines.size(), jobs.size());
+        if (reference.empty())
+            reference = lines;
+        else
+            EXPECT_EQ(lines, reference) << "threads=" << threads;
+        std::remove(path.c_str());
+    }
+}
+
+TEST(Engine, ResumeSkipsDoneJobsAndReproducesTheFullFile)
+{
+    const auto jobs = smallSpec().expand();
+    const std::string full = tmpPath("resume_full.jsonl");
+    const std::string half = tmpPath("resume_half.jsonl");
+    std::remove(full.c_str());
+    std::remove(half.c_str());
+
+    exp::EngineOptions options;
+    options.hostThreads = 1;
+    options.jsonlPath = full;
+    exp::runJobs(jobs, options);
+    const auto complete = sortedLines(full);
+    ASSERT_EQ(complete.size(), jobs.size());
+
+    // Simulate a kill after half the jobs: keep the first lines plus
+    // a torn, partially-written line at the tail.
+    {
+        std::ifstream in(full);
+        std::ofstream out(half);
+        std::string line;
+        for (std::size_t i = 0; i < jobs.size() / 2; ++i) {
+            std::getline(in, line);
+            out << line << '\n';
+        }
+        std::getline(in, line);
+        out << line.substr(0, line.size() / 2); // no trailing newline
+    }
+
+    options.jsonlPath = half;
+    options.resume = true;
+    const auto report = exp::runJobs(jobs, options);
+    EXPECT_EQ(report.resumed(), jobs.size() / 2);
+    EXPECT_EQ(report.completed(), jobs.size() - jobs.size() / 2);
+    for (const auto &out : report.outcomes) {
+        EXPECT_NE(out.status, exp::JobStatus::Failed);
+        EXPECT_TRUE(out.stats.has("cycles")) << out.key;
+    }
+
+    // The resumed file ends up line-for-line equal (as a set) to the
+    // uninterrupted run: the torn tail was re-run, the rest kept.
+    EXPECT_EQ(sortedLines(half), complete);
+    std::remove(full.c_str());
+    std::remove(half.c_str());
+}
+
+TEST(Engine, TimeoutFailsTheJobAfterBoundedRetries)
+{
+    exp::ExperimentSpec spec = smallSpec(2'000'000'000ULL);
+    spec.workloads = {"x264"};
+    spec.axes.clear();
+    const auto jobs = spec.expand();
+    ASSERT_EQ(jobs.size(), 1u);
+
+    exp::EngineOptions options;
+    options.hostThreads = 1;
+    options.timeoutSeconds = 0.05;
+    options.maxAttempts = 2;
+    const auto report = exp::runJobs(jobs, options);
+    ASSERT_EQ(report.outcomes.size(), 1u);
+    const auto &out = report.outcomes[0];
+    EXPECT_EQ(out.status, exp::JobStatus::Failed);
+    EXPECT_EQ(out.attempts, 2u);
+    EXPECT_NE(out.error.find("timeout"), std::string::npos) << out.error;
+    EXPECT_EQ(report.failed(), 1u);
+}
+
+TEST(Engine, FatalConfigErrorFailsOneJobNotTheProcess)
+{
+    auto jobs = smallSpec().expand();
+    SystemConfig bad = jobs[0].config;
+    bad.workload = "no-such-workload";
+    jobs.push_back(exp::Job{exp::configKey(bad), bad});
+
+    const auto report = exp::runJobs(jobs, {});
+    EXPECT_EQ(report.failed(), 1u);
+    EXPECT_EQ(report.completed(), jobs.size() - 1);
+    const auto &out = report.outcomes.back();
+    EXPECT_EQ(out.status, exp::JobStatus::Failed);
+    EXPECT_NE(out.error.find("unknown workload profile"),
+              std::string::npos)
+        << out.error;
+}
+
+TEST(EngineDeathTest, DuplicateJobKeysAreFatal)
+{
+    auto jobs = smallSpec().expand();
+    jobs.push_back(jobs.front());
+    EXPECT_EXIT(exp::runJobs(jobs, {}), testing::ExitedWithCode(1),
+                "duplicate job key");
+}
+
+} // namespace
+} // namespace spburst

@@ -6,6 +6,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
+#include <sstream>
 
 #include "sim/report.hh"
 #include "sim/system.hh"
@@ -65,6 +67,93 @@ TEST(Report, CsvHasHeaderAndOneRowPerResult)
     EXPECT_EQ(csv.rfind("workload,", 0), 0u);
     EXPECT_NE(csv.find("\ngcc,"), std::string::npos);
     EXPECT_NE(csv.find("\nnamd,"), std::string::npos);
+}
+
+TEST(Report, JsonEscapesControlCharacters)
+{
+    EXPECT_EQ(jsonEscape("\x07"), "\\u0007");
+    EXPECT_EQ(jsonEscape("\x01\x1f"), "\\u0001\\u001f");
+    EXPECT_EQ(jsonEscape("a\tb\x0c"), "a\\tb\\u000c");
+    EXPECT_EQ(jsonEscape("\r"), "\\u000d");
+}
+
+TEST(Report, CsvTakesTheUnionOfStatNames)
+{
+    // A two-core run exports core1.*/l1d1.* statistics a one-core run
+    // lacks; the CSV header must be the union, with empty cells for
+    // absent stats.
+    SystemConfig wide_cfg =
+        makeConfig("dedup", 28, StorePrefetchPolicy::AtCommit);
+    wide_cfg.threads = 2;
+    wide_cfg.maxUopsPerCore = 5'000;
+    const SimResult wide = runSystem(wide_cfg);
+    const SimResult narrow = tinyRun("gcc");
+
+    const StatSet wide_stats = wide.toStatSet();
+    const StatSet narrow_stats = narrow.toStatSet();
+    ASSERT_TRUE(wide_stats.has("core1.cycles"));
+    ASSERT_FALSE(narrow_stats.has("core1.cycles"));
+
+    const std::string csv = toCsv({wide, narrow});
+    const std::string header = csv.substr(0, csv.find('\n'));
+    EXPECT_NE(header.find(",core1.cycles"), std::string::npos);
+
+    // Both rows carry exactly one field per header column; the
+    // one-core row leaves the core1.* columns empty.
+    std::istringstream lines(csv);
+    std::string line;
+    std::getline(lines, line);
+    const auto cols = std::count(line.begin(), line.end(), ',');
+    while (std::getline(lines, line))
+        EXPECT_EQ(std::count(line.begin(), line.end(), ','), cols);
+    EXPECT_NE(csv.find(",,"), std::string::npos);
+}
+
+TEST(Report, JsonlRoundTripsJobWorkloadAndStats)
+{
+    const SimResult r = tinyRun("gcc");
+    const std::string key = "gcc|sb28|\"quoted\"";
+    std::istringstream in(toJsonLine(key, r) + "\n" +
+                          toJsonLine("second", r) + "\n");
+    const std::vector<JsonlRecord> records = parseJsonl(in);
+    ASSERT_EQ(records.size(), 2u);
+    EXPECT_EQ(records[0].job, key);
+    EXPECT_EQ(records[1].job, "second");
+    EXPECT_EQ(records[0].workload, "gcc");
+
+    const StatSet expected = r.toStatSet();
+    for (const auto &[name, value] : expected.entries()) {
+        ASSERT_TRUE(records[0].stats.has(name)) << name;
+        const double parsed = records[0].stats.get(name);
+        if (std::isfinite(value))
+            EXPECT_NEAR(parsed, value,
+                        std::max(1e-9, std::abs(value) * 1e-12))
+                << name;
+        else
+            EXPECT_TRUE(std::isnan(parsed)) << name; // serialised null
+    }
+    EXPECT_TRUE(records[0].stats.has("threads"));
+}
+
+TEST(Report, JsonlParserSkipsMalformedLines)
+{
+    const SimResult r = tinyRun("gcc");
+    const std::string good = toJsonLine("ok", r);
+    std::istringstream in(good + "\n" +
+                          good.substr(0, good.size() / 2) + "\n" + // torn
+                          "not json at all\n" +
+                          "\n" +                                   // blank
+                          "{\"job\":\"also-ok\",\"cycles\":12}\n");
+    const std::vector<JsonlRecord> records = parseJsonl(in);
+    ASSERT_EQ(records.size(), 2u);
+    EXPECT_EQ(records[0].job, "ok");
+    EXPECT_EQ(records[1].job, "also-ok");
+    EXPECT_EQ(records[1].stats.get("cycles"), 12.0);
+}
+
+TEST(Report, ParseJsonlFileOfMissingPathIsEmpty)
+{
+    EXPECT_TRUE(parseJsonlFile("/no/such/dir/results.jsonl").empty());
 }
 
 TEST(Report, CsvColumnsAlign)

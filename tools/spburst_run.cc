@@ -18,6 +18,7 @@
 #include "common/logging.hh"
 #include "common/table.hh"
 #include "cpu/params.hh"
+#include "exp/engine.hh"
 #include "sim/report.hh"
 #include "sim/system.hh"
 #include "trace/workloads.hh"
@@ -43,6 +44,8 @@ struct Options
     std::uint64_t uops = 200'000;
     std::uint64_t seed = 1;
     std::string format = "text";
+    unsigned jobs = 0;   // host threads for multi-workload runs
+    std::string out;     // optional JSONL result sink
 };
 
 void
@@ -64,6 +67,9 @@ usage()
         "  --uops=N               committed uops per core (default 200k)\n"
         "  --seed=N               workload seed (default 1)\n"
         "  --format=text|json|csv (default text)\n"
+        "  --jobs=N               host threads for multi-workload runs\n"
+        "                         (0 = all hardware threads; default)\n"
+        "  --out=FILE             also append per-run JSONL results\n"
         "  --list-workloads       print the workload registry and exit");
 }
 
@@ -155,6 +161,10 @@ parse(int argc, char **argv)
             o.seed = std::strtoull(v, nullptr, 10);
         } else if (const char *v = value("--format=")) {
             o.format = v;
+        } else if (const char *v = value("--jobs=")) {
+            o.jobs = static_cast<unsigned>(std::strtoul(v, nullptr, 10));
+        } else if (const char *v = value("--out=")) {
+            o.out = v;
         } else if (arg == "--list-workloads") {
             std::printf("%-14s %-8s %s\n", "name", "suite", "SB-bound");
             for (const auto &p : specProfiles())
@@ -182,7 +192,10 @@ main(int argc, char **argv)
 {
     const Options o = parse(argc, argv);
 
-    std::vector<SimResult> results;
+    // The multi-workload path runs on the experiment engine: one job
+    // per workload, executed on --jobs host threads, results returned
+    // in workload order (bit-identical to the old serial loop).
+    std::vector<exp::Job> jobs;
     for (const auto &w : o.workloads) {
         SystemConfig cfg = makeConfig(w, o.sb, o.policy, o.spb, o.ideal);
         cfg.coreParams = coreByName(o.core);
@@ -195,7 +208,21 @@ main(int argc, char **argv)
         cfg.threads = o.threads;
         cfg.maxUopsPerCore = o.uops;
         cfg.seed = o.seed;
-        results.push_back(runSystem(cfg));
+        jobs.push_back(exp::Job{exp::configKey(cfg), std::move(cfg)});
+    }
+
+    exp::EngineOptions engine;
+    engine.hostThreads = jobs.size() > 1 ? o.jobs : 1;
+    engine.jsonlPath = o.out;
+    const exp::ExperimentReport report = exp::runJobs(jobs, engine);
+
+    std::vector<SimResult> results;
+    results.reserve(report.outcomes.size());
+    for (const auto &outcome : report.outcomes) {
+        if (outcome.status != exp::JobStatus::Completed)
+            SPB_FATAL("job '%s' failed: %s", outcome.key.c_str(),
+                      outcome.error.c_str());
+        results.push_back(outcome.result);
     }
 
     if (o.format == "json") {

@@ -1,0 +1,342 @@
+/**
+ * @file
+ * `spburst_sweep` — declarative design-space sweeps on the experiment
+ * engine: a (workload × SB × strategy × N × prefetcher × core) grid
+ * expands into independent jobs that run on a work-stealing host
+ * thread pool, checkpoint each completed job to a JSONL file, and
+ * resume an interrupted sweep without redoing finished work.
+ *
+ *   spburst_sweep --workload=sb-bound --sb=14,28,56 \
+ *       --strategy=at-commit,spb,ideal --out=sweep.jsonl --jobs=8
+ *   spburst_sweep --workload=all --sb=14 --strategy=spb \
+ *       --spb-n=8,16,24,32,48,64 --out=nsweep.jsonl --resume
+ *
+ * Results are bit-identical for any --jobs value; only the JSONL line
+ * order depends on the schedule (it is completion order), so compare
+ * files with `sort`.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <unistd.h>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/table.hh"
+#include "cpu/params.hh"
+#include "exp/engine.hh"
+#include "sim/report.hh"
+#include "trace/workloads.hh"
+
+using namespace spburst;
+
+namespace
+{
+
+struct Options
+{
+    std::vector<std::string> workloads;
+    std::vector<unsigned> sbs{56};
+    std::vector<std::string> strategies{"at-commit"};
+    std::vector<unsigned> spbNs;
+    std::vector<std::string> l1pfs;
+    std::vector<std::string> cores;
+    int simThreads = 1;
+    std::uint64_t uops = 100'000;
+    std::uint64_t seed = 1;
+    bool perJobSeeds = false;
+
+    unsigned jobs = 0;
+    std::string out;
+    bool resume = false;
+    double timeoutS = 0.0;
+    unsigned retries = 0; //!< extra attempts after the first
+    bool dryRun = false;
+    bool quiet = false;
+    bool summary = true;
+};
+
+void
+usage()
+{
+    std::puts(
+        "spburst_sweep — parallel, checkpointed configuration sweeps\n"
+        "grid axes (comma lists; each multiplies the grid):\n"
+        "  --workload=NAMES | all | sb-bound | parsec   (required)\n"
+        "  --sb=N,...             SB sizes (default 56)\n"
+        "  --strategy=none|at-execute|at-commit|spb|ideal,...\n"
+        "  --spb-n=N,...          SPB window lengths\n"
+        "  --l1pf=none|stream|aggressive|adaptive|best-offset,...\n"
+        "  --core=skylake|SLM|NHL|HSW|SKL|SNC,...\n"
+        "per-job configuration:\n"
+        "  --sim-threads=N        simulated cores per job (default 1)\n"
+        "  --uops=N               committed uops per core (default 100k)\n"
+        "  --seed=N               base seed (default 1)\n"
+        "  --per-job-seeds        derive a distinct seed per grid point\n"
+        "engine:\n"
+        "  --jobs=N               host threads (0 = all hardware; default)\n"
+        "  --out=FILE             JSONL result sink (checkpointed)\n"
+        "  --resume               skip jobs already present in --out\n"
+        "  --timeout-s=S          per-attempt wall-clock timeout\n"
+        "  --retries=N            extra attempts per failed job\n"
+        "  --dry-run              print the job list and exit\n"
+        "  --no-summary           skip the final summary table\n"
+        "  --quiet                no live progress line");
+}
+
+std::vector<std::string>
+splitList(const std::string &spec)
+{
+    std::vector<std::string> out;
+    std::size_t pos = 0;
+    while (pos <= spec.size()) {
+        const std::size_t comma = spec.find(',', pos);
+        if (comma == std::string::npos) {
+            out.push_back(spec.substr(pos));
+            break;
+        }
+        out.push_back(spec.substr(pos, comma - pos));
+        pos = comma + 1;
+    }
+    return out;
+}
+
+std::vector<unsigned>
+splitUnsigned(const std::string &spec)
+{
+    std::vector<unsigned> out;
+    for (const auto &item : splitList(spec))
+        out.push_back(
+            static_cast<unsigned>(std::strtoul(item.c_str(), nullptr,
+                                               10)));
+    return out;
+}
+
+std::vector<std::string>
+expandWorkloads(const std::string &spec)
+{
+    if (spec == "all")
+        return allSpecNames();
+    if (spec == "sb-bound")
+        return sbBoundSpecNames();
+    if (spec == "parsec")
+        return allParsecNames();
+    return splitList(spec);
+}
+
+exp::ConfigVariant
+strategyVariant(const std::string &name)
+{
+    StorePrefetchPolicy policy;
+    bool spb = false, ideal = false;
+    if (name == "none") {
+        policy = StorePrefetchPolicy::None;
+    } else if (name == "at-execute") {
+        policy = StorePrefetchPolicy::AtExecute;
+    } else if (name == "at-commit") {
+        policy = StorePrefetchPolicy::AtCommit;
+    } else if (name == "spb") {
+        policy = StorePrefetchPolicy::AtCommit;
+        spb = true;
+    } else if (name == "ideal") {
+        policy = StorePrefetchPolicy::AtCommit;
+        ideal = true;
+    } else {
+        SPB_FATAL("unknown strategy '%s'", name.c_str());
+    }
+    return {name, [policy, spb, ideal](SystemConfig &cfg) {
+                cfg.policy = policy;
+                cfg.useSpb = spb;
+                cfg.idealSb = ideal;
+            }};
+}
+
+exp::ConfigVariant
+l1pfVariant(const std::string &name)
+{
+    L1PrefetcherKind kind;
+    if (name == "none")
+        kind = L1PrefetcherKind::None;
+    else if (name == "stream")
+        kind = L1PrefetcherKind::Stream;
+    else if (name == "aggressive")
+        kind = L1PrefetcherKind::Aggressive;
+    else if (name == "adaptive")
+        kind = L1PrefetcherKind::Adaptive;
+    else if (name == "best-offset")
+        kind = L1PrefetcherKind::BestOffset;
+    else
+        SPB_FATAL("unknown prefetcher '%s'", name.c_str());
+    return {name,
+            [kind](SystemConfig &cfg) { cfg.l1Prefetcher = kind; }};
+}
+
+exp::ConfigVariant
+coreVariant(const std::string &name)
+{
+    CoreParams params = skylakeParams();
+    bool found = name == "skylake";
+    if (!found) {
+        for (const CoreParams &p : tableIIPresets()) {
+            if (p.name == name) {
+                params = p;
+                found = true;
+                break;
+            }
+        }
+    }
+    if (!found)
+        SPB_FATAL("unknown core preset '%s'", name.c_str());
+    return {name,
+            [params](SystemConfig &cfg) { cfg.coreParams = params; }};
+}
+
+Options
+parse(int argc, char **argv)
+{
+    Options o;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&](const char *prefix) -> const char * {
+            const std::size_t n = std::strlen(prefix);
+            return arg.compare(0, n, prefix) == 0 ? arg.c_str() + n
+                                                  : nullptr;
+        };
+        if (const char *v = value("--workload=")) {
+            o.workloads = expandWorkloads(v);
+        } else if (const char *v = value("--sb=")) {
+            o.sbs = splitUnsigned(v);
+        } else if (const char *v = value("--strategy=")) {
+            o.strategies = splitList(v);
+        } else if (const char *v = value("--spb-n=")) {
+            o.spbNs = splitUnsigned(v);
+        } else if (const char *v = value("--l1pf=")) {
+            o.l1pfs = splitList(v);
+        } else if (const char *v = value("--core=")) {
+            o.cores = splitList(v);
+        } else if (const char *v = value("--sim-threads=")) {
+            o.simThreads =
+                static_cast<int>(std::strtol(v, nullptr, 10));
+        } else if (const char *v = value("--uops=")) {
+            o.uops = std::strtoull(v, nullptr, 10);
+        } else if (const char *v = value("--seed=")) {
+            o.seed = std::strtoull(v, nullptr, 10);
+        } else if (arg == "--per-job-seeds") {
+            o.perJobSeeds = true;
+        } else if (const char *v = value("--jobs=")) {
+            o.jobs = static_cast<unsigned>(
+                std::strtoul(v, nullptr, 10));
+        } else if (const char *v = value("--out=")) {
+            o.out = v;
+        } else if (arg == "--resume") {
+            o.resume = true;
+        } else if (const char *v = value("--timeout-s=")) {
+            o.timeoutS = std::strtod(v, nullptr);
+        } else if (const char *v = value("--retries=")) {
+            o.retries = static_cast<unsigned>(
+                std::strtoul(v, nullptr, 10));
+        } else if (arg == "--dry-run") {
+            o.dryRun = true;
+        } else if (arg == "--no-summary") {
+            o.summary = false;
+        } else if (arg == "--quiet") {
+            o.quiet = true;
+        } else if (arg == "--help" || arg == "-h") {
+            usage();
+            std::exit(0);
+        } else {
+            usage();
+            SPB_FATAL("unknown option '%s'", arg.c_str());
+        }
+    }
+    if (o.workloads.empty()) {
+        usage();
+        SPB_FATAL("--workload is required");
+    }
+    return o;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const Options o = parse(argc, argv);
+
+    exp::ExperimentSpec spec;
+    spec.name = "spburst_sweep";
+    spec.workloads = o.workloads;
+    spec.base.threads = o.simThreads;
+    spec.base.maxUopsPerCore = o.uops;
+    spec.base.seed = o.seed;
+    spec.perJobSeeds = o.perJobSeeds;
+
+    spec.axes.push_back(exp::sbSizeAxis(o.sbs));
+    {
+        exp::Axis strategies{"strategy", {}};
+        for (const auto &name : o.strategies)
+            strategies.variants.push_back(strategyVariant(name));
+        spec.axes.push_back(std::move(strategies));
+    }
+    if (!o.spbNs.empty())
+        spec.axes.push_back(exp::spbWindowAxis(o.spbNs));
+    if (!o.l1pfs.empty()) {
+        exp::Axis axis{"l1pf", {}};
+        for (const auto &name : o.l1pfs)
+            axis.variants.push_back(l1pfVariant(name));
+        spec.axes.push_back(std::move(axis));
+    }
+    if (!o.cores.empty()) {
+        exp::Axis axis{"core", {}};
+        for (const auto &name : o.cores)
+            axis.variants.push_back(coreVariant(name));
+        spec.axes.push_back(std::move(axis));
+    }
+
+    const std::vector<exp::Job> jobs = spec.expand();
+    if (o.dryRun) {
+        for (const auto &job : jobs)
+            std::printf("%s\n", job.key.c_str());
+        std::printf("# %zu jobs\n", jobs.size());
+        return 0;
+    }
+
+    exp::EngineOptions engine;
+    engine.hostThreads = o.jobs;
+    engine.jsonlPath = o.out;
+    engine.resume = o.resume;
+    engine.timeoutSeconds = o.timeoutS;
+    engine.maxAttempts = 1 + o.retries;
+    engine.progress = !o.quiet && isatty(fileno(stderr));
+
+    const exp::ExperimentReport report = exp::runJobs(jobs, engine);
+
+    if (o.summary) {
+        TextTable table("sweep results",
+                        {"job", "cycles", "IPC", "SB-stall%", "status"});
+        for (const auto &out : report.outcomes) {
+            if (out.status == exp::JobStatus::Failed) {
+                table.addRow({out.key, "-", "-", "-",
+                              "FAILED: " + out.error});
+                continue;
+            }
+            table.addRow(
+                {out.key,
+                 formatDouble(out.stats.get("cycles"), 0),
+                 formatDouble(out.stats.get("ipc"), 3),
+                 formatPercent(out.stats.get("sb_stall_ratio")),
+                 out.status == exp::JobStatus::Resumed ? "resumed"
+                                                       : "done"});
+        }
+        table.print();
+    }
+
+    std::fprintf(stderr,
+                 "%zu jobs: %zu run, %zu resumed, %zu failed on %u "
+                 "host threads in %.1fs\n",
+                 report.outcomes.size(), report.completed(),
+                 report.resumed(), report.failed(), report.hostThreads,
+                 report.wallSeconds);
+    return report.failed() == 0 ? 0 : 1;
+}
