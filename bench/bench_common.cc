@@ -4,6 +4,7 @@
 #include <cstring>
 #include <set>
 
+#include "check/check.hh"
 #include "common/logging.hh"
 #include "exp/spec.hh"
 #include "trace/workloads.hh"
@@ -29,9 +30,11 @@ BenchOptions::parse(int argc, char **argv, std::uint64_t default_uops)
             o.progress = true;
         } else if (std::strcmp(arg, "--quick") == 0) {
             o.uops = 20'000;
+        } else if (std::strncmp(arg, "--check=", 8) == 0) {
+            check::setLevel(check::parseLevel(arg + 8));
         } else if (std::strcmp(arg, "--help") == 0) {
             std::printf("options: --uops=N --seed=N --quick "
-                        "--jobs=N --progress\n");
+                        "--jobs=N --progress --check=off|fast|full\n");
             std::exit(0);
         } else {
             SPB_FATAL("unknown bench option '%s'", arg);

@@ -34,7 +34,8 @@ struct BenchOptions
     bool progress = false;        //!< live progress line on stderr
 
     /** Parse --uops=N, --seed=N, --quick (uops=20k), --jobs=N,
-     *  --progress. Unknown flags are rejected (fatal). */
+     *  --progress, --check=off|fast|full (sets the global simcheck
+     *  level). Unknown flags are rejected (fatal). */
     static BenchOptions parse(int argc, char **argv,
                               std::uint64_t default_uops = 120'000);
 };

@@ -1,0 +1,36 @@
+#include "check/event_log.hh"
+
+#include "common/logging.hh"
+
+namespace spburst::check
+{
+
+bool
+EventLog::observedWriter(const MemEvent &load, int *thread,
+                         SeqNum *seq) const
+{
+    SPB_ASSERT(load.kind == MemEvent::Kind::LoadObserved,
+               "observedWriter needs a LoadObserved event");
+    if (load.forwardedFrom != kInvalidSeqNum) {
+        *thread = load.thread;
+        *seq = load.forwardedFrom;
+        return true;
+    }
+    bool found = false;
+    Cycle best = 0;
+    for (const MemEvent &e : events_) {
+        if (e.kind != MemEvent::Kind::StoreVisible || e.addr != load.addr)
+            continue;
+        if (e.cycle > load.cycle)
+            continue;
+        if (!found || e.cycle >= best) {
+            best = e.cycle;
+            *thread = e.thread;
+            *seq = e.seq;
+            found = true;
+        }
+    }
+    return found;
+}
+
+} // namespace spburst::check

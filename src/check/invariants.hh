@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Small reusable invariant helpers shared by the check call sites.
+ */
+
+#pragma once
+
+#include "common/types.hh"
+
+namespace spburst::check
+{
+
+/**
+ * Asserts a stream of sequence numbers is strictly increasing — the
+ * shape of both "SB drains in program order" and "ROB commits in
+ * order". The call site owns the reaction: observe() just reports.
+ */
+class InOrderChecker
+{
+  public:
+    /** Feed the next element; true iff order is still strictly
+     *  increasing. Always advances the high-water mark. */
+    bool
+    observe(SeqNum seq)
+    {
+        const bool ok = last_ == kInvalidSeqNum || seq > last_;
+        last_ = seq;
+        return ok;
+    }
+
+    /** Most recent element observed (kInvalidSeqNum if none). */
+    SeqNum last() const { return last_; }
+
+    /** Forget history (e.g. between runs). */
+    void reset() { last_ = kInvalidSeqNum; }
+
+  private:
+    SeqNum last_ = kInvalidSeqNum;
+};
+
+} // namespace spburst::check

@@ -1,0 +1,72 @@
+#include "check/shadow_mem.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace spburst::check
+{
+
+void
+ShadowMemory::write(SeqNum seq, Addr addr, unsigned size)
+{
+    for (Addr a = addr; a < addr + size; ++a) {
+        auto &writers = bytes_[a];
+        // Stores usually learn their address roughly in order, so the
+        // common case appends; keep the vector sorted regardless.
+        auto it = std::lower_bound(writers.begin(), writers.end(), seq);
+        SPB_ASSERT(it == writers.end() || *it != seq,
+                   "store %llu shadow-written twice at %#llx",
+                   static_cast<unsigned long long>(seq),
+                   static_cast<unsigned long long>(a));
+        writers.insert(it, seq);
+    }
+}
+
+void
+ShadowMemory::erase(SeqNum seq, Addr addr, unsigned size)
+{
+    for (Addr a = addr; a < addr + size; ++a) {
+        auto node = bytes_.find(a);
+        if (node == bytes_.end())
+            continue;
+        auto &writers = node->second;
+        auto it = std::lower_bound(writers.begin(), writers.end(), seq);
+        if (it != writers.end() && *it == seq)
+            writers.erase(it);
+        if (writers.empty())
+            bytes_.erase(node);
+    }
+}
+
+SeqNum
+ShadowMemory::expectedForward(SeqNum load_seq, Addr addr,
+                              unsigned size) const
+{
+    SeqNum winner = kInvalidSeqNum;
+    bool any_writer = false;
+    for (Addr a = addr; a < addr + size; ++a) {
+        SeqNum youngest = kInvalidSeqNum;
+        auto node = bytes_.find(a);
+        if (node != bytes_.end()) {
+            // Youngest writer strictly older than the load.
+            const auto &writers = node->second;
+            auto it = std::lower_bound(writers.begin(), writers.end(),
+                                       load_seq);
+            if (it != writers.begin())
+                youngest = *std::prev(it);
+        }
+        if (youngest != kInvalidSeqNum)
+            any_writer = true;
+        if (a == addr) {
+            winner = youngest;
+        } else if (winner != youngest) {
+            // Mixed writers (or covered + uncovered bytes): a single
+            // entry cannot supply this load.
+            return kInvalidSeqNum;
+        }
+    }
+    return any_writer ? winner : kInvalidSeqNum;
+}
+
+} // namespace spburst::check

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * A byte-granular shadow of the store buffer's pending writes, used as
+ * a redundant oracle for store-to-load forwarding under --check=full.
+ *
+ * The store buffer proper answers "which entry forwards to this load?"
+ * with an age-ordered scan over coalesced entries. The shadow keeps an
+ * independent per-byte record of every address-known pending store and
+ * derives the expected answer from first principles: a load may forward
+ * from store S iff for *every* byte the load reads, S is the youngest
+ * older store writing that byte. If the youngest writers differ across
+ * bytes, or some byte has no pending writer while another does, no
+ * single entry can legally supply the load and the SB must decline to
+ * forward (TSO forbids mixing forwarded and stale memory bytes).
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace spburst::check
+{
+
+/** Byte-granular oracle of pending (address-known) store-buffer data. */
+class ShadowMemory
+{
+  public:
+    /** Record a pending store covering [addr, addr+size). */
+    void write(SeqNum seq, Addr addr, unsigned size);
+
+    /** Remove a pending store (drained or squashed). */
+    void erase(SeqNum seq, Addr addr, unsigned size);
+
+    /**
+     * The store a load of [addr, addr+size) issued by @p load_seq must
+     * forward from, or kInvalidSeqNum if it must not forward (no
+     * pending writer, or no single youngest writer covers every byte).
+     */
+    SeqNum expectedForward(SeqNum load_seq, Addr addr,
+                           unsigned size) const;
+
+    /** True if any byte has a pending writer (leak check at drain). */
+    bool empty() const { return bytes_.empty(); }
+
+    /** Number of bytes with at least one pending writer. */
+    std::size_t pendingBytes() const { return bytes_.size(); }
+
+    /** Drop all state (e.g. before rebuilding after coalescing). */
+    void clear() { bytes_.clear(); }
+
+  private:
+    //! Per byte: pending writers, kept sorted by ascending SeqNum.
+    std::map<Addr, std::vector<SeqNum>> bytes_;
+};
+
+} // namespace spburst::check

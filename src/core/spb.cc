@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "check/check.hh"
 #include "common/logging.hh"
 #include "mem/cache_controller.hh"
 
@@ -139,6 +140,21 @@ SpbEngine::onStoreCommit(Addr addr, unsigned size, Region region)
     const SpbBurst burst = detector_.onStoreCommit(addr, size);
     if (burst.count == 0 || l1d_ == nullptr)
         return;
+    // The burst must stay inside the triggering store's page: crossing
+    // a page boundary would prefetch ownership of untranslated (and
+    // possibly unmapped) memory — exactly the bug class the paper's
+    // page-bounded window exists to rule out.
+    SPBURST_CHECK(Spb, samePage(addr, burst.firstBlock),
+                  "burst start %#llx left the page of store %#llx",
+                  static_cast<unsigned long long>(burst.firstBlock),
+                  static_cast<unsigned long long>(addr));
+    SPBURST_CHECK(Spb,
+                  samePage(addr, burst.firstBlock +
+                                     (burst.count - 1) * kBlockSize),
+                  "burst end %#llx left the page of store %#llx",
+                  static_cast<unsigned long long>(
+                      burst.firstBlock + (burst.count - 1) * kBlockSize),
+                  static_cast<unsigned long long>(addr));
     l1d_->enqueueBurst(burst.firstBlock, burst.count, core_, region);
 }
 

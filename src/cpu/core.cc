@@ -1,5 +1,6 @@
 #include "cpu/core.hh"
 
+#include "check/check.hh"
 #include "common/logging.hh"
 #include "mem/cache_controller.hh"
 
@@ -199,6 +200,11 @@ Core::commitStage()
         if (!e.completed)
             break;
         SPB_ASSERT(!e.wrongPath, "wrong-path uop reached commit");
+        SPBURST_CHECK(Pipeline, commitOrder_.observe(e.seq),
+                      "ROB committed %llu after %llu (out of order)",
+                      static_cast<unsigned long long>(e.seq),
+                      static_cast<unsigned long long>(
+                          commitOrder_.last()));
         switch (e.op.cls) {
           case OpClass::Store:
             sb_.markSenior(e.seq);
@@ -233,7 +239,7 @@ Core::startLoad(RobEntry &e)
     // Address generation includes translation: a DTLB miss delays the
     // access by the page-walk latency.
     const Cycle walk = dtlb_.access(e.op.addr);
-    if (sb_.forwards(e.seq, e.op.addr, e.op.size)) {
+    if (sb_.forwards(e.seq, e.op.addr, e.op.size) != kInvalidSeqNum) {
         e.readyCycle = now + walk + kL1HitLatency; // forward ~ L1 hit
         return;
     }
@@ -414,7 +420,7 @@ Core::dispatchStage()
         if (f.op.cls == OpClass::Load)
             ++lqCount_;
         if (f.op.cls == OpClass::Store)
-            sb_.allocate(e.seq, f.op.region);
+            sb_.allocate(e.seq, f.op.region, f.wrongPath);
         if (f.op.hasDest) {
             if (isFloatOp(f.op.cls))
                 --fpRegsFree_;

@@ -21,6 +21,7 @@
 #include <deque>
 #include <memory>
 
+#include "check/invariants.hh"
 #include "common/clock.hh"
 #include "common/rng.hh"
 #include "common/stats.hh"
@@ -203,6 +204,8 @@ class Core
     unsigned fpRegsFree_;
     bool wrongPathMode_ = false;
     Addr lastDataAddr_ = 0x10000000;
+
+    check::InOrderChecker commitOrder_; //!< ROB commits in order
 
     CoreStats stats_;
 };

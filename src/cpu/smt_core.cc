@@ -1,5 +1,6 @@
 #include "cpu/smt_core.hh"
 
+#include "check/check.hh"
 #include "common/logging.hh"
 #include "mem/cache_controller.hh"
 
@@ -43,6 +44,7 @@ SmtCore::SmtCore(const CoreConfig &config, int threads, SimClock *clock,
             sbPerThread_, l1d_, /*core_id=*/0, p_.tlb,
             0x5b5bull ^ (static_cast<std::uint64_t>(tid) << 32));
         th->trace = traces[tid];
+        th->tid = tid;
         th->intRegsFree = std::max(8u, p_.intRegs / t);
         th->fpRegsFree = std::max(8u, p_.fpRegs / t);
         th->sb.setPrefetchAtCommit(policy ==
@@ -55,6 +57,14 @@ SmtCore::SmtCore(const CoreConfig &config, int threads, SimClock *clock,
         }
         ctx_.push_back(std::move(th));
     }
+}
+
+void
+SmtCore::setEventLog(check::EventLog *log)
+{
+    eventLog_ = log;
+    for (std::size_t tid = 0; tid < ctx_.size(); ++tid)
+        ctx_[tid]->sb.setEventLog(log, static_cast<int>(tid), clock_);
 }
 
 std::uint64_t
@@ -180,6 +190,12 @@ SmtCore::commitStage()
                 continue;
             RobEntry &e = t.rob.front();
             SPB_ASSERT(!e.wrongPath, "wrong-path uop reached commit");
+            SPBURST_CHECK(Pipeline, t.commitOrder.observe(e.seq),
+                          "SMT ROB committed %llu after %llu (out of "
+                          "order)",
+                          static_cast<unsigned long long>(e.seq),
+                          static_cast<unsigned long long>(
+                              t.commitOrder.last()));
             switch (e.op.cls) {
               case OpClass::Store:
                 t.sb.markSenior(e.seq);
@@ -214,22 +230,20 @@ SmtCore::startLoad(Thread &t, RobEntry &e)
 {
     const Cycle now = clock_->now;
     const Cycle walk = t.dtlb.access(e.op.addr);
-    if (t.sb.forwards(e.seq, e.op.addr, e.op.size)) {
+    const SeqNum fwd = t.sb.forwards(e.seq, e.op.addr, e.op.size);
+    if (fwd != kInvalidSeqNum) {
         e.readyCycle = now + walk + kL1HitLatency;
+        recordLoadObserved(t, e, e.readyCycle, fwd);
         return;
     }
     if (!l1d_) {
         ++t.stats.loadsToL1;
         e.readyCycle = now + walk + kL1HitLatency;
+        recordLoadObserved(t, e, e.readyCycle, kInvalidSeqNum);
         return;
     }
     e.memPending = true;
-    const int tid = [&] {
-        for (std::size_t i = 0; i < ctx_.size(); ++i)
-            if (ctx_[i].get() == &t)
-                return static_cast<int>(i);
-        return 0;
-    }();
+    const int tid = t.tid;
     if (walk == 0) {
         issueLoadToL1(tid, e.seq, e.token);
         return;
@@ -264,6 +278,7 @@ SmtCore::issueLoadToL1(int tid, SeqNum seq, std::uint64_t token)
         entry->memPending = false;
         entry->completed = true;
         entry->readyCycle = clock_->now;
+        recordLoadObserved(th, *entry, clock_->now, kInvalidSeqNum);
     });
 }
 
@@ -282,6 +297,23 @@ SmtCore::execStore(Thread &t, RobEntry &e)
         pf.region = e.op.region;
         l1d_->issueStorePrefetch(pf);
     }
+}
+
+void
+SmtCore::recordLoadObserved(const Thread &t, const RobEntry &e,
+                            Cycle cycle, SeqNum forwardedFrom)
+{
+    if (!eventLog_ || e.wrongPath)
+        return;
+    check::MemEvent ev;
+    ev.kind = check::MemEvent::Kind::LoadObserved;
+    ev.thread = t.tid;
+    ev.seq = e.seq;
+    ev.addr = e.op.addr;
+    ev.size = e.op.size;
+    ev.cycle = cycle;
+    ev.forwardedFrom = forwardedFrom;
+    eventLog_->record(ev);
 }
 
 void
@@ -427,7 +459,7 @@ SmtCore::dispatchStage()
             if (f.op.cls == OpClass::Load)
                 ++t.lqCount;
             if (f.op.cls == OpClass::Store)
-                t.sb.allocate(e.seq, f.op.region);
+                t.sb.allocate(e.seq, f.op.region, f.wrongPath);
             if (f.op.hasDest) {
                 if (isFloatOp(f.op.cls))
                     --t.fpRegsFree;

@@ -26,6 +26,8 @@
 #include <memory>
 #include <vector>
 
+#include "check/event_log.hh"
+#include "check/invariants.hh"
 #include "common/clock.hh"
 #include "common/rng.hh"
 #include "core/spb.hh"
@@ -86,6 +88,13 @@ class SmtCore
     /** Per-thread SB capacity after partitioning. */
     unsigned sbPerThread() const { return sbPerThread_; }
 
+    /**
+     * Attach a litmus event log: store drains and load completions of
+     * every hardware thread are recorded as globally ordered MemEvents
+     * (used by tests/litmus/; null in normal runs).
+     */
+    void setEventLog(check::EventLog *log);
+
   private:
     struct RobEntry
     {
@@ -136,6 +145,8 @@ class SmtCore
         unsigned fpRegsFree = 0;
         bool wrongPathMode = false;
         Addr lastDataAddr = 0x10000000;
+        int tid = 0; //!< this thread's index within the core
+        check::InOrderChecker commitOrder; //!< ROB commits in order
         CoreStats stats;
     };
 
@@ -153,6 +164,8 @@ class SmtCore
     void startLoad(Thread &t, RobEntry &e);
     void issueLoadToL1(int tid, SeqNum seq, std::uint64_t token);
     void execStore(Thread &t, RobEntry &e);
+    void recordLoadObserved(const Thread &t, const RobEntry &e,
+                            Cycle cycle, SeqNum forwardedFrom);
     MicroOp synthesizeWrongPath(Thread &t);
     StallResource dispatchBlocker(const Thread &t,
                                   const FetchedUop &f) const;
@@ -168,6 +181,7 @@ class SmtCore
     unsigned iqShared_;
     unsigned iqInUse_ = 0;
     int rotate_ = 0; //!< round-robin priority pointer
+    check::EventLog *eventLog_ = nullptr; //!< litmus-only event sink
 };
 
 } // namespace spburst

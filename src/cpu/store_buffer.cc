@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "check/check.hh"
 #include "common/logging.hh"
 #include "core/spb.hh"
 #include "mem/cache_controller.hh"
@@ -26,12 +27,21 @@ StoreBuffer::findBySeq(SeqNum seq)
 }
 
 void
-StoreBuffer::allocate(SeqNum seq, Region region)
+StoreBuffer::allocate(SeqNum seq, Region region, bool wrongPath)
 {
     SPB_ASSERT(!full(), "store buffer overflow");
+    // Dispatch order is program order: a new entry is always younger
+    // than everything already buffered (squashes pop the tail first).
+    SPBURST_CHECK(StoreBuffer,
+                  entries_.empty() || seq > entries_.back().seq,
+                  "store %llu dispatched behind younger store %llu",
+                  static_cast<unsigned long long>(seq),
+                  static_cast<unsigned long long>(
+                      entries_.empty() ? 0 : entries_.back().seq));
     Entry e;
     e.seq = seq;
     e.region = region;
+    e.wrongPath = wrongPath;
     entries_.push_back(e);
 }
 
@@ -41,9 +51,16 @@ StoreBuffer::setAddress(SeqNum seq, Addr addr, unsigned size)
     Entry *e = findBySeq(seq);
     SPB_ASSERT(e != nullptr, "setAddress: store %lu not in SB",
                static_cast<unsigned long>(seq));
+    SPBURST_CHECK(StoreBuffer, !e->senior,
+                  "store %llu got its address after commit",
+                  static_cast<unsigned long long>(seq));
+    if (check::full() && e->addressKnown)
+        shadow_.erase(e->seq, e->addr, e->size);
     e->addr = addr;
     e->size = size;
     e->addressKnown = true;
+    if (check::full())
+        shadow_.write(seq, addr, size);
 }
 
 void
@@ -54,7 +71,25 @@ StoreBuffer::markSenior(SeqNum seq)
                static_cast<unsigned long>(seq));
     SPB_ASSERT(e->addressKnown, "store %lu committed without an address",
                static_cast<unsigned long>(seq));
+    SPBURST_CHECK(Pipeline, !e->wrongPath,
+                  "wrong-path store %llu committed",
+                  static_cast<unsigned long long>(seq));
     e->senior = true;
+    // Commit is in order, so every entry older than a committing store
+    // must already be senior (the senior prefix property the drain
+    // logic relies on).
+    if (check::full()) {
+        for (const Entry &older : entries_) {
+            if (older.seq == seq)
+                break;
+            SPBURST_CHECK_SLOW(StoreBuffer, older.senior,
+                               "store %llu committed before older "
+                               "store %llu",
+                               static_cast<unsigned long long>(seq),
+                               static_cast<unsigned long long>(
+                                   older.seq));
+        }
+    }
     const Addr commit_addr = e->addr;     // the committing store's own
     const unsigned commit_size = e->size; // address/size (SPB input)
 
@@ -72,6 +107,14 @@ StoreBuffer::markSenior(SeqNum seq)
                 const Addr lo = std::min(prev.addr, e->addr);
                 const Addr hi = std::max(prev.addr + prev.size,
                                          e->addr + e->size);
+                if (check::full()) {
+                    // Mirror the merge in the shadow so the oracle
+                    // tracks the (possibly widened) merged range.
+                    shadow_.erase(prev.seq, prev.addr, prev.size);
+                    shadow_.erase(e->seq, e->addr, e->size);
+                    shadow_.write(prev.seq, lo,
+                                  static_cast<unsigned>(hi - lo));
+                }
                 prev.addr = lo;
                 prev.size = static_cast<unsigned>(hi - lo);
                 ++stats_.coalesced;
@@ -102,6 +145,9 @@ StoreBuffer::squashFrom(SeqNum seq)
         SPB_ASSERT(!entries_.back().senior,
                    "squashing a senior store (%lu)",
                    static_cast<unsigned long>(entries_.back().seq));
+        if (check::full() && entries_.back().addressKnown)
+            shadow_.erase(entries_.back().seq, entries_.back().addr,
+                          entries_.back().size);
         entries_.pop_back();
         ++stats_.squashed;
     }
@@ -120,6 +166,14 @@ StoreBuffer::tick(Cycle now)
 
     // TSO: only the head may drain; anything behind it waits.
     const Entry &head = entries_.front();
+    SPBURST_CHECK(Pipeline, !head.wrongPath,
+                  "wrong-path store %llu reached the SB drain",
+                  static_cast<unsigned long long>(head.seq));
+    SPBURST_CHECK(StoreBuffer, drainOrder_.observe(head.seq),
+                  "SB drained store %llu after %llu (program-order "
+                  "violation)",
+                  static_cast<unsigned long long>(head.seq),
+                  static_cast<unsigned long long>(drainOrder_.last()));
     if (l1d_ && !l1d_->probeOwned(head.addr))
         ++stats_.headBlockedCycles;
 
@@ -133,35 +187,73 @@ StoreBuffer::tick(Cycle now)
     if (!l1d_) {
         // Detached mode (unit tests without a hierarchy): drain in one
         // cycle.
-        entries_.pop_front();
-        ++stats_.drained;
-        drainInFlight_ = false;
+        finishDrain();
         return;
     }
     l1d_->drainStore(req, [this, token] {
         SPB_ASSERT(token == drainToken_, "stale drain completion");
         SPB_ASSERT(!entries_.empty() && entries_.front().senior,
                    "drain completed without a senior head");
-        entries_.pop_front();
-        ++stats_.drained;
-        drainInFlight_ = false;
+        finishDrain();
     });
 }
 
-bool
+void
+StoreBuffer::finishDrain()
+{
+    const Entry &head = entries_.front();
+    if (check::full() && head.addressKnown)
+        shadow_.erase(head.seq, head.addr, head.size);
+    if (eventLog_) {
+        check::MemEvent ev;
+        ev.kind = check::MemEvent::Kind::StoreVisible;
+        ev.thread = eventThread_;
+        ev.seq = head.seq;
+        ev.addr = head.addr;
+        ev.size = head.size;
+        ev.cycle = eventClock_ ? eventClock_->now : 0;
+        eventLog_->record(ev);
+    }
+    entries_.pop_front();
+    ++stats_.drained;
+    drainInFlight_ = false;
+}
+
+SeqNum
 StoreBuffer::forwards(SeqNum load_seq, Addr addr, unsigned size)
 {
     // Search youngest-to-oldest for the most recent older store whose
-    // (known) address covers the load.
+    // known address *overlaps* the load. Only a full cover may forward;
+    // a partial overlap blocks forwarding from anything older, because
+    // the load would otherwise combine that store's pending bytes with
+    // stale data from memory or an older entry.
+    SeqNum hit = kInvalidSeqNum;
     for (auto it = entries_.rbegin(); it != entries_.rend(); ++it) {
         if (it->seq >= load_seq || !it->addressKnown)
             continue;
-        if (it->addr <= addr && addr + size <= it->addr + it->size) {
-            ++stats_.forwards;
-            return true;
-        }
+        const bool overlaps =
+            it->addr < addr + size && addr < it->addr + it->size;
+        if (!overlaps)
+            continue;
+        if (it->addr <= addr && addr + size <= it->addr + it->size)
+            hit = it->seq;
+        break;
     }
-    return false;
+    // Full mode: re-derive the answer from the byte-granular shadow.
+    SPBURST_CHECK_SLOW(Forwarding,
+                       hit == shadow_.expectedForward(load_seq, addr,
+                                                      size),
+                       "forwarding mismatch for load %llu @%#llx+%u: "
+                       "SB says %llu, oracle says %llu",
+                       static_cast<unsigned long long>(load_seq),
+                       static_cast<unsigned long long>(addr), size,
+                       static_cast<unsigned long long>(hit),
+                       static_cast<unsigned long long>(
+                           shadow_.expectedForward(load_seq, addr,
+                                                   size)));
+    if (hit != kInvalidSeqNum)
+        ++stats_.forwards;
+    return hit;
 }
 
 Region

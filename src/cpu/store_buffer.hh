@@ -9,6 +9,12 @@
  * strictly in order (TSO store→store order); a drain that misses blocks
  * everything behind it until ownership arrives — the serialization SPB
  * exists to hide. Loads forward from older, address-known entries.
+ *
+ * simcheck coverage (see DESIGN.md "Invariants & checking levels"):
+ * entries stay in program order, senior marking follows commit order,
+ * wrong-path stores never drain, drains are strictly in order, and in
+ * full mode every forwarding decision is cross-checked against the
+ * byte-granular check::ShadowMemory oracle.
  */
 
 #pragma once
@@ -17,6 +23,10 @@
 #include <deque>
 #include <functional>
 
+#include "check/event_log.hh"
+#include "check/invariants.hh"
+#include "check/shadow_mem.hh"
+#include "common/clock.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "trace/uop.hh"
@@ -65,6 +75,19 @@ class StoreBuffer
      */
     void setCoalescing(bool on) { coalescing_ = on; }
 
+    /**
+     * Attach a litmus event log: each completed drain records a
+     * StoreVisible event stamped with @p clock->now (used only by the
+     * litmus harness; null in normal runs).
+     */
+    void
+    setEventLog(check::EventLog *log, int thread, const SimClock *clock)
+    {
+        eventLog_ = log;
+        eventThread_ = thread;
+        eventClock_ = clock;
+    }
+
     // ---- pipeline hooks ----
 
     bool full() const { return entries_.size() >= capacity_; }
@@ -72,7 +95,7 @@ class StoreBuffer
     unsigned capacity() const { return capacity_; }
 
     /** Dispatch: reserve an entry (caller must check !full()). */
-    void allocate(SeqNum seq, Region region);
+    void allocate(SeqNum seq, Region region, bool wrongPath = false);
 
     /** Execute: the store's address is now known. */
     void setAddress(SeqNum seq, Addr addr, unsigned size);
@@ -87,10 +110,13 @@ class StoreBuffer
     void tick(Cycle now);
 
     /**
-     * Store-to-load forwarding: true if an older entry with a known
-     * address covers the load.
+     * Store-to-load forwarding: the seq of the older, address-known
+     * entry that covers the load, or kInvalidSeqNum if the load must
+     * go to the memory system. A younger *partially* overlapping store
+     * blocks forwarding from anything older (the load would otherwise
+     * mix stale bytes with pending ones).
      */
-    bool forwards(SeqNum load_seq, Addr addr, unsigned size);
+    SeqNum forwards(SeqNum load_seq, Addr addr, unsigned size);
 
     /** Region of the head entry (stall attribution, Fig. 3). */
     Region headRegion() const;
@@ -109,9 +135,13 @@ class StoreBuffer
         Region region = Region::App;
         bool senior = false;
         bool addressKnown = false;
+        bool wrongPath = false; //!< speculative past an unresolved branch
     };
 
     Entry *findBySeq(SeqNum seq);
+
+    /** Pop the drained head: shadow/event-log bookkeeping + stats. */
+    void finishDrain();
 
     unsigned capacity_;
     CacheController *l1d_;
@@ -123,6 +153,12 @@ class StoreBuffer
     bool drainInFlight_ = false;
     std::uint64_t drainToken_ = 0; //!< guards stale drain callbacks
     StoreBufferStats stats_;
+
+    check::InOrderChecker drainOrder_; //!< TSO store→store order
+    check::ShadowMemory shadow_;       //!< full-mode forwarding oracle
+    check::EventLog *eventLog_ = nullptr;
+    int eventThread_ = 0;
+    const SimClock *eventClock_ = nullptr;
 };
 
 } // namespace spburst

@@ -1,10 +1,22 @@
 #include "mem/cache_controller.hh"
 
+#include "check/check.hh"
 #include "common/logging.hh"
 #include "mem/coherence_hub.hh"
 
 namespace spburst
 {
+
+namespace
+{
+
+/** No request may stay in an MSHR longer than this: even a fully
+ *  congested DRAM + upgrade chain resolves orders of magnitude faster,
+ *  so an older entry means a lost fill ("a request outlived its
+ *  epoch"). */
+constexpr Cycle kMshrEpochCycles = 1'000'000;
+
+} // namespace
 
 StatSet
 CacheStats::toStatSet() const
@@ -131,6 +143,8 @@ CacheController::request(const MemRequest &req_in, FillCallback done)
 
     if (MshrEntry *entry = mshr_.find(req.blockAddr)) {
         count_miss();
+        if (wants_own)
+            entry->ownershipRequested = true;
         entry->targets.push_back(std::move(target));
         return;
     }
@@ -175,7 +189,21 @@ CacheController::handleFill(Addr block_addr, bool ownership)
 
     const MemCmd fill_cmd = entry->firstCmd;
     const Cycle extra = entry->extraLatency;
-    const bool shared_grant = hub_ ? entry->sharedGrant : ownership;
+    const bool invalidated = entry->invalidatedInFlight;
+    const bool downgraded = entry->downgradedInFlight;
+    SPBURST_CHECK(Mshr,
+                  clock_->now - entry->allocCycle <= kMshrEpochCycles,
+                  "%s: block %#llx sat %llu cycles in an MSHR",
+                  params_.name.c_str(),
+                  static_cast<unsigned long long>(block_addr),
+                  static_cast<unsigned long long>(clock_->now -
+                                                  entry->allocCycle));
+    // A coherence action that raced the fill voids any granted
+    // ownership; an invalidation also voids the data itself.
+    if (invalidated || downgraded)
+        ownership = false;
+    const bool shared_grant =
+        hub_ ? entry->sharedGrant : ownership;
     std::vector<MshrTarget> targets = std::move(entry->targets);
 
     for (const MshrTarget &t : targets) {
@@ -184,7 +212,8 @@ CacheController::handleFill(Addr block_addr, bool ownership)
     }
 
     mshr_.deallocate(block_addr);
-    installBlock(block_addr, ownership, fill_cmd);
+    if (!invalidated)
+        installBlock(block_addr, ownership, fill_cmd);
 
     // If some target needs ownership the fill did not bring, complete
     // the readers and launch an upgrade for the writers.
@@ -310,13 +339,23 @@ CacheController::writeback(Addr block_addr, int core)
 bool
 CacheController::invalidateBlock(Addr block_addr)
 {
-    return tags_.invalidate(blockAlign(block_addr));
+    const Addr aligned = blockAlign(block_addr);
+    // A fill still in flight would re-install the block *after* this
+    // invalidation, silently resurrecting a copy the directory believes
+    // is gone (and, for ownership fills, breaking SWMR). Flag the MSHR
+    // so handleFill discards the stale install.
+    if (MshrEntry *e = mshr_.find(aligned))
+        e->invalidatedInFlight = true;
+    return tags_.invalidate(aligned);
 }
 
 bool
 CacheController::downgradeBlock(Addr block_addr)
 {
-    CacheBlk *blk = tags_.find(blockAlign(block_addr));
+    const Addr aligned = blockAlign(block_addr);
+    if (MshrEntry *e = mshr_.find(aligned))
+        e->downgradedInFlight = true;
+    CacheBlk *blk = tags_.find(aligned);
     if (!blk)
         return false;
     const bool dirty = blk->state == CohState::Modified;
@@ -444,6 +483,15 @@ CacheController::enqueueBurst(Addr first_block, unsigned count, int core,
 {
     SPB_ASSERT(l1d_, "enqueueBurst on non-L1D cache '%s'",
                params_.name.c_str());
+    // Sink-side twin of the SPB engine's page-bound invariant: a burst
+    // that crosses its page would prefetch another page's blocks.
+    SPBURST_CHECK(Spb,
+                  count == 0 ||
+                      samePage(first_block, blockAlign(first_block) +
+                                                Addr{count - 1} * kBlockSize),
+                  "%s: burst [%#llx +%u blocks) crosses a page boundary",
+                  params_.name.c_str(),
+                  static_cast<unsigned long long>(first_block), count);
     constexpr std::size_t kBurstQueueCap = 4 * kBlocksPerPage;
     for (unsigned i = 0; i < count; ++i) {
         if (burstQueue_.size() >= kBurstQueueCap) {
@@ -507,6 +555,10 @@ CacheController::tryIssuePrefetch(const MemRequest &req)
     // Already in flight: discard, but make sure ownership will arrive.
     if (MshrEntry *e = mshr_.find(addr)) {
         if (wantsOwnership(req.cmd) && !e->ownershipRequested) {
+            // Record that ownership is now on order, so further
+            // write-prefetches to the block don't pile on duplicate
+            // upgrade targets.
+            e->ownershipRequested = true;
             MshrTarget t;
             t.needsOwnership = true;
             t.isPrefetch = true;

@@ -166,6 +166,9 @@ class CacheController : public MemLevel
     /** Pending SPB burst elements not yet issued. */
     std::size_t burstBacklog() const { return burstQueue_.size(); }
 
+    /** Pending WritePF/ReadPF queue entries not yet issued. */
+    std::size_t prefetchBacklog() const { return prefetchQueue_.size(); }
+
     /** Outstanding misses. */
     std::size_t mshrInUse() const { return mshr_.inUse(); }
 

@@ -1,6 +1,8 @@
 #include "mem/directory.hh"
 
+#include "check/check.hh"
 #include "common/logging.hh"
+#include "mem/coherence_audit.hh"
 
 namespace spburst
 {
@@ -48,6 +50,8 @@ DirectoryController::resolve(const MemRequest &req, bool &grant_ownership)
         e.sharers = cbit;
         e.owner = req.core;
         grant_ownership = true;
+        if (auditor_ && check::full())
+            auditor_->onTransaction(addr);
         return extra;
     }
 
@@ -67,6 +71,8 @@ DirectoryController::resolve(const MemRequest &req, bool &grant_ownership)
     grant_ownership = sole;
     if (sole)
         e.owner = req.core;
+    if (auditor_ && check::full())
+        auditor_->onTransaction(addr);
     return extra;
 }
 

@@ -26,6 +26,8 @@
 namespace spburst
 {
 
+class CoherenceAuditor;
+
 /** Per-core private hierarchy handles the directory can probe. */
 struct CorePorts
 {
@@ -66,10 +68,24 @@ class DirectoryController : public CoherenceHub
     /** Lookup for tests; returns a default entry if untracked. */
     Entry lookup(Addr block_addr) const;
 
+    /** Registered per-core ports (for the SWMR auditor). */
+    const std::vector<CorePorts> &ports() const { return cores_; }
+
+    /** Every tracked block (for the full SWMR sweep). */
+    const std::unordered_map<Addr, Entry> &entries() const
+    {
+        return dir_;
+    }
+
+    /** Attach the SWMR auditor (notified after each transaction in
+     *  --check=full mode). */
+    void setAuditor(CoherenceAuditor *auditor) { auditor_ = auditor; }
+
   private:
     Cycle remoteLatency_;
     std::vector<CorePorts> cores_;
     std::unordered_map<Addr, Entry> dir_;
+    CoherenceAuditor *auditor_ = nullptr;
     DirectoryStats stats_;
 };
 

@@ -67,6 +67,20 @@ MemorySystem::MemorySystem(const MemSystemParams &params, SimClock *clock)
         }
         return dirty;
     });
+
+    // The SWMR / MSHR-drain auditor watches every controller; the
+    // directory notifies it after each coherence transaction when
+    // --check=full is active.
+    std::vector<const CacheController *> audited;
+    for (const auto &l1 : l1d_)
+        audited.push_back(l1.get());
+    for (const auto &l2 : l2_)
+        audited.push_back(l2.get());
+    audited.push_back(l3_.get());
+    auditor_ = std::make_unique<CoherenceAuditor>(dir_.get(),
+                                                  std::move(audited));
+    if (dir_)
+        dir_->setAuditor(auditor_.get());
 }
 
 void

@@ -14,6 +14,7 @@
 #include "common/clock.hh"
 #include "common/stats.hh"
 #include "mem/cache_controller.hh"
+#include "mem/coherence_audit.hh"
 #include "mem/directory.hh"
 #include "mem/dram.hh"
 #include "mem/dram_level.hh"
@@ -67,6 +68,10 @@ class MemorySystem
 
     int cores() const { return params_.cores; }
 
+    /** The hierarchy's SWMR / MSHR auditor (always present; the SWMR
+     *  portion is inert on single-core systems). */
+    CoherenceAuditor &auditor() { return *auditor_; }
+
     /** Fold end-of-run prefetch residue into the stats. */
     void finalizeStats();
 
@@ -83,6 +88,7 @@ class MemorySystem
     std::vector<std::unique_ptr<Interconnect>> icn_;
     std::vector<std::unique_ptr<CacheController>> l2_;
     std::vector<std::unique_ptr<CacheController>> l1d_;
+    std::unique_ptr<CoherenceAuditor> auditor_;
 };
 
 } // namespace spburst

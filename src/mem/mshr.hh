@@ -38,6 +38,13 @@ struct MshrEntry
     Addr blockAddr = kInvalidAddr;
     bool ownershipRequested = false; //!< in-flight request wants M/E
     bool lateCounted = false;   //!< already classified as a late prefetch
+    /** The directory invalidated this block while its fill was still in
+     *  flight: the fill must not install (readers complete with the
+     *  pre-invalidation data; writers re-request ownership). */
+    bool invalidatedInFlight = false;
+    /** The directory downgraded the block mid-flight: any granted
+     *  ownership is void; the fill installs Shared at most. */
+    bool downgradedInFlight = false;
     MemCmd firstCmd = MemCmd::ReadReq; //!< command that allocated it
     Cycle allocCycle = 0;
     Cycle extraLatency = 0;     //!< coherence-hub latency (shared level)

@@ -92,6 +92,7 @@ SimResult::toStatSet() const
     s.set("energy.core_dynamic_pj", energy.coreDynamicPj);
     s.set("energy.leakage_pj", energy.leakagePj);
     s.set("energy.total_pj", energy.totalPj());
+    s.merge("check.", checks.toStatSet());
     return s;
 }
 
@@ -147,6 +148,11 @@ System::System(const SystemConfig &config)
         cores_.push_back(std::make_unique<Core>(
             cc, t, &clock_, &mem_.l1d(t), traces_.back().get()));
     }
+
+    // Per-run check-counter deltas: the experiment engine constructs
+    // and runs each System on one host thread, so the thread-local
+    // counters captured here bracket exactly this run.
+    checkBase_ = check::counters();
 }
 
 System::~System() = default;
@@ -199,7 +205,31 @@ System::run(const std::function<bool()> &interrupt)
         }
     }
     mem_.finalizeStats();
-    return snapshot();
+    SimResult r = snapshot();
+    if (check::full())
+        drainAndAudit();
+    r.checks = check::counters().delta(checkBase_);
+    return r;
+}
+
+void
+System::drainAndAudit()
+{
+    // Run the event queue dry without ticking cores: every in-flight
+    // fill, pump retry and queued prefetch either completes or stands
+    // revealed as a leak. Bounded defensively against a livelocked
+    // event chain.
+    const Cycle limit = clock_.now + 10'000'000;
+    while (!clock_.events.empty()) {
+        clock_.tick();
+        if (clock_.now > limit) {
+            SPB_FATAL("memory system of '%s' failed to quiesce within "
+                      "10M cycles after the run — self-rescheduling "
+                      "event chain?", config_.workload.c_str());
+        }
+    }
+    mem_.auditor().auditDrained();
+    mem_.auditor().auditFull();
 }
 
 SimResult
@@ -246,6 +276,7 @@ System::snapshot()
         r.energy.coreDynamicPj += e.coreDynamicPj;
         r.energy.leakagePj += e.leakagePj;
     }
+    r.checks = check::counters().delta(checkBase_);
     return r;
 }
 

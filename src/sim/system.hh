@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "check/check.hh"
 #include "common/clock.hh"
 #include "common/stats.hh"
 #include "core/spb.hh"
@@ -84,6 +85,9 @@ struct SimResult
     DirectoryStats directory;             //!< zeros on single core
     std::vector<StreamPrefetcherStats> l1pf;
     EnergyBreakdown energy;               //!< whole system
+    /** simcheck activity during this run (violations are fatal unless a
+     *  ThrowGuard is active, so a returned result normally shows 0). */
+    check::Counters checks;
 
     /** Committed uops per cycle, summed over cores. */
     double ipc() const;
@@ -149,6 +153,15 @@ class System
     const SystemConfig &config() const { return config_; }
 
   private:
+    /**
+     * End-of-run audit (--check=full): quiesce the memory hierarchy by
+     * running the remaining event queue (no further core ticks — the
+     * reported statistics stay identical to a fast-mode run), then
+     * verify that no MSHR or prefetch-queue entry leaked and that the
+     * final coherence state satisfies SWMR.
+     */
+    void drainAndAudit();
+
     SystemConfig config_;
     SimClock clock_;
     MemorySystem mem_;
@@ -156,6 +169,8 @@ class System
     std::vector<std::unique_ptr<PrefetcherIface>> l2Prefetchers_;
     std::vector<std::unique_ptr<TraceSource>> traces_;
     std::vector<std::unique_ptr<Core>> cores_;
+    /** Thread's check counters at construction; results report deltas. */
+    check::Counters checkBase_;
 };
 
 /** Build, run, and return the result in one call. */

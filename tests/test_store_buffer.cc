@@ -129,14 +129,14 @@ TEST_F(StoreBufferTest, ForwardingMatchesOlderCoveringStore)
 {
     build(8);
     addStore(10, 0x4000);
-    // Exact overlap from an older store: forward.
-    EXPECT_TRUE(sb->forwards(11, 0x4000, 8));
+    // Exact overlap from an older store: forward (and name the store).
+    EXPECT_EQ(sb->forwards(11, 0x4000, 8), 10u);
     // Contained access: forward.
-    EXPECT_TRUE(sb->forwards(11, 0x4004, 4));
+    EXPECT_EQ(sb->forwards(11, 0x4004, 4), 10u);
     // Partial/non-overlap: no forward.
-    EXPECT_FALSE(sb->forwards(11, 0x4008, 8));
+    EXPECT_EQ(sb->forwards(11, 0x4008, 8), kInvalidSeqNum);
     // A load OLDER than the store must not forward from it.
-    EXPECT_FALSE(sb->forwards(9, 0x4000, 8));
+    EXPECT_EQ(sb->forwards(9, 0x4000, 8), kInvalidSeqNum);
     EXPECT_EQ(sb->stats().forwards, 2u);
 }
 
@@ -144,7 +144,7 @@ TEST_F(StoreBufferTest, ForwardingIgnoresAddresslessStores)
 {
     build(8);
     sb->allocate(1, Region::App); // address not yet computed
-    EXPECT_FALSE(sb->forwards(2, 0x5000, 8));
+    EXPECT_EQ(sb->forwards(2, 0x5000, 8), kInvalidSeqNum);
 }
 
 TEST_F(StoreBufferTest, SquashRemovesYoungTail)
@@ -207,7 +207,7 @@ TEST_F(StoreBufferTest, CoalescingMergesConsecutiveSameBlockSeniors)
     EXPECT_EQ(sb->size(), 1u);
     EXPECT_EQ(sb->stats().coalesced, 3u);
     // The merged entry covers the whole written range: loads forward.
-    EXPECT_TRUE(sb->forwards(10, 0x8010, 8));
+    EXPECT_EQ(sb->forwards(10, 0x8010, 8), 1u);
     tickN(400);
     EXPECT_EQ(sb->stats().drained, 1u) << "one block write suffices";
 }

@@ -207,8 +207,9 @@ TEST(PointerChase, LoadsDependOnPreviousLoad)
         if (op.cls != OpClass::Load)
             continue;
         ++loads;
-        if (loads > 1)
+        if (loads > 1) {
             EXPECT_EQ(op.srcDist1, 2);
+        }
         EXPECT_GE(op.addr, 0x100000u);
         EXPECT_LT(op.addr, 0x100000u + (1 << 20));
     }
@@ -385,13 +386,14 @@ TEST(Workloads, ThreadsGetDisjointPrivateAddresses)
             pages1.insert(pageNumber(b.addr));
     }
     // Private pages must not collide; only the shared region overlaps.
-    int shared_overlap = 0;
+    std::size_t shared_overlap = 0;
     for (Addr p0 : pages0)
         shared_overlap += pages1.count(p0);
     // All overlapping pages live in the fixed shared region.
     for (Addr p0 : pages0) {
-        if (pages1.count(p0))
+        if (pages1.count(p0)) {
             EXPECT_GE(p0 << kPageShift, 0x7000'0000'0000ULL);
+        }
     }
     (void)shared_overlap;
 }

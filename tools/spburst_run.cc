@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "check/check.hh"
 #include "common/logging.hh"
 #include "common/table.hh"
 #include "cpu/params.hh"
@@ -67,6 +68,7 @@ usage()
         "  --uops=N               committed uops per core (default 200k)\n"
         "  --seed=N               workload seed (default 1)\n"
         "  --format=text|json|csv (default text)\n"
+        "  --check=off|fast|full  invariant checking level (default fast)\n"
         "  --jobs=N               host threads for multi-workload runs\n"
         "                         (0 = all hardware threads; default)\n"
         "  --out=FILE             also append per-run JSONL results\n"
@@ -115,11 +117,12 @@ parse(int argc, char **argv)
             return arg.compare(0, n, prefix) == 0 ? arg.c_str() + n
                                                   : nullptr;
         };
-        if (const char *v = value("--workload=")) {
+        const char *v = nullptr;
+        if ((v = value("--workload=")) != nullptr) {
             o.workloads = expandWorkloads(v);
-        } else if (const char *v = value("--sb=")) {
+        } else if ((v = value("--sb=")) != nullptr) {
             o.sb = static_cast<unsigned>(std::strtoul(v, nullptr, 10));
-        } else if (const char *v = value("--policy=")) {
+        } else if ((v = value("--policy=")) != nullptr) {
             if (std::strcmp(v, "none") == 0)
                 o.policy = StorePrefetchPolicy::None;
             else if (std::strcmp(v, "at-execute") == 0)
@@ -130,7 +133,7 @@ parse(int argc, char **argv)
                 SPB_FATAL("unknown policy '%s'", v);
         } else if (arg == "--spb") {
             o.spb = true;
-        } else if (const char *v = value("--spb-n=")) {
+        } else if ((v = value("--spb-n=")) != nullptr) {
             o.spbN = static_cast<unsigned>(std::strtoul(v, nullptr, 10));
         } else if (arg == "--spb-dynamic") {
             o.spbDynamic = true;
@@ -138,7 +141,7 @@ parse(int argc, char **argv)
             o.spbBackward = true;
         } else if (arg == "--ideal") {
             o.ideal = true;
-        } else if (const char *v = value("--l1pf=")) {
+        } else if ((v = value("--l1pf=")) != nullptr) {
             if (std::strcmp(v, "none") == 0)
                 o.l1pf = L1PrefetcherKind::None;
             else if (std::strcmp(v, "stream") == 0)
@@ -151,19 +154,21 @@ parse(int argc, char **argv)
                 o.l1pf = L1PrefetcherKind::BestOffset;
             else
                 SPB_FATAL("unknown prefetcher '%s'", v);
-        } else if (const char *v = value("--core=")) {
+        } else if ((v = value("--core=")) != nullptr) {
             o.core = v;
-        } else if (const char *v = value("--threads=")) {
+        } else if ((v = value("--threads=")) != nullptr) {
             o.threads = static_cast<int>(std::strtol(v, nullptr, 10));
-        } else if (const char *v = value("--uops=")) {
+        } else if ((v = value("--uops=")) != nullptr) {
             o.uops = std::strtoull(v, nullptr, 10);
-        } else if (const char *v = value("--seed=")) {
+        } else if ((v = value("--seed=")) != nullptr) {
             o.seed = std::strtoull(v, nullptr, 10);
-        } else if (const char *v = value("--format=")) {
+        } else if ((v = value("--format=")) != nullptr) {
             o.format = v;
-        } else if (const char *v = value("--jobs=")) {
+        } else if ((v = value("--check=")) != nullptr) {
+            check::setLevel(check::parseLevel(v));
+        } else if ((v = value("--jobs=")) != nullptr) {
             o.jobs = static_cast<unsigned>(std::strtoul(v, nullptr, 10));
-        } else if (const char *v = value("--out=")) {
+        } else if ((v = value("--out=")) != nullptr) {
             o.out = v;
         } else if (arg == "--list-workloads") {
             std::printf("%-14s %-8s %s\n", "name", "suite", "SB-bound");

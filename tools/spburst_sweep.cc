@@ -22,6 +22,7 @@
 #include <unistd.h>
 #include <vector>
 
+#include "check/check.hh"
 #include "common/logging.hh"
 #include "common/table.hh"
 #include "cpu/params.hh"
@@ -74,6 +75,7 @@ usage()
         "  --uops=N               committed uops per core (default 100k)\n"
         "  --seed=N               base seed (default 1)\n"
         "  --per-job-seeds        derive a distinct seed per grid point\n"
+        "  --check=off|fast|full  invariant checking level (default fast)\n"
         "engine:\n"
         "  --jobs=N               host threads (0 = all hardware; default)\n"
         "  --out=FILE             JSONL result sink (checkpointed)\n"
@@ -203,37 +205,40 @@ parse(int argc, char **argv)
             return arg.compare(0, n, prefix) == 0 ? arg.c_str() + n
                                                   : nullptr;
         };
-        if (const char *v = value("--workload=")) {
+        const char *v = nullptr;
+        if ((v = value("--workload=")) != nullptr) {
             o.workloads = expandWorkloads(v);
-        } else if (const char *v = value("--sb=")) {
+        } else if ((v = value("--sb=")) != nullptr) {
             o.sbs = splitUnsigned(v);
-        } else if (const char *v = value("--strategy=")) {
+        } else if ((v = value("--strategy=")) != nullptr) {
             o.strategies = splitList(v);
-        } else if (const char *v = value("--spb-n=")) {
+        } else if ((v = value("--spb-n=")) != nullptr) {
             o.spbNs = splitUnsigned(v);
-        } else if (const char *v = value("--l1pf=")) {
+        } else if ((v = value("--l1pf=")) != nullptr) {
             o.l1pfs = splitList(v);
-        } else if (const char *v = value("--core=")) {
+        } else if ((v = value("--core=")) != nullptr) {
             o.cores = splitList(v);
-        } else if (const char *v = value("--sim-threads=")) {
+        } else if ((v = value("--sim-threads=")) != nullptr) {
             o.simThreads =
                 static_cast<int>(std::strtol(v, nullptr, 10));
-        } else if (const char *v = value("--uops=")) {
+        } else if ((v = value("--uops=")) != nullptr) {
             o.uops = std::strtoull(v, nullptr, 10);
-        } else if (const char *v = value("--seed=")) {
+        } else if ((v = value("--seed=")) != nullptr) {
             o.seed = std::strtoull(v, nullptr, 10);
         } else if (arg == "--per-job-seeds") {
             o.perJobSeeds = true;
-        } else if (const char *v = value("--jobs=")) {
+        } else if ((v = value("--check=")) != nullptr) {
+            check::setLevel(check::parseLevel(v));
+        } else if ((v = value("--jobs=")) != nullptr) {
             o.jobs = static_cast<unsigned>(
                 std::strtoul(v, nullptr, 10));
-        } else if (const char *v = value("--out=")) {
+        } else if ((v = value("--out=")) != nullptr) {
             o.out = v;
         } else if (arg == "--resume") {
             o.resume = true;
-        } else if (const char *v = value("--timeout-s=")) {
+        } else if ((v = value("--timeout-s=")) != nullptr) {
             o.timeoutS = std::strtod(v, nullptr);
-        } else if (const char *v = value("--retries=")) {
+        } else if ((v = value("--retries=")) != nullptr) {
             o.retries = static_cast<unsigned>(
                 std::strtoul(v, nullptr, 10));
         } else if (arg == "--dry-run") {
