@@ -1,0 +1,276 @@
+#include "common/event_queue.hh"
+
+#include <algorithm>
+
+namespace spburst
+{
+
+namespace
+{
+
+/** Nodes are pooled in chunks; 64 covers a core's worth of in-flight
+ *  misses without a second allocation. */
+constexpr std::size_t kChunkNodes = 64;
+
+constexpr bool
+flatLess(Cycle wa, std::uint64_t ia, Cycle wb, std::uint64_t ib)
+{
+    return wa != wb ? wa < wb : ia < ib;
+}
+
+} // namespace
+
+const char *
+schedulerKindName(SchedulerKind kind)
+{
+    return kind == SchedulerKind::Calendar ? "calendar" : "heap";
+}
+
+EventQueue::EventQueue(SchedulerKind kind) : kind_(kind)
+{
+    if (kind_ == SchedulerKind::Calendar) {
+        overflow_.reserve(64);
+        due_.reserve(64);
+        dueOverflow_.reserve(16);
+    } else {
+        heap_.reserve(64);
+    }
+}
+
+EventQueue::~EventQueue() = default;
+
+// ---------------------------------------------------------------------
+// Calendar (timing wheel)
+// ---------------------------------------------------------------------
+
+EventQueue::Node *
+EventQueue::allocNode()
+{
+    if (freeNodes_ == nullptr) {
+        chunks_.push_back(std::make_unique<Node[]>(kChunkNodes));
+        Node *chunk = chunks_.back().get();
+        for (std::size_t i = 0; i < kChunkNodes; ++i) {
+            chunk[i].next = freeNodes_;
+            freeNodes_ = &chunk[i];
+        }
+    }
+    Node *n = freeNodes_;
+    freeNodes_ = n->next;
+    n->next = nullptr;
+    return n;
+}
+
+void
+EventQueue::freeNode(Node *n)
+{
+    n->cb = nullptr; // release any heap-stored capture promptly
+    n->next = freeNodes_;
+    freeNodes_ = n;
+}
+
+void
+EventQueue::appendNode(Bucket &b, Node *n)
+{
+    if (b.tail == nullptr) {
+        b.head = b.tail = n;
+    } else {
+        b.tail->next = n;
+        b.tail = n;
+    }
+}
+
+void
+EventQueue::scheduleCalendar(Cycle when, Callback cb)
+{
+    const std::uint64_t id = nextId_++;
+    ++size_;
+    if (cachedNextValid_ && when < cachedNext_)
+        cachedNext_ = when;
+
+    // An event scheduled *at* the cycle currently being drained (e.g. a
+    // zero-delay completion fired from inside another event) joins the
+    // tail of the in-flight due list: its id is larger than everything
+    // already there, so FIFO order is preserved by construction.
+    if (draining_ && when == drainCycle_) {
+        due_.push_back(DueEvent{id, std::move(cb)});
+        return;
+    }
+    // At-or-before the drained horizon: the legacy heap would run this
+    // before anything later, so keep it in a dedicated overdue list
+    // that runUntil empties first. Never taken by the simulator proper
+    // (all delays are >= 0 relative to the current cycle).
+    if (when <= cursor_) {
+        overdue_.push_back(FlatEvent{when, id, std::move(cb)});
+        return;
+    }
+    // Beyond the wheel horizon: far-future min-heap.
+    if (when - cursor_ >= kBuckets) {
+        overflow_.push_back(FlatEvent{when, id, std::move(cb)});
+        std::push_heap(overflow_.begin(), overflow_.end(), heapLater);
+        return;
+    }
+    Node *n = allocNode();
+    n->when = when;
+    n->id = id;
+    n->cb = std::move(cb);
+    appendNode(buckets_[static_cast<std::size_t>(when) & (kBuckets - 1)],
+               n);
+}
+
+void
+EventQueue::drainOverdue()
+{
+    // Rare path (see scheduleCalendar): run strictly in (when, id)
+    // order, one event at a time so late arrivals slot in correctly.
+    while (!overdue_.empty()) {
+        std::size_t best = 0;
+        for (std::size_t i = 1; i < overdue_.size(); ++i)
+            if (flatLess(overdue_[i].when, overdue_[i].id,
+                         overdue_[best].when, overdue_[best].id))
+                best = i;
+        FlatEvent ev = std::move(overdue_[best]);
+        overdue_.erase(overdue_.begin() +
+                       static_cast<std::ptrdiff_t>(best));
+        --size_;
+        ++executed_;
+        cachedNextValid_ = false;
+        ev.cb();
+    }
+}
+
+void
+EventQueue::processCycle(Cycle c)
+{
+    draining_ = true;
+    drainCycle_ = c;
+    cursor_ = c;
+    cachedNextValid_ = false;
+
+    // Detach this cycle's bucket chain (all nodes in a live bucket
+    // share one `when`, because live events span < kBuckets cycles).
+    Node *chain = nullptr;
+    Bucket &b = buckets_[static_cast<std::size_t>(c) & (kBuckets - 1)];
+    if (b.head != nullptr && b.head->when == c) {
+        chain = b.head;
+        b.head = b.tail = nullptr;
+    }
+
+    // Pull this cycle's overflow events; heap pops yield ascending id
+    // among equal `when`.
+    dueOverflow_.clear();
+    while (!overflow_.empty() && overflow_.front().when <= c) {
+        std::pop_heap(overflow_.begin(), overflow_.end(), heapLater);
+        dueOverflow_.push_back(std::move(overflow_.back()));
+        overflow_.pop_back();
+    }
+
+    // Merge the two id-sorted streams so same-cycle FIFO order holds
+    // across the bucket/overflow split.
+    due_.clear();
+    std::size_t oi = 0;
+    for (Node *n = chain; n != nullptr || oi < dueOverflow_.size();) {
+        if (n != nullptr && (oi >= dueOverflow_.size() ||
+                             n->id < dueOverflow_[oi].id)) {
+            due_.push_back(DueEvent{n->id, std::move(n->cb)});
+            Node *dead = n;
+            n = n->next;
+            freeNode(dead);
+        } else {
+            due_.push_back(DueEvent{dueOverflow_[oi].id,
+                                    std::move(dueOverflow_[oi].cb)});
+            ++oi;
+        }
+    }
+    dueOverflow_.clear();
+
+    // Index loop: callbacks may append same-cycle events to due_.
+    for (std::size_t i = 0; i < due_.size(); ++i) {
+        Callback cb = std::move(due_[i].cb);
+        --size_;
+        ++executed_;
+        cb();
+        if (!overdue_.empty())
+            drainOverdue();
+    }
+    due_.clear();
+    draining_ = false;
+}
+
+void
+EventQueue::runUntilCalendar(Cycle now)
+{
+    drainOverdue();
+    while (cursor_ < now) {
+        const Cycle c = cursor_ + 1;
+        const Bucket &b =
+            buckets_[static_cast<std::size_t>(c) & (kBuckets - 1)];
+        const bool bucketDue = b.head != nullptr && b.head->when == c;
+        const bool overflowDue =
+            !overflow_.empty() && overflow_.front().when <= c;
+        if (!bucketDue && !overflowDue) {
+            cursor_ = c; // silent cycle: two pointer checks
+            continue;
+        }
+        processCycle(c);
+    }
+    if (size_ == 0) {
+        cachedNext_ = kNeverCycle;
+        cachedNextValid_ = true;
+    }
+}
+
+Cycle
+EventQueue::scanNextDue() const
+{
+    Cycle best = kNeverCycle;
+    for (const FlatEvent &e : overdue_)
+        if (e.when < best)
+            best = e.when;
+    if (!overflow_.empty() && overflow_.front().when < best)
+        best = overflow_.front().when;
+    for (const Bucket &b : buckets_)
+        if (b.head != nullptr && b.head->when < best)
+            best = b.head->when;
+    return best;
+}
+
+Cycle
+EventQueue::nextEventCycle() const
+{
+    if (kind_ == SchedulerKind::LegacyHeap)
+        return heap_.empty() ? kNeverCycle : heap_.front().when;
+    if (!cachedNextValid_) {
+        cachedNext_ = scanNextDue();
+        cachedNextValid_ = true;
+    }
+    return cachedNext_;
+}
+
+// ---------------------------------------------------------------------
+// Legacy binary heap (differential-testing reference)
+// ---------------------------------------------------------------------
+
+void
+EventQueue::scheduleHeap(Cycle when, Callback cb)
+{
+    heap_.push_back(FlatEvent{when, nextId_++, std::move(cb)});
+    std::push_heap(heap_.begin(), heap_.end(), heapLater);
+    ++size_;
+}
+
+void
+EventQueue::runUntilHeap(Cycle now)
+{
+    while (!heap_.empty() && heap_.front().when <= now) {
+        std::pop_heap(heap_.begin(), heap_.end(), heapLater);
+        // Move the callback out before popping — the old queue copied
+        // the whole Event (std::function included) here.
+        Callback cb = std::move(heap_.back().cb);
+        heap_.pop_back();
+        --size_;
+        ++executed_;
+        cb();
+    }
+}
+
+} // namespace spburst

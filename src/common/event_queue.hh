@@ -1,83 +1,189 @@
 /**
  * @file
- * A simple discrete-event scheduler.
+ * The discrete-event scheduler behind the simulation clock.
  *
  * The core pipeline advances cycle by cycle; the memory hierarchy is
  * event-driven. Each simulated cycle, the system first drains all events
  * scheduled at or before the current cycle (in deterministic FIFO order
  * among same-cycle events), then ticks the cores.
+ *
+ * Two interchangeable scheduler implementations live behind one
+ * interface, selected at construction:
+ *
+ *  - `Calendar` (default): a 256-bucket timing wheel of intrusive,
+ *    pool-allocated event records with small-buffer callback storage.
+ *    Scheduling and popping are O(1); a silent cycle (no events due)
+ *    costs two pointer checks. Events beyond the wheel horizon go to a
+ *    far-future overflow min-heap and are merged back — by the global
+ *    (cycle, id) order — when their cycle is drained, so bucket
+ *    wraparound never reorders anything.
+ *  - `LegacyHeap`: the original binary min-heap, retained verbatim (bar
+ *    the move-instead-of-copy pop fix) so differential tests can assert
+ *    that the calendar queue produces byte-identical simulations.
+ *
+ * Both orderings are (cycle, schedule id): FIFO among same-cycle
+ * events, regardless of which structure stored them.
  */
 
 #pragma once
 
+#include <array>
 #include <cstdint>
-#include <functional>
-#include <queue>
+#include <memory>
 #include <vector>
 
-#include "common/logging.hh"
+#include "common/small_function.hh"
 #include "common/types.hh"
 
 namespace spburst
 {
 
-/** Deterministic min-heap event queue keyed by cycle. */
+/** Which event-queue implementation a clock uses. */
+enum class SchedulerKind : std::uint8_t
+{
+    Calendar,   //!< timing-wheel scheduler (default)
+    LegacyHeap, //!< original binary heap, kept for differential tests
+};
+
+/** Human-readable scheduler name. */
+const char *schedulerKindName(SchedulerKind kind);
+
+/** Deterministic event queue keyed by (cycle, schedule order). */
 class EventQueue
 {
   public:
-    using Callback = std::function<void()>;
+    /** Callback storage; sized so every steady-state capture in the
+     *  memory hierarchy (interconnect hop wrappers included) stays
+     *  inline. */
+    using Callback = SmallFunction<void(), 112>;
+
+    explicit EventQueue(SchedulerKind kind = SchedulerKind::Calendar);
+    ~EventQueue();
+
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+    // Movable so tests can reset a SimClock wholesale. The moved-from
+    // queue is only safe to destroy.
+    EventQueue(EventQueue &&) = default;
+    EventQueue &operator=(EventQueue &&) = default;
 
     /** Schedule @p cb to run at absolute cycle @p when. */
     void
     schedule(Cycle when, Callback cb)
     {
-        heap_.push(Event{when, nextId_++, std::move(cb)});
+        if (kind_ == SchedulerKind::Calendar)
+            scheduleCalendar(when, std::move(cb));
+        else
+            scheduleHeap(when, std::move(cb));
     }
 
     /** Run every event scheduled at or before @p now. */
     void
     runUntil(Cycle now)
     {
-        while (!heap_.empty() && heap_.top().when <= now) {
-            // Copy out before pop: the callback may schedule new events.
-            Event ev = heap_.top();
-            heap_.pop();
-            ev.cb();
-        }
+        if (kind_ == SchedulerKind::Calendar)
+            runUntilCalendar(now);
+        else
+            runUntilHeap(now);
     }
 
     /** True if no events are pending. */
-    bool empty() const { return heap_.empty(); }
-
-    /** Cycle of the earliest pending event (kNeverCycle if none). */
-    Cycle
-    nextEventCycle() const
-    {
-        return heap_.empty() ? kNeverCycle : heap_.top().when;
-    }
+    bool empty() const { return size_ == 0; }
 
     /** Number of pending events. */
-    std::size_t size() const { return heap_.size(); }
+    std::size_t size() const { return size_; }
+
+    /** Cycle of the earliest pending event (kNeverCycle if none). */
+    Cycle nextEventCycle() const;
+
+    /** Events executed since construction (throughput accounting). */
+    std::uint64_t executedEvents() const { return executed_; }
+
+    SchedulerKind kind() const { return kind_; }
 
   private:
-    struct Event
+    // ---- calendar (timing wheel) ----
+
+    /** Wheel span in cycles; must be a power of two. Sized to cover a
+     *  full L1-to-DRAM round trip (~170 cycles in the Table I system),
+     *  so only bandwidth-congested DRAM completions overflow. */
+    static constexpr std::size_t kBuckets = 256;
+
+    /** Pool-allocated intrusive record for one near-future event. */
+    struct Node
     {
-        Cycle when;
-        std::uint64_t id; // tie-break: FIFO among same-cycle events
+        Cycle when = 0;
+        std::uint64_t id = 0;
+        Node *next = nullptr;
         Callback cb;
     };
 
-    struct Later
+    /** FIFO bucket: singly linked with tail pointer for O(1) append. */
+    struct Bucket
     {
-        bool
-        operator()(const Event &a, const Event &b) const
-        {
-            return a.when != b.when ? a.when > b.when : a.id > b.id;
-        }
+        Node *head = nullptr;
+        Node *tail = nullptr;
     };
 
-    std::priority_queue<Event, std::vector<Event>, Later> heap_;
+    /** Far-future / overdue record (also the legacy heap element). */
+    struct FlatEvent
+    {
+        Cycle when = 0;
+        std::uint64_t id = 0;
+        Callback cb;
+    };
+
+    /** An event due in the cycle currently being drained. */
+    struct DueEvent
+    {
+        std::uint64_t id = 0;
+        Callback cb;
+    };
+
+    void scheduleCalendar(Cycle when, Callback cb);
+    void runUntilCalendar(Cycle now);
+    void processCycle(Cycle c);
+    void drainOverdue();
+    Node *allocNode();
+    void freeNode(Node *n);
+    static void appendNode(Bucket &b, Node *n);
+    Cycle scanNextDue() const;
+
+    // ---- legacy binary heap ----
+
+    void scheduleHeap(Cycle when, Callback cb);
+    void runUntilHeap(Cycle now);
+
+    /** Min-heap order on (when, id). */
+    static bool
+    heapLater(const FlatEvent &a, const FlatEvent &b)
+    {
+        return a.when != b.when ? a.when > b.when : a.id > b.id;
+    }
+
+    SchedulerKind kind_;
+    std::size_t size_ = 0;
     std::uint64_t nextId_ = 0;
+    std::uint64_t executed_ = 0;
+
+    // Calendar state.
+    std::array<Bucket, kBuckets> buckets_;
+    std::vector<FlatEvent> overflow_;      //!< min-heap on (when, id)
+    std::vector<FlatEvent> overdue_;       //!< scheduled at <= cursor_
+    std::vector<std::unique_ptr<Node[]>> chunks_; //!< node pool backing
+    Node *freeNodes_ = nullptr;
+    Cycle cursor_ = 0;         //!< every cycle <= cursor_ is drained
+    bool draining_ = false;    //!< inside processCycle
+    Cycle drainCycle_ = 0;     //!< cycle being drained
+    std::vector<DueEvent> due_; //!< scratch: current cycle's events
+    std::vector<FlatEvent> dueOverflow_; //!< scratch: overflow's share
+    /** Exact earliest pending cycle; kNeverCycle when the cache is
+     *  stale (recomputed lazily by nextEventCycle). */
+    mutable Cycle cachedNext_ = kNeverCycle;
+    mutable bool cachedNextValid_ = true;
+
+    // Legacy state.
+    std::vector<FlatEvent> heap_;
 };
 
 } // namespace spburst

@@ -9,37 +9,45 @@ namespace spburst
 {
 
 void
-StatSet::set(const std::string &name, double value)
+StatSet::set(std::string_view name, double value)
 {
     auto it = index_.find(name);
     if (it != index_.end()) {
         entries_[it->second].second = value;
         return;
     }
-    index_.emplace(name, entries_.size());
-    entries_.emplace_back(name, value);
+    if (entries_.capacity() == entries_.size())
+        entries_.reserve(entries_.empty() ? 64 : entries_.size() * 2);
+    index_.emplace(std::string(name), entries_.size());
+    entries_.emplace_back(std::string(name), value);
 }
 
 double
-StatSet::get(const std::string &name) const
+StatSet::get(std::string_view name) const
 {
     auto it = index_.find(name);
     if (it == index_.end())
-        SPB_FATAL("unknown statistic '%s'", name.c_str());
+        SPB_FATAL("unknown statistic '%.*s'", static_cast<int>(name.size()),
+                  name.data());
     return entries_[it->second].second;
 }
 
 bool
-StatSet::has(const std::string &name) const
+StatSet::has(std::string_view name) const
 {
-    return index_.count(name) > 0;
+    return index_.find(name) != index_.end();
 }
 
 void
 StatSet::merge(const std::string &prefix, const StatSet &other)
 {
-    for (const auto &[name, value] : other.entries())
-        set(prefix + name, value);
+    std::string scratch;
+    scratch.reserve(prefix.size() + 32);
+    for (const auto &[name, value] : other.entries()) {
+        scratch.assign(prefix);
+        scratch.append(name);
+        set(scratch, value);
+    }
 }
 
 std::string

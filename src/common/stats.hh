@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace spburst
@@ -24,13 +25,13 @@ class StatSet
 {
   public:
     /** Add (or overwrite) a named value. */
-    void set(const std::string &name, double value);
+    void set(std::string_view name, double value);
 
     /** Look up a value; fatal if absent. */
-    double get(const std::string &name) const;
+    double get(std::string_view name) const;
 
     /** True if a value with this name has been recorded. */
-    bool has(const std::string &name) const;
+    bool has(std::string_view name) const;
 
     /** All entries in insertion order. */
     const std::vector<std::pair<std::string, double>> &entries() const
@@ -46,7 +47,9 @@ class StatSet
 
   private:
     std::vector<std::pair<std::string, double>> entries_;
-    std::map<std::string, std::size_t> index_;
+    /** Transparent comparator: lookups take string_view, no temporary
+     *  std::string per get()/has() in report assembly. */
+    std::map<std::string, std::size_t, std::less<>> index_;
 };
 
 /** Geometric mean of a vector of positive values (1.0 for empty input). */

@@ -1,5 +1,7 @@
 #include "cpu/core.hh"
 
+#include <algorithm>
+
 #include "check/check.hh"
 #include "common/logging.hh"
 #include "mem/cache_controller.hh"
@@ -103,12 +105,95 @@ void
 Core::tick()
 {
     ++stats_.cycles;
-    completeAndRecover();
-    commitStage();
+    // Stage gates: each stage runs only when it provably has work.
+    // Timer completions exist only while execPending_ > 0, and a
+    // completed-unrecovered mispredicted branch never survives a tick
+    // (the recovery scan runs in the same tick that completes it), so
+    // completeAndRecover has nothing to do once execPending_ is 0 —
+    // memory completions mark entries completed directly.
+    if (execPending_ != 0)
+        completeAndRecover();
+    if (!rob_.empty() && rob_.front().completed)
+        commitStage();
     issueStage();
-    dispatchStage();
-    fetchStage();
+    if (!fetchPipe_.empty())
+        dispatchStage();
+    if (fetchPipe_.size() < p_.fetchBufferUops)
+        fetchStage();
     sb_.tick(clock_->now);
+}
+
+bool
+Core::quiescent() const
+{
+    // Something completes by timer.
+    if (execPending_ != 0)
+        return false;
+    // Fetch would make progress.
+    if (fetchPipe_.size() < p_.fetchBufferUops)
+        return false;
+    // Commit would make progress.
+    if (!rob_.empty() && rob_.front().completed)
+        return false;
+    // Dispatch would make progress — either the head is still
+    // traversing the front end (it matures at a known future cycle) or
+    // no resource blocks it.
+    const FetchedUop &f = fetchPipe_.front();
+    if (clock_->now < f.fetchCycle + p_.frontEndDepth)
+        return false;
+    if (dispatchBlocker(f) == StallResource::None)
+        return false;
+    // The SB head would start a drain.
+    if (!sb_.quiescent())
+        return false;
+    // Issue would make progress (O(ROB) scan, gated behind the cheap
+    // checks above; completions that could wake these entries arrive
+    // only via memory events once execPending_ is 0).
+    if (iqCount_ != 0) {
+        for (const auto &e : rob_)
+            if (e.inIq && sourcesReady(e))
+                return false;
+    }
+    return true;
+}
+
+void
+Core::skipQuiescentCycles(Cycle n)
+{
+    const Cycle now = clock_->now; // skipped ticks: now+1 .. now+n
+    stats_.cycles += n;
+    if (!rob_.empty()) {
+        stats_.noIssueCycles += n;
+        // The exec-stall condition (an outstanding correct-path L1D
+        // load older than the hit latency) is time-dependent: it can
+        // become true mid-skip, at minIssuedAt + hitLatency + 1.
+        if (memPendingCount_ != 0) {
+            Cycle min_issued = kNeverCycle;
+            for (const auto &e : rob_) {
+                if (e.memPending && !e.wrongPath &&
+                    e.issuedAt < min_issued) {
+                    min_issued = e.issuedAt;
+                }
+            }
+            if (min_issued != kNeverCycle) {
+                const Cycle t0 = min_issued + kL1HitLatency + 1;
+                const Cycle last = now + n;
+                if (last >= t0) {
+                    const Cycle from = std::max(now + 1, t0);
+                    stats_.execStallL1dPending += last - from + 1;
+                }
+            }
+        }
+    }
+    // Quiescence guarantees a mature, resource-blocked dispatch head.
+    const StallResource blocker = dispatchBlocker(fetchPipe_.front());
+    SPB_ASSERT(blocker != StallResource::None,
+               "skipQuiescentCycles on a dispatchable core");
+    stats_.dispatchStalls[static_cast<int>(blocker)] += n;
+    if (blocker == StallResource::Sb) {
+        stats_.sbStallsByRegion[static_cast<int>(sb_.headRegion())] += n;
+    }
+    sb_.skipCycles(n);
 }
 
 Core::RobEntry *
@@ -149,6 +234,7 @@ Core::completeAndRecover()
         if (e.issued && !e.completed && !e.memPending &&
             e.readyCycle <= now) {
             e.completed = true;
+            --execPending_;
         }
     }
     // Mispredict recovery: the oldest resolved, unrecovered branch
@@ -171,6 +257,12 @@ Core::squashAfter(SeqNum branch_seq)
         RobEntry &e = rob_.back();
         if (e.inIq)
             --iqCount_;
+        if (e.issued && !e.completed) {
+            if (e.memPending)
+                --memPendingCount_;
+            else
+                --execPending_;
+        }
         if (e.op.cls == OpClass::Load)
             --lqCount_;
         if (e.op.hasDest) {
@@ -249,6 +341,7 @@ Core::startLoad(RobEntry &e)
         return;
     }
     e.memPending = true;
+    ++memPendingCount_;
     if (walk == 0) {
         issueLoadToL1(e.seq, e.token);
         return;
@@ -279,6 +372,7 @@ Core::issueLoadToL1(SeqNum seq, std::uint64_t token)
         if (!entry || entry->token != token || !entry->memPending)
             return; // squashed (and possibly re-used) in the meantime
         entry->memPending = false;
+        --memPendingCount_;
         entry->completed = true;
         entry->readyCycle = clock_->now;
     });
@@ -311,53 +405,62 @@ Core::issueStage()
     unsigned issued = 0;
     unsigned int_used = 0, fp_used = 0, mem_used = 0;
 
-    for (auto &e : rob_) {
-        if (issued >= p_.issueWidth)
-            break;
-        if (!e.inIq || !sourcesReady(e))
-            continue;
-        const OpClass cls = e.op.cls;
-        if (isMemOp(cls)) {
-            if (mem_used >= p_.memPorts)
+    // Nothing is waiting to issue; skip the ROB scan entirely.
+    if (iqCount_ != 0) {
+        for (auto &e : rob_) {
+            if (issued >= p_.issueWidth)
+                break;
+            if (!e.inIq || !sourcesReady(e))
                 continue;
-        } else if (isFloatOp(cls)) {
-            if (fp_used >= p_.fpAluCount ||
-                int_used + fp_used >= p_.intAluCount)
-                continue;
-        } else {
-            if (int_used + fp_used >= p_.intAluCount)
-                continue;
-        }
+            const OpClass cls = e.op.cls;
+            if (isMemOp(cls)) {
+                if (mem_used >= p_.memPorts)
+                    continue;
+            } else if (isFloatOp(cls)) {
+                if (fp_used >= p_.fpAluCount ||
+                    int_used + fp_used >= p_.intAluCount)
+                    continue;
+            } else {
+                if (int_used + fp_used >= p_.intAluCount)
+                    continue;
+            }
 
-        e.inIq = false;
-        --iqCount_;
-        e.issued = true;
-        e.issuedAt = now;
-        ++issued;
-        ++stats_.issuedUops;
+            e.inIq = false;
+            --iqCount_;
+            e.issued = true;
+            e.issuedAt = now;
+            ++issued;
+            ++stats_.issuedUops;
 
-        if (cls == OpClass::Load) {
-            ++mem_used;
-            startLoad(e);
-        } else if (cls == OpClass::Store) {
-            ++mem_used;
-            execStore(e);
-        } else if (isFloatOp(cls)) {
-            ++fp_used;
-            e.readyCycle = now + p_.opLatency(cls);
-        } else {
-            ++int_used;
-            e.readyCycle = now + p_.opLatency(cls);
+            if (cls == OpClass::Load) {
+                ++mem_used;
+                startLoad(e);
+            } else if (cls == OpClass::Store) {
+                ++mem_used;
+                execStore(e);
+            } else if (isFloatOp(cls)) {
+                ++fp_used;
+                e.readyCycle = now + p_.opLatency(cls);
+            } else {
+                ++int_used;
+                e.readyCycle = now + p_.opLatency(cls);
+            }
+            // Everything but a load that went to memory completes by
+            // timer.
+            if (!e.memPending)
+                ++execPending_;
         }
     }
 
     if (issued == 0 && !rob_.empty()) {
         ++stats_.noIssueCycles;
-        for (const auto &e : rob_) {
-            if (e.memPending && !e.wrongPath &&
-                now > e.issuedAt + kL1HitLatency) {
-                ++stats_.execStallL1dPending;
-                break;
+        if (memPendingCount_ != 0) {
+            for (const auto &e : rob_) {
+                if (e.memPending && !e.wrongPath &&
+                    now > e.issuedAt + kL1HitLatency) {
+                    ++stats_.execStallL1dPending;
+                    break;
+                }
             }
         }
     }

@@ -129,6 +129,24 @@ class Core
     /** Simulate one cycle (memory events for the cycle already ran). */
     void tick();
 
+    /**
+     * True when tick() provably could not change architectural or
+     * micro-architectural state this cycle — every stage is blocked on
+     * an in-flight memory event, so a tick would only accrue per-cycle
+     * stall/occupancy statistics. The system uses this to fast-forward
+     * straight to the next scheduled event.
+     */
+    bool quiescent() const;
+
+    /**
+     * Account @p n skipped quiescent cycles (the ticks that would have
+     * run at cycles now+1 .. now+n). Replicates exactly the statistics
+     * a quiescent tick() accrues: cycles, no-issue and exec-stall
+     * cycles, dispatch-stall attribution, and SB occupancy. Only valid
+     * when quiescent() holds and no event fires in the skipped range.
+     */
+    void skipQuiescentCycles(Cycle n);
+
     std::uint64_t committed() const { return stats_.committedUops; }
     const CoreStats &stats() const { return stats_; }
     const StoreBuffer &storeBuffer() const { return sb_; }
@@ -200,6 +218,12 @@ class Core
     std::uint64_t nextToken_ = 1;
     unsigned iqCount_ = 0;
     unsigned lqCount_ = 0;
+    /** Issued, not completed, not waiting on memory: these complete by
+     *  timer (readyCycle), so the core is never quiescent while > 0. */
+    unsigned execPending_ = 0;
+    /** ROB entries with a load in flight to the L1D (wrong path
+     *  included); gates the exec-stall statistic scan. */
+    unsigned memPendingCount_ = 0;
     unsigned intRegsFree_;
     unsigned fpRegsFree_;
     bool wrongPathMode_ = false;

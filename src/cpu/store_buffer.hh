@@ -109,6 +109,25 @@ class StoreBuffer
     /** Advance one cycle: drain the head if possible. */
     void tick(Cycle now);
 
+    /** True when tick() would be a pure stat update: nothing to drain
+     *  (empty / head not senior) or a drain already in flight. */
+    bool
+    quiescent() const
+    {
+        return drainInFlight_ || entries_.empty() ||
+               !entries_.front().senior;
+    }
+
+    /** Account @p n skipped quiescent cycles (occupancy integral and
+     *  full-cycle count, exactly as n quiescent ticks would). */
+    void
+    skipCycles(Cycle n)
+    {
+        stats_.occupancySum += n * entries_.size();
+        if (full())
+            stats_.fullCycles += n;
+    }
+
     /**
      * Store-to-load forwarding: the seq of the older, address-known
      * entry that covers the load, or kInvalidSeqNum if the load must

@@ -119,7 +119,7 @@ CacheController::request(const MemRequest &req_in, FillCallback done)
         if (done) {
             clock_->events.schedule(
                 clock_->now + params_.hitLatency + extra,
-                [done, grant] { done(grant); });
+                [done = std::move(done), grant]() mutable { done(grant); });
         }
         return;
     }
@@ -204,7 +204,14 @@ CacheController::handleFill(Addr block_addr, bool ownership)
         ownership = false;
     const bool shared_grant =
         hub_ ? entry->sharedGrant : ownership;
-    std::vector<MshrTarget> targets = std::move(entry->targets);
+    // Swap rather than move: the entry inherits the scratch vector's
+    // capacity for its next miss, and no vector is deallocated here.
+    // handleFill cannot re-enter itself (completions are scheduled, and
+    // back-invalidations target other controllers), so one scratch
+    // suffices.
+    fillTargets_.clear();
+    std::vector<MshrTarget> &targets = fillTargets_;
+    std::swap(entry->targets, targets);
 
     for (const MshrTarget &t : targets) {
         if (t.demandLoad)
@@ -263,9 +270,8 @@ CacheController::completeTarget(MshrTarget &target, bool ownership,
     // The hub's remote-probe latency (shared level only) delays every
     // waiter on this fill.
     clock_->events.schedule(clock_->now + delay,
-                            [done = std::move(target.done), ownership] {
-                                done(ownership);
-                            });
+                            [done = std::move(target.done),
+                             ownership]() mutable { done(ownership); });
 }
 
 void
@@ -400,7 +406,9 @@ CacheController::issueLoad(const MemRequest &req, MemCallback done)
 
     MemRequest r = req;
     r.cmd = MemCmd::ReadReq;
-    request(r, done ? FillCallback([done](bool) { done(); })
+    request(r, done ? FillCallback([done = std::move(done)](bool) mutable {
+                          done();
+                      })
                     : FillCallback());
 }
 
@@ -443,14 +451,14 @@ CacheController::drainStore(const MemRequest &req, MemCallback done)
         tags_.touch(*blk);
         notifyPrefetcher(req, true);
         if (done)
-            clock_->events.schedule(clock_->now + 1, done);
+            clock_->events.schedule(clock_->now + 1, std::move(done));
         return;
     }
 
     notifyPrefetcher(req, false);
     MemRequest r = req;
     r.cmd = MemCmd::WriteOwnReq;
-    request(r, [this, addr, done](bool) {
+    request(r, [this, addr, done = std::move(done)](bool) mutable {
         // Ownership (and data) arrived: perform the write.
         if (CacheBlk *b = tags_.find(addr)) {
             b->state = CohState::Modified;

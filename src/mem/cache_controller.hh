@@ -210,6 +210,10 @@ class CacheController : public MemLevel
     std::deque<QueuedPrefetch> burstQueue_;
     bool pumpScheduled_ = false;
 
+    /** handleFill scratch: swapped with the filling MSHR entry's target
+     *  list so neither vector's capacity is ever given back mid-run. */
+    std::vector<MshrTarget> fillTargets_;
+
     /** Blocks whose store prefetch was evicted before first use; a
      *  later store demand reclassifies them as "early". */
     std::unordered_set<Addr> evictedUnusedPf_;

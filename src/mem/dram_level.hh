@@ -27,7 +27,8 @@ class DramLevel : public MemLevel
         (void)req;
         const Cycle ready = dram_->read();
         if (done)
-            clock_->events.schedule(ready, [done] { done(true); });
+            clock_->events.schedule(
+                ready, [done = std::move(done)]() mutable { done(true); });
     }
 
     void

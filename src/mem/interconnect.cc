@@ -16,14 +16,19 @@ void
 Interconnect::request(const MemRequest &req, FillCallback done)
 {
     ++requestMessages_;
-    clock_->events.schedule(clock_->now + oneWay_, [this, req,
-                                                    done = std::move(done)] {
-        below_->request(req, [this, done](bool ownership) {
-            ++responseMessages_;
-            clock_->events.schedule(clock_->now + oneWay_,
-                                    [done, ownership] { done(ownership); });
+    clock_->events.schedule(
+        clock_->now + oneWay_,
+        [this, req, done = std::move(done)]() mutable {
+            below_->request(
+                req, [this, done = std::move(done)](bool ownership) mutable {
+                    ++responseMessages_;
+                    clock_->events.schedule(
+                        clock_->now + oneWay_,
+                        [done = std::move(done), ownership]() mutable {
+                            done(ownership);
+                        });
+                });
         });
-    });
 }
 
 void

@@ -10,8 +10,7 @@
 
 #pragma once
 
-#include <functional>
-
+#include "common/small_function.hh"
 #include "common/types.hh"
 #include "mem/request.hh"
 
@@ -19,8 +18,9 @@ namespace spburst
 {
 
 /** Fill completion: @p ownership_granted is true when the block arrives
- *  with write permission (E/M). */
-using FillCallback = std::function<void(bool ownership_granted)>;
+ *  with write permission (E/M). Move-only; sized so the L1's
+ *  drain-store and load-wrap captures stay inline. */
+using FillCallback = SmallFunction<void(bool ownership_granted), 72>;
 
 /** One level of the memory hierarchy as seen from above. */
 class MemLevel

@@ -8,38 +8,58 @@ namespace spburst
 MshrFile::MshrFile(std::size_t capacity) : capacity_(capacity)
 {
     SPB_ASSERT(capacity > 0, "MSHR file needs at least one entry");
+    slots_.resize(capacity_);
+    freeSlots_.reserve(capacity_);
+    for (std::size_t i = capacity_; i-- > 0;)
+        freeSlots_.push_back(static_cast<std::uint32_t>(i));
+    index_.reserve(capacity_ * 2);
 }
 
 MshrEntry *
 MshrFile::find(Addr block_addr)
 {
-    auto it = entries_.find(blockAlign(block_addr));
-    return it == entries_.end() ? nullptr : &it->second;
+    auto it = index_.find(blockAlign(block_addr));
+    return it == index_.end() ? nullptr : &slots_[it->second];
 }
 
 MshrEntry *
 MshrFile::allocate(Addr block_addr, MemCmd cmd, Cycle now)
 {
     const Addr aligned = blockAlign(block_addr);
-    SPB_ASSERT(entries_.find(aligned) == entries_.end(),
+    SPB_ASSERT(index_.find(aligned) == index_.end(),
                "MSHR double allocation for block %#lx",
                static_cast<unsigned long>(aligned));
     if (full())
         return nullptr;
-    MshrEntry &e = entries_[aligned];
+    const std::uint32_t slot = freeSlots_.back();
+    freeSlots_.pop_back();
+    index_.emplace(aligned, slot);
+    MshrEntry &e = slots_[slot];
     e.blockAddr = aligned;
-    e.firstCmd = cmd;
     e.ownershipRequested = wantsOwnership(cmd);
+    e.lateCounted = false;
+    e.invalidatedInFlight = false;
+    e.downgradedInFlight = false;
+    e.firstCmd = cmd;
     e.allocCycle = now;
+    e.extraLatency = 0;
+    e.sharedGrant = true;
+    e.targets.clear(); // keeps the slot's target capacity
     return &e;
 }
 
 void
 MshrFile::deallocate(Addr block_addr)
 {
-    const auto erased = entries_.erase(blockAlign(block_addr));
-    SPB_ASSERT(erased == 1, "MSHR deallocate of absent block %#lx",
-               static_cast<unsigned long>(blockAlign(block_addr)));
+    const Addr aligned = blockAlign(block_addr);
+    auto it = index_.find(aligned);
+    SPB_ASSERT(it != index_.end(), "MSHR deallocate of absent block %#lx",
+               static_cast<unsigned long>(aligned));
+    const std::uint32_t slot = it->second;
+    index_.erase(it);
+    slots_[slot].targets.clear();
+    slots_[slot].blockAddr = kInvalidAddr;
+    freeSlots_.push_back(slot);
 }
 
 } // namespace spburst

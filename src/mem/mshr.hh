@@ -52,7 +52,12 @@ struct MshrEntry
     std::vector<MshrTarget> targets;
 };
 
-/** Fixed-capacity MSHR file with block-address lookup. */
+/** Fixed-capacity MSHR file with block-address lookup.
+ *
+ *  Entries live in a fixed slot array recycled through a free list, so
+ *  allocate/deallocate never touch the heap in steady state and each
+ *  slot's `targets` vector keeps its capacity across misses. Slot
+ *  pointers stay valid until the entry is deallocated. */
 class MshrFile
 {
   public:
@@ -70,13 +75,15 @@ class MshrFile
     /** Release the entry for @p block_addr (must exist). */
     void deallocate(Addr block_addr);
 
-    bool full() const { return entries_.size() >= capacity_; }
-    std::size_t inUse() const { return entries_.size(); }
+    bool full() const { return index_.size() >= capacity_; }
+    std::size_t inUse() const { return index_.size(); }
     std::size_t capacity() const { return capacity_; }
 
   private:
     std::size_t capacity_;
-    std::unordered_map<Addr, MshrEntry> entries_;
+    std::vector<MshrEntry> slots_;          //!< fixed; never reallocates
+    std::vector<std::uint32_t> freeSlots_;  //!< LIFO recycling
+    std::unordered_map<Addr, std::uint32_t> index_;
 };
 
 } // namespace spburst

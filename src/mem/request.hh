@@ -13,8 +13,8 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 
+#include "common/small_function.hh"
 #include "common/types.hh"
 #include "trace/uop.hh"
 
@@ -69,7 +69,8 @@ struct MemRequest
 };
 
 /** Completion callback: invoked when the request's data/permission is
- *  available at the requesting level. */
-using MemCallback = std::function<void()>;
+ *  available at the requesting level. Move-only; sized so the core's
+ *  load-completion captures stay inline. */
+using MemCallback = SmallFunction<void(), 48>;
 
 } // namespace spburst

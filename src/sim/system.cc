@@ -98,6 +98,7 @@ SimResult::toStatSet() const
 
 System::System(const SystemConfig &config)
     : config_(config),
+      clock_(config.scheduler),
       mem_([&config] {
           MemSystemParams m = config.mem;
           m.cores = config.threads;
@@ -187,21 +188,64 @@ System::run(const std::function<bool()> &interrupt)
         return true;
     };
 
+    auto all_quiescent = [&] {
+        for (const auto &core : cores_)
+            if (!core->quiescent())
+                return false;
+        return true;
+    };
+
+    Cycle next_poll = kInterruptPollCycles;
     while (!all_done()) {
+        // Quiescence fast-forward: when the next event is more than one
+        // cycle away and every core is provably stalled until then,
+        // jump the clock to the cycle before the event and account the
+        // skipped ticks as pure stall/occupancy statistics.
+        if (config_.fastForward) {
+            const Cycle next = clock_.events.nextEventCycle();
+            if (next > clock_.now + 1 && all_quiescent()) {
+                if (next == kNeverCycle) {
+                    SPB_FATAL(
+                        "simulation of '%s' deadlocked at cycle %llu: "
+                        "every core is quiescent and the event queue "
+                        "is empty (%llu/%llu uops on core 0)",
+                        config_.workload.c_str(),
+                        static_cast<unsigned long long>(clock_.now),
+                        static_cast<unsigned long long>(
+                            cores_[0]->committed()),
+                        static_cast<unsigned long long>(target));
+                }
+                const Cycle n = next - clock_.now - 1;
+                for (auto &core : cores_)
+                    core->skipQuiescentCycles(n);
+                clock_.now += n;
+                ffCycles_ += n;
+            }
+        }
         tickOnce();
-        if (interrupt && clock_.now % kInterruptPollCycles == 0 &&
-            interrupt()) {
-            throw SimInterrupted("simulation of '" + config_.workload +
-                                 "' interrupted at cycle " +
-                                 std::to_string(clock_.now));
+        if (interrupt && clock_.now >= next_poll) {
+            next_poll = clock_.now + kInterruptPollCycles;
+            if (interrupt()) {
+                throw SimInterrupted("simulation of '" +
+                                     config_.workload +
+                                     "' interrupted at cycle " +
+                                     std::to_string(clock_.now));
+            }
         }
         if (clock_.now > cycle_limit) {
-            SPB_FATAL("simulation of '%s' exceeded the cycle limit "
-                      "(%lu cycles, %lu/%lu uops on core 0) — livelock?",
-                      config_.workload.c_str(),
-                      static_cast<unsigned long>(clock_.now),
-                      static_cast<unsigned long>(cores_[0]->committed()),
-                      static_cast<unsigned long>(target));
+            SPB_FATAL(
+                "simulation of '%s' exceeded the cycle limit "
+                "(%llu cycles, %llu of them fast-forwarded, %llu/%llu "
+                "uops on core 0, %zu events pending, next at cycle "
+                "%llu) — livelock or a bad quiescence predicate?",
+                config_.workload.c_str(),
+                static_cast<unsigned long long>(clock_.now),
+                static_cast<unsigned long long>(ffCycles_),
+                static_cast<unsigned long long>(cores_[0]->committed()),
+                static_cast<unsigned long long>(target),
+                clock_.events.size(),
+                static_cast<unsigned long long>(
+                    clock_.events.nextEventCycle()));
         }
     }
     mem_.finalizeStats();
@@ -221,6 +265,10 @@ System::drainAndAudit()
     // event chain.
     const Cycle limit = clock_.now + 10'000'000;
     while (!clock_.events.empty()) {
+        // No cores tick here, so every silent cycle can be skipped.
+        const Cycle next = clock_.events.nextEventCycle();
+        if (next > clock_.now + 1)
+            clock_.now = next - 1;
         clock_.tick();
         if (clock_.now > limit) {
             SPB_FATAL("memory system of '%s' failed to quiesce within "

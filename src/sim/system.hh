@@ -67,6 +67,15 @@ struct SystemConfig
     std::uint64_t maxUopsPerCore = 400'000;
     /** Safety net: abort after maxUopsPerCore * this many cycles. */
     std::uint64_t cyclesPerUopLimit = 400;
+
+    // Host-side performance knobs. Neither affects simulated results
+    // (and neither is part of exp::configKey): the scheduler choice is
+    // order-equivalent by construction, and fast-forward skips only
+    // cycles proven to be pure stall accounting.
+    SchedulerKind scheduler = SchedulerKind::Calendar;
+    /** Jump over cycles where every core is quiescent, straight to the
+     *  next scheduled memory event. */
+    bool fastForward = true;
 };
 
 /** Everything a run produced. */
@@ -150,6 +159,10 @@ class System
     /** Collect results so far without running further. */
     SimResult snapshot();
 
+    /** Cycles skipped by quiescence fast-forward (host-side metric;
+     *  included in `cycles` but never reported as a statistic). */
+    Cycle fastForwardedCycles() const { return ffCycles_; }
+
     const SystemConfig &config() const { return config_; }
 
   private:
@@ -165,6 +178,7 @@ class System
     SystemConfig config_;
     SimClock clock_;
     MemorySystem mem_;
+    Cycle ffCycles_ = 0; //!< cycles skipped by fast-forward
     std::vector<std::unique_ptr<StreamPrefetcher>> prefetchers_;
     std::vector<std::unique_ptr<PrefetcherIface>> l2Prefetchers_;
     std::vector<std::unique_ptr<TraceSource>> traces_;

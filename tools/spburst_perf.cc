@@ -1,0 +1,247 @@
+/**
+ * @file
+ * `spburst_perf` — host-throughput benchmark for the simulator itself.
+ *
+ * Runs the standard workload suite on one host thread and reports how
+ * fast the simulator simulates: committed uops per host second,
+ * simulated cycles per host second, and executed events per host
+ * second. Results go to `BENCH_simspeed.json` so the perf trajectory of
+ * the simulator is tracked PR over PR (see EXPERIMENTS.md, "Measuring
+ * simulator throughput").
+ *
+ *   spburst_perf                           # suite=all, 200k uops each
+ *   spburst_perf --uops=500000 --out=speed.json
+ *   spburst_perf --scheduler=heap --no-fast-forward   # pre-PR hot path
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "check/check.hh"
+#include "common/logging.hh"
+#include "sim/system.hh"
+#include "trace/workloads.hh"
+
+using namespace spburst;
+
+namespace
+{
+
+struct Options
+{
+    std::string suite = "all";
+    std::uint64_t uops = 200'000;
+    std::uint64_t seed = 1;
+    std::string out = "BENCH_simspeed.json";
+    SchedulerKind scheduler = SchedulerKind::Calendar;
+    bool fastForward = true;
+    bool spb = false;
+};
+
+struct Sample
+{
+    std::string name;
+    std::uint64_t uops = 0;
+    std::uint64_t simCycles = 0;
+    std::uint64_t ffCycles = 0;
+    std::uint64_t events = 0;
+    double hostSeconds = 0.0;
+};
+
+void
+usage()
+{
+    std::puts(
+        "spburst_perf — measure simulator host throughput\n"
+        "  --workload=all|sb-bound|parsec|NAME[,NAME...]  (default all)\n"
+        "  --uops=N               committed uops per workload "
+        "(default 200k)\n"
+        "  --seed=N               workload seed (default 1)\n"
+        "  --spb                  run with Store-Prefetch Bursts on\n"
+        "  --scheduler=calendar|heap   (default calendar)\n"
+        "  --no-fast-forward      disable quiescence fast-forward\n"
+        "  --check=off|fast|full  invariant level (default off)\n"
+        "  --out=FILE             JSON output (default "
+        "BENCH_simspeed.json)");
+}
+
+std::vector<std::string>
+expandSuite(const std::string &spec)
+{
+    if (spec == "all")
+        return allSpecNames();
+    if (spec == "sb-bound")
+        return sbBoundSpecNames();
+    if (spec == "parsec")
+        return allParsecNames();
+    std::vector<std::string> out;
+    std::size_t pos = 0;
+    while (pos != std::string::npos) {
+        const std::size_t comma = spec.find(',', pos);
+        out.push_back(spec.substr(
+            pos, comma == std::string::npos ? comma : comma - pos));
+        pos = comma == std::string::npos ? comma : comma + 1;
+    }
+    return out;
+}
+
+Options
+parse(int argc, char **argv)
+{
+    Options o;
+    check::setLevel(check::Level::Off);
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&](const char *prefix) -> const char * {
+            const std::size_t n = std::strlen(prefix);
+            return arg.compare(0, n, prefix) == 0 ? arg.c_str() + n
+                                                  : nullptr;
+        };
+        const char *v = nullptr;
+        if ((v = value("--workload=")) != nullptr) {
+            o.suite = v;
+        } else if ((v = value("--uops=")) != nullptr) {
+            o.uops = std::strtoull(v, nullptr, 10);
+        } else if ((v = value("--seed=")) != nullptr) {
+            o.seed = std::strtoull(v, nullptr, 10);
+        } else if (arg == "--spb") {
+            o.spb = true;
+        } else if ((v = value("--scheduler=")) != nullptr) {
+            if (std::strcmp(v, "calendar") == 0)
+                o.scheduler = SchedulerKind::Calendar;
+            else if (std::strcmp(v, "heap") == 0)
+                o.scheduler = SchedulerKind::LegacyHeap;
+            else
+                SPB_FATAL("unknown scheduler '%s'", v);
+        } else if (arg == "--no-fast-forward") {
+            o.fastForward = false;
+        } else if ((v = value("--check=")) != nullptr) {
+            check::setLevel(check::parseLevel(v));
+        } else if ((v = value("--out=")) != nullptr) {
+            o.out = v;
+        } else if (arg == "--help" || arg == "-h") {
+            usage();
+            std::exit(0);
+        } else {
+            usage();
+            SPB_FATAL("unknown option '%s'", arg.c_str());
+        }
+    }
+    return o;
+}
+
+void
+printSampleJson(std::FILE *f, const Sample &s)
+{
+    std::fprintf(
+        f,
+        "{\"name\": \"%s\", \"uops\": %llu, \"sim_cycles\": %llu, "
+        "\"ff_cycles\": %llu, \"events\": %llu, "
+        "\"host_seconds\": %.6f, \"uops_per_sec\": %.0f, "
+        "\"sim_cycles_per_sec\": %.0f, \"events_per_sec\": %.0f}",
+        s.name.c_str(), static_cast<unsigned long long>(s.uops),
+        static_cast<unsigned long long>(s.simCycles),
+        static_cast<unsigned long long>(s.ffCycles),
+        static_cast<unsigned long long>(s.events), s.hostSeconds,
+        static_cast<double>(s.uops) / s.hostSeconds,
+        static_cast<double>(s.simCycles) / s.hostSeconds,
+        static_cast<double>(s.events) / s.hostSeconds);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const Options o = parse(argc, argv);
+    const std::vector<std::string> workloads = expandSuite(o.suite);
+    SPB_ASSERT(!workloads.empty(), "empty workload suite");
+
+    std::vector<Sample> samples;
+    Sample total;
+    total.name = "total";
+    for (const std::string &w : workloads) {
+        SystemConfig cfg;
+        cfg.workload = w;
+        cfg.useSpb = o.spb;
+        cfg.maxUopsPerCore = o.uops;
+        cfg.seed = o.seed;
+        cfg.scheduler = o.scheduler;
+        cfg.fastForward = o.fastForward;
+
+        System sys(cfg);
+        const auto t0 = std::chrono::steady_clock::now();
+        const SimResult r = sys.run();
+        const auto t1 = std::chrono::steady_clock::now();
+
+        Sample s;
+        s.name = w;
+        s.uops = r.committedUops();
+        s.simCycles = r.cycles;
+        s.ffCycles = sys.fastForwardedCycles();
+        s.events = sys.clock().events.executedEvents();
+        s.hostSeconds =
+            std::chrono::duration<double>(t1 - t0).count();
+        if (s.hostSeconds <= 0.0)
+            s.hostSeconds = 1e-9; // clock granularity floor
+        total.uops += s.uops;
+        total.simCycles += s.simCycles;
+        total.ffCycles += s.ffCycles;
+        total.events += s.events;
+        total.hostSeconds += s.hostSeconds;
+        std::printf("%-14s %9.0f kuops/s %10.0f kcycles/s "
+                    "%8.0f kevents/s  (%.2fs, %llu%% cycles "
+                    "fast-forwarded)\n",
+                    w.c_str(),
+                    static_cast<double>(s.uops) / s.hostSeconds / 1e3,
+                    static_cast<double>(s.simCycles) / s.hostSeconds /
+                        1e3,
+                    static_cast<double>(s.events) / s.hostSeconds / 1e3,
+                    s.hostSeconds,
+                    static_cast<unsigned long long>(
+                        s.simCycles == 0 ? 0
+                                         : 100 * s.ffCycles /
+                                               s.simCycles));
+        samples.push_back(std::move(s));
+    }
+
+    std::printf("%-14s %9.0f kuops/s %10.0f kcycles/s %8.0f kevents/s "
+                "(%.2fs total)\n",
+                "TOTAL",
+                static_cast<double>(total.uops) / total.hostSeconds /
+                    1e3,
+                static_cast<double>(total.simCycles) /
+                    total.hostSeconds / 1e3,
+                static_cast<double>(total.events) / total.hostSeconds /
+                    1e3,
+                total.hostSeconds);
+
+    std::FILE *f = std::fopen(o.out.c_str(), "w");
+    if (f == nullptr)
+        SPB_FATAL("cannot write '%s'", o.out.c_str());
+    std::fprintf(f,
+                 "{\n  \"suite\": \"%s\",\n  \"uops_per_workload\": "
+                 "%llu,\n  \"spb\": %s,\n  \"scheduler\": \"%s\",\n"
+                 "  \"fast_forward\": %s,\n  \"check\": \"%s\",\n"
+                 "  \"workloads\": [\n",
+                 o.suite.c_str(),
+                 static_cast<unsigned long long>(o.uops),
+                 o.spb ? "true" : "false",
+                 schedulerKindName(o.scheduler),
+                 o.fastForward ? "true" : "false",
+                 check::levelName(check::level()));
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+        std::fprintf(f, "    ");
+        printSampleJson(f, samples[i]);
+        std::fprintf(f, i + 1 < samples.size() ? ",\n" : "\n");
+    }
+    std::fprintf(f, "  ],\n  \"total\": ");
+    printSampleJson(f, total);
+    std::fprintf(f, "\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", o.out.c_str());
+    return 0;
+}

@@ -45,6 +45,8 @@ struct Options
     std::uint64_t uops = 200'000;
     std::uint64_t seed = 1;
     std::string format = "text";
+    SchedulerKind scheduler = SchedulerKind::Calendar;
+    bool fastForward = true;
     unsigned jobs = 0;   // host threads for multi-workload runs
     std::string out;     // optional JSONL result sink
 };
@@ -69,6 +71,10 @@ usage()
         "  --seed=N               workload seed (default 1)\n"
         "  --format=text|json|csv (default text)\n"
         "  --check=off|fast|full  invariant checking level (default fast)\n"
+        "  --scheduler=calendar|heap   event-queue implementation\n"
+        "                         (host-side only; default calendar)\n"
+        "  --no-fast-forward      tick every cycle even when all cores\n"
+        "                         are quiescent (host-side only)\n"
         "  --jobs=N               host threads for multi-workload runs\n"
         "                         (0 = all hardware threads; default)\n"
         "  --out=FILE             also append per-run JSONL results\n"
@@ -166,6 +172,15 @@ parse(int argc, char **argv)
             o.format = v;
         } else if ((v = value("--check=")) != nullptr) {
             check::setLevel(check::parseLevel(v));
+        } else if ((v = value("--scheduler=")) != nullptr) {
+            if (std::strcmp(v, "calendar") == 0)
+                o.scheduler = SchedulerKind::Calendar;
+            else if (std::strcmp(v, "heap") == 0)
+                o.scheduler = SchedulerKind::LegacyHeap;
+            else
+                SPB_FATAL("unknown scheduler '%s'", v);
+        } else if (arg == "--no-fast-forward") {
+            o.fastForward = false;
         } else if ((v = value("--jobs=")) != nullptr) {
             o.jobs = static_cast<unsigned>(std::strtoul(v, nullptr, 10));
         } else if ((v = value("--out=")) != nullptr) {
@@ -213,6 +228,8 @@ main(int argc, char **argv)
         cfg.threads = o.threads;
         cfg.maxUopsPerCore = o.uops;
         cfg.seed = o.seed;
+        cfg.scheduler = o.scheduler;
+        cfg.fastForward = o.fastForward;
         jobs.push_back(exp::Job{exp::configKey(cfg), std::move(cfg)});
     }
 
