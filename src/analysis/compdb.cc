@@ -1,0 +1,168 @@
+#include "analysis/compdb.hh"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+namespace spburst::lint
+{
+
+namespace fs = std::filesystem;
+
+namespace
+{
+
+constexpr const char *kFirstPartyDirs[] = {"src", "bench", "tools"};
+
+/** Read one JSON string starting at the opening quote @p i; returns
+ *  the decoded value and leaves @p i past the closing quote. */
+std::string
+readJsonString(const std::string &s, std::size_t &i)
+{
+    std::string out;
+    ++i; // opening quote
+    while (i < s.size() && s[i] != '"') {
+        if (s[i] == '\\' && i + 1 < s.size()) {
+            const char e = s[i + 1];
+            if (e == 'n')
+                out += '\n';
+            else if (e == 't')
+                out += '\t';
+            else if (e == 'u' && i + 5 < s.size())
+                i += 4; // non-ASCII escapes never appear in our paths
+            else
+                out += e;
+            i += 2;
+        } else {
+            out += s[i++];
+        }
+    }
+    if (i < s.size())
+        ++i; // closing quote
+    return out;
+}
+
+bool
+isFirstParty(const std::string &abs, const std::string &root)
+{
+    for (const char *dir : kFirstPartyDirs) {
+        const std::string needle = root + "/" + dir + "/";
+        if (abs.compare(0, needle.size(), needle) == 0)
+            return true;
+    }
+    return false;
+}
+
+} // namespace
+
+std::vector<std::string>
+filesFromCompdb(const std::string &buildDir, const std::string &root,
+                std::string &error)
+{
+    const std::string dbPath = buildDir + "/compile_commands.json";
+    std::ifstream in(dbPath, std::ios::binary);
+    if (!in) {
+        error = "cannot read " + dbPath +
+                " (configure with -DCMAKE_EXPORT_COMPILE_COMMANDS=ON)";
+        return {};
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const std::string s = buf.str();
+
+    // Minimal object-aware scan: compile_commands.json is a flat array
+    // of objects with "directory" / "command" / "file" string members.
+    std::set<std::string> files;
+    std::string directory, file;
+    int depth = 0;
+    for (std::size_t i = 0; i < s.size();) {
+        const char c = s[i];
+        if (c == '{') {
+            ++depth;
+            directory.clear();
+            file.clear();
+            ++i;
+        } else if (c == '}') {
+            --depth;
+            if (!file.empty()) {
+                fs::path p(file);
+                if (p.is_relative() && !directory.empty())
+                    p = fs::path(directory) / p;
+                const std::string abs =
+                    fs::weakly_canonical(p).generic_string();
+                if (isFirstParty(abs, root))
+                    files.insert(abs);
+            }
+            ++i;
+        } else if (c == '"') {
+            const std::string key = readJsonString(s, i);
+            // Skip whitespace; a ':' means this was a key.
+            std::size_t j = i;
+            while (j < s.size() && (s[j] == ' ' || s[j] == '\t' ||
+                                    s[j] == '\n' || s[j] == '\r'))
+                ++j;
+            if (j < s.size() && s[j] == ':') {
+                ++j;
+                while (j < s.size() && (s[j] == ' ' || s[j] == '\t' ||
+                                        s[j] == '\n' || s[j] == '\r'))
+                    ++j;
+                if (j < s.size() && s[j] == '"') {
+                    i = j;
+                    const std::string value = readJsonString(s, i);
+                    if (depth == 1 && key == "file")
+                        file = value;
+                    else if (depth == 1 && key == "directory")
+                        directory = value;
+                } else {
+                    i = j;
+                }
+            }
+        } else {
+            ++i;
+        }
+    }
+
+    // compile_commands.json only lists translation units; append the
+    // headers from the same first-party directories.
+    for (const char *dir : kFirstPartyDirs) {
+        const fs::path base = fs::path(root) / dir;
+        std::error_code ec;
+        if (!fs::is_directory(base, ec))
+            continue;
+        for (auto it = fs::recursive_directory_iterator(base, ec);
+             !ec && it != fs::recursive_directory_iterator(); ++it) {
+            if (it->is_regular_file() &&
+                it->path().extension() == ".hh")
+                files.insert(
+                    fs::weakly_canonical(it->path()).generic_string());
+        }
+    }
+
+    return {files.begin(), files.end()};
+}
+
+std::vector<std::string>
+filesFromTree(const std::string &root)
+{
+    std::set<std::string> files;
+    for (const char *dir : kFirstPartyDirs) {
+        const fs::path base = fs::path(root) / dir;
+        std::error_code ec;
+        if (!fs::is_directory(base, ec))
+            continue;
+        for (auto it = fs::recursive_directory_iterator(base, ec);
+             !ec && it != fs::recursive_directory_iterator(); ++it) {
+            if (!it->is_regular_file())
+                continue;
+            const std::string ext = it->path().extension().string();
+            if (ext == ".cc" || ext == ".hh")
+                files.insert(
+                    fs::weakly_canonical(it->path()).generic_string());
+        }
+    }
+    return {files.begin(), files.end()};
+}
+
+} // namespace spburst::lint

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * File-list discovery for spburst-lint: either the build directory's
+ * compile_commands.json (authoritative for what actually compiles) or
+ * a direct scan of the first-party source directories.
+ */
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace spburst::lint
+{
+
+/** Translation units listed in @p buildDir/compile_commands.json whose
+ *  path is under @p root and inside a first-party directory (src/,
+ *  bench/, tools/). Headers from those directories are appended so
+ *  header-only code is analyzed too. Sorted, absolute, deduplicated.
+ *  Returns an empty list (and fills @p error) on failure. */
+std::vector<std::string> filesFromCompdb(const std::string &buildDir,
+                                         const std::string &root,
+                                         std::string &error);
+
+/** All *.cc / *.hh files under @p root's src/, bench/, and tools/
+ *  directories. Sorted and absolute. */
+std::vector<std::string> filesFromTree(const std::string &root);
+
+} // namespace spburst::lint

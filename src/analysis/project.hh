@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Project assembly for spburst-lint: file loading, directory
+ * classification, suppression-comment parsing, and the project-wide
+ * declaration/stat-name index passes that run before any rule.
+ */
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/model.hh"
+
+namespace spburst::lint
+{
+
+/** Load and lex @p path. @p root anchors the relative path used in
+ *  findings; returns nullptr (and appends to @p errors) when the file
+ *  cannot be read. */
+std::unique_ptr<FileContext> loadFile(const std::string &path,
+                                      const std::string &root,
+                                      std::vector<std::string> &errors);
+
+/** Build the TypeIndex and StatIndex over @p project.files. */
+void buildIndices(Project &project);
+
+} // namespace spburst::lint

@@ -1,0 +1,759 @@
+/**
+ * @file
+ * The spburst-lint rule catalogue.
+ *
+ * Six rules, each guarding one of the repo's standing invariants (see
+ * DESIGN.md "Static analysis & determinism rules"):
+ *
+ *  - nondeterminism:        no host clocks / host randomness in
+ *                           result-affecting directories.
+ *  - unordered-iteration:   no iteration over unordered containers in
+ *                           result-affecting directories (pointer/hash
+ *                           order leaks into stats and event order).
+ *  - check-side-effect:     SPBURST_CHECK conditions must be pure —
+ *                           they compile out under
+ *                           SPBURST_DISABLE_CHECKS and are skipped at
+ *                           --check=off.
+ *  - callback-capture:      lambdas handed to the event scheduler must
+ *                           use explicit captures, never reference
+ *                           captures, and never raw pointers to pooled
+ *                           (recycled) slots.
+ *  - callback-inline-size:  scheduled captures must fit
+ *                           EventQueue::Callback's inline buffer; a
+ *                           silent heap fallback per event is a
+ *                           hot-path regression.
+ *  - stat-name:             StatSet::get/has string literals must be
+ *                           producible by some set()/merge() literal.
+ */
+
+#include <array>
+#include <cstddef>
+#include <map>
+#include <string>
+
+#include "analysis/model.hh"
+#include "analysis/util.hh"
+
+namespace spburst::lint
+{
+
+namespace
+{
+
+void
+add(std::vector<Finding> &out, std::string_view rule,
+    const FileContext &file, const Token &at, std::string message)
+{
+    out.push_back({std::string(rule), file.relPath, at.line, at.col,
+                   std::move(message)});
+}
+
+template <typename Set, typename Key>
+bool
+contains(const Set &s, const Key &k)
+{
+    return s.find(k) != s.end();
+}
+
+template <typename MapOfSets>
+bool
+stemHas(const MapOfSets &m, const std::string &stem,
+        const std::string &name)
+{
+    const auto it = m.find(stem);
+    return it != m.end() && it->second.count(name) != 0;
+}
+
+// ---------------------------------------------------------------------
+// Rule: nondeterminism
+// ---------------------------------------------------------------------
+
+class NondeterminismRule final : public Rule
+{
+  public:
+    RuleInfo
+    info() const override
+    {
+        return {"nondeterminism",
+                "host clocks, host randomness, and environment lookups "
+                "are banned in result-affecting directories"};
+    }
+
+    void
+    check(const Project &, const FileContext &file,
+          std::vector<Finding> &out) const override
+    {
+        if (!file.resultAffecting)
+            return;
+        static const std::set<std::string_view> banned = {
+            "chrono",        "system_clock",  "steady_clock",
+            "high_resolution_clock",          "random_device",
+            "rand",          "srand",         "rand_r",
+            "drand48",       "lrand48",       "gettimeofday",
+            "clock_gettime", "timespec_get",  "localtime",
+            "gmtime",        "getenv",
+        };
+        // These are only banned as free-function calls in expression
+        // context: 'time'/'clock' are common member and accessor names
+        // (System::clock() returns the sim clock).
+        static const std::set<std::string_view> bannedCalls = {"time",
+                                                               "clock"};
+        static const std::set<std::string_view> exprBefore = {
+            "(", "=", ",", ";", "{", "+", "-", "<", ">",
+            "?", ":", "!", "&&", "||", "return",
+        };
+        const std::vector<Token> &toks = file.lex.tokens;
+        for (std::size_t i = 0; i < toks.size(); ++i) {
+            const Token &t = toks[i];
+            if (t.kind != TokKind::Ident)
+                continue;
+            const bool always = contains(banned, t.text);
+            bool asCall = false;
+            if (contains(bannedCalls, t.text) && i + 1 < toks.size() &&
+                isPunct(toks[i + 1], "(") && i > 0) {
+                // std::time( / std::clock( — always the host function.
+                if (isPunct(toks[i - 1], "::") && i > 1 &&
+                    isIdent(toks[i - 2], "std"))
+                    asCall = true;
+                // Bare call in expression position; declarations
+                // ("SimClock &clock()") and member calls stay legal.
+                else if (contains(exprBefore, toks[i - 1].text))
+                    asCall = true;
+            }
+            if (!always && !asCall)
+                continue;
+            add(out, info().id, file, t,
+                "'" + std::string(t.text) +
+                    "' in result-affecting code: simulated results "
+                    "must be bit-identical across hosts and runs; use "
+                    "spburst::Rng seeded from the config for "
+                    "randomness, and keep host timing in src/exp or "
+                    "tools/");
+        }
+    }
+};
+
+// ---------------------------------------------------------------------
+// Rule: unordered-iteration
+// ---------------------------------------------------------------------
+
+class UnorderedIterationRule final : public Rule
+{
+  public:
+    RuleInfo
+    info() const override
+    {
+        return {"unordered-iteration",
+                "iterating an unordered container in result-affecting "
+                "code leaks pointer/hash order into stats and event "
+                "order"};
+    }
+
+    void
+    check(const Project &project, const FileContext &file,
+          std::vector<Finding> &out) const override
+    {
+        if (!file.resultAffecting)
+            return;
+        const TypeIndex &types = project.types;
+        const std::vector<Token> &toks = file.lex.tokens;
+        for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+            if (!isIdent(toks[i], "for") || !isPunct(toks[i + 1], "("))
+                continue;
+            const std::size_t close = matchClose(toks, i + 1);
+            if (close >= toks.size())
+                continue;
+            const std::size_t colon = findRangeColon(toks, i + 1, close);
+            std::string what;
+            if (colon != 0) {
+                what = unorderedRange(types, file, toks, colon + 1, close);
+            } else {
+                what = unorderedIteratorInit(types, file, toks, i + 2,
+                                             close);
+            }
+            if (!what.empty()) {
+                add(out, info().id, file, toks[i],
+                    "iteration over unordered container " + what +
+                        ": pointer/hash order is host-dependent and "
+                        "leaks into stats, error reports, and event "
+                        "order; iterate a sorted copy of the keys or "
+                        "use an ordered/indexed container");
+            }
+        }
+    }
+
+  private:
+    /** Index of the range-for ':' directly inside the for-parens, or 0
+     *  if this is not a range-for. */
+    static std::size_t
+    findRangeColon(const std::vector<Token> &toks, std::size_t open,
+                   std::size_t close)
+    {
+        int pd = 0, bd = 0, cd = 0;
+        for (std::size_t i = open + 1; i < close; ++i) {
+            const Token &t = toks[i];
+            if (t.kind != TokKind::Punct)
+                continue;
+            if (t.text == "(")
+                ++pd;
+            else if (t.text == ")")
+                --pd;
+            else if (t.text == "[")
+                ++bd;
+            else if (t.text == "]")
+                --bd;
+            else if (t.text == "{")
+                ++cd;
+            else if (t.text == "}")
+                --cd;
+            else if (t.text == ";")
+                return 0; // classic for loop
+            else if (t.text == ":" && pd == 0 && bd == 0 && cd == 0)
+                return i;
+        }
+        return 0;
+    }
+
+    /** Non-empty description when the range expression [first, last)
+     *  names a known unordered container. */
+    static std::string
+    unorderedRange(const TypeIndex &types, const FileContext &file,
+                   const std::vector<Token> &toks, std::size_t first,
+                   std::size_t last)
+    {
+        const std::size_t n = last > first ? last - first : 0;
+        // Bare variable: for (x : map_)
+        if (n == 1 && toks[first].kind == TokKind::Ident) {
+            const std::string name(toks[first].text);
+            if (stemHas(types.unorderedVarsByStem, file.stem, name))
+                return "'" + name + "'";
+        }
+        // Unqualified accessor: for (x : entries())
+        if (n == 3 && toks[first].kind == TokKind::Ident &&
+            isPunct(toks[first + 1], "(") &&
+            isPunct(toks[first + 2], ")")) {
+            const std::string m(toks[first].text);
+            if (stemHas(types.unorderedMethodsByStem, file.stem, m))
+                return "'" + m + "()'";
+        }
+        // Qualified accessor: for (x : recv->entries())
+        if (n == 5 && toks[first].kind == TokKind::Ident &&
+            (isPunct(toks[first + 1], ".") ||
+             isPunct(toks[first + 1], "->")) &&
+            toks[first + 2].kind == TokKind::Ident &&
+            isPunct(toks[first + 3], "(") &&
+            isPunct(toks[first + 4], ")")) {
+            const std::string recv(toks[first].text);
+            const std::string m(toks[first + 2].text);
+            if (recv == "this") {
+                if (stemHas(types.unorderedMethodsByStem, file.stem, m))
+                    return "'this->" + m + "()'";
+            } else {
+                const auto vt = types.varClassByStem.find(file.stem);
+                if (vt != types.varClassByStem.end()) {
+                    const auto cls = vt->second.find(recv);
+                    if (cls != vt->second.end() &&
+                        contains(types.unorderedMethods,
+                                 cls->second + "::" + m))
+                        return "'" + recv + "'s " + cls->second +
+                               "::" + m + "()'";
+                }
+            }
+        }
+        return {};
+    }
+
+    /** Non-empty description when a classic for-loop's init section
+     *  starts an iterator walk over a known unordered container. */
+    static std::string
+    unorderedIteratorInit(const TypeIndex &types, const FileContext &file,
+                          const std::vector<Token> &toks,
+                          std::size_t first, std::size_t last)
+    {
+        for (std::size_t i = first; i + 2 < last; ++i) {
+            if (isPunct(toks[i], ";"))
+                break; // only the init section
+            if (!(isIdent(toks[i + 2], "begin") ||
+                  isIdent(toks[i + 2], "cbegin")))
+                continue;
+            if (!(isPunct(toks[i + 1], ".") ||
+                  isPunct(toks[i + 1], "->")))
+                continue;
+            if (toks[i].kind != TokKind::Ident)
+                continue;
+            const std::string recv(toks[i].text);
+            if (stemHas(types.unorderedVarsByStem, file.stem, recv))
+                return "'" + recv + "' (iterator loop)";
+        }
+        return {};
+    }
+};
+
+// ---------------------------------------------------------------------
+// Rule: check-side-effect
+// ---------------------------------------------------------------------
+
+class CheckSideEffectRule final : public Rule
+{
+  public:
+    RuleInfo
+    info() const override
+    {
+        return {"check-side-effect",
+                "SPBURST_CHECK/SPBURST_CHECK_SLOW conditions must be "
+                "side-effect-free: they are skipped at --check=off and "
+                "compile out under SPBURST_DISABLE_CHECKS"};
+    }
+
+    void
+    check(const Project &, const FileContext &file,
+          std::vector<Finding> &out) const override
+    {
+        static const std::set<std::string_view> assignOps = {
+            "=",  "+=", "-=", "*=",  "/=",  "%=",
+            "&=", "|=", "^=", "<<=", ">>=",
+        };
+        // Container / simulator mutators that must not appear in a
+        // check condition (conservative, extend as needed).
+        static const std::set<std::string_view> mutatingCalls = {
+            "insert",     "erase",      "emplace", "emplace_back",
+            "push_back",  "push_front", "pop_back", "pop_front",
+            "push",       "pop",        "clear",   "resize",
+            "reserve",    "assign",     "swap",    "reset",
+            "release",    "allocate",   "deallocate", "schedule",
+            "sample",     "record",     "touch",   "advance",
+            "tick",       "set",
+        };
+        const std::vector<Token> &toks = file.lex.tokens;
+        for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+            if (!(isIdent(toks[i], "SPBURST_CHECK") ||
+                  isIdent(toks[i], "SPBURST_CHECK_SLOW")))
+                continue;
+            if (!isPunct(toks[i + 1], "("))
+                continue;
+            const std::size_t close = matchClose(toks, i + 1);
+            if (close >= toks.size())
+                continue;
+            const auto args = splitArgs(toks, i + 1, close);
+            if (args.size() < 2)
+                continue;
+            const auto [cFirst, cLast] = args[1];
+            for (std::size_t k = cFirst; k < cLast; ++k) {
+                const Token &t = toks[k];
+                if (isPunct(t, "++") || isPunct(t, "--")) {
+                    add(out, info().id, file, t,
+                        "'" + std::string(t.text) + "' inside a " +
+                            std::string(toks[i].text) +
+                            " condition: the side effect vanishes at "
+                            "--check=off and under "
+                            "SPBURST_DISABLE_CHECKS; hoist it out of "
+                            "the check");
+                } else if (t.kind == TokKind::Punct &&
+                           contains(assignOps, t.text)) {
+                    add(out, info().id, file, t,
+                        "assignment ('" + std::string(t.text) +
+                            "') inside a " + std::string(toks[i].text) +
+                            " condition: the side effect vanishes at "
+                            "--check=off and under "
+                            "SPBURST_DISABLE_CHECKS; hoist it out of "
+                            "the check");
+                } else if (t.kind == TokKind::Ident &&
+                           contains(mutatingCalls, t.text) &&
+                           k + 1 < cLast && isPunct(toks[k + 1], "(") &&
+                           k > cFirst &&
+                           (isPunct(toks[k - 1], ".") ||
+                            isPunct(toks[k - 1], "->"))) {
+                    add(out, info().id, file, t,
+                        "call to mutating '" + std::string(t.text) +
+                            "()' inside a " + std::string(toks[i].text) +
+                            " condition: the mutation vanishes at "
+                            "--check=off and under "
+                            "SPBURST_DISABLE_CHECKS; evaluate it "
+                            "before the check");
+                }
+            }
+        }
+    }
+};
+
+// ---------------------------------------------------------------------
+// Scheduled-lambda extraction shared by the two callback rules
+// ---------------------------------------------------------------------
+
+/** One parsed capture-list entry of a lambda passed to schedule(). */
+struct CaptureEntry
+{
+    enum class Kind
+    {
+        DefaultRef,  //!< [&]
+        DefaultCopy, //!< [=]
+        This,        //!< this / *this
+        Ref,         //!< &name
+        Copy,        //!< name  or  name = init
+    };
+    Kind kind = Kind::Copy;
+    std::string name;
+    std::string type;      //!< inferred declared type ("" if unknown)
+    bool pointer = false;  //!< declared as a pointer
+    const Token *at = nullptr;
+};
+
+struct ScheduledLambda
+{
+    const Token *at = nullptr; //!< the '[' token
+    std::vector<CaptureEntry> captures;
+};
+
+/** Infer the declared type of @p name by scanning backwards from token
+ *  @p before for the nearest plausible declaration. */
+void
+inferType(const std::vector<Token> &toks, std::size_t before,
+          const std::string &name, std::string &type, bool &pointer)
+{
+    type.clear();
+    pointer = false;
+    for (std::size_t i = before; i-- > 0;) {
+        if (!(toks[i].kind == TokKind::Ident && toks[i].text == name))
+            continue;
+        std::size_t j = i;
+        bool sawPtr = false;
+        while (j > 0 && (isPunct(toks[j - 1], "*") ||
+                         isPunct(toks[j - 1], "&") ||
+                         isIdent(toks[j - 1], "const"))) {
+            if (isPunct(toks[j - 1], "*"))
+                sawPtr = true;
+            --j;
+        }
+        if (j == 0 || toks[j - 1].kind != TokKind::Ident)
+            continue; // a use, not a declaration
+        const std::string_view prev = toks[j - 1].text;
+        if (prev == "return" || prev == "delete" || prev == "new" ||
+            prev == "sizeof" || prev == "move")
+            continue;
+        type = std::string(prev);
+        pointer = sawPtr;
+        return;
+    }
+}
+
+/** All lambdas passed directly as arguments to a `.schedule(...)` /
+ *  `->schedule(...)` call in @p file. */
+std::vector<ScheduledLambda>
+scheduledLambdas(const FileContext &file)
+{
+    std::vector<ScheduledLambda> lambdas;
+    const std::vector<Token> &toks = file.lex.tokens;
+    for (std::size_t i = 1; i + 1 < toks.size(); ++i) {
+        if (!isIdent(toks[i], "schedule"))
+            continue;
+        if (!(isPunct(toks[i - 1], ".") || isPunct(toks[i - 1], "->")))
+            continue;
+        if (!isPunct(toks[i + 1], "("))
+            continue;
+        const std::size_t close = matchClose(toks, i + 1);
+        if (close >= toks.size())
+            continue;
+        for (const auto &[aFirst, aLast] : splitArgs(toks, i + 1, close)) {
+            if (aFirst >= aLast || !isPunct(toks[aFirst], "["))
+                continue;
+            const std::size_t bClose = matchClose(toks, aFirst);
+            if (bClose >= toks.size() || bClose > aLast)
+                continue;
+            ScheduledLambda lam;
+            lam.at = &toks[aFirst];
+            for (const auto &[cFirst, cLast] :
+                 splitArgs(toks, aFirst, bClose)) {
+                if (cFirst >= cLast)
+                    continue;
+                CaptureEntry e;
+                e.at = &toks[cFirst];
+                const std::size_t n = cLast - cFirst;
+                if (n == 1 && isPunct(toks[cFirst], "&")) {
+                    e.kind = CaptureEntry::Kind::DefaultRef;
+                } else if (n == 1 && isPunct(toks[cFirst], "=")) {
+                    e.kind = CaptureEntry::Kind::DefaultCopy;
+                } else if (isIdent(toks[cFirst], "this") ||
+                           (isPunct(toks[cFirst], "*") && n >= 2 &&
+                            isIdent(toks[cFirst + 1], "this"))) {
+                    e.kind = CaptureEntry::Kind::This;
+                } else if (isPunct(toks[cFirst], "&") && n >= 2 &&
+                           toks[cFirst + 1].kind == TokKind::Ident) {
+                    e.kind = CaptureEntry::Kind::Ref;
+                    e.name = std::string(toks[cFirst + 1].text);
+                } else if (toks[cFirst].kind == TokKind::Ident) {
+                    e.kind = CaptureEntry::Kind::Copy;
+                    e.name = std::string(toks[cFirst].text);
+                    // Init-capture: name = init. Infer the type from
+                    // the moved/copied source variable when the init is
+                    // `x` or `std::move(x)`.
+                    std::string source = e.name;
+                    if (n >= 3 && isPunct(toks[cFirst + 1], "=")) {
+                        source.clear();
+                        for (std::size_t k = cFirst + 2; k < cLast; ++k) {
+                            if (toks[k].kind == TokKind::Ident &&
+                                toks[k].text != "std" &&
+                                toks[k].text != "move") {
+                                source = std::string(toks[k].text);
+                                break;
+                            }
+                        }
+                    }
+                    if (!source.empty())
+                        inferType(toks, i, source, e.type, e.pointer);
+                } else {
+                    continue; // unrecognised entry: ignore
+                }
+                lam.captures.push_back(std::move(e));
+            }
+            lambdas.push_back(std::move(lam));
+        }
+    }
+    return lambdas;
+}
+
+// ---------------------------------------------------------------------
+// Rule: callback-capture
+// ---------------------------------------------------------------------
+
+class CallbackCaptureRule final : public Rule
+{
+  public:
+    RuleInfo
+    info() const override
+    {
+        return {"callback-capture",
+                "scheduled callbacks run after the current frame is "
+                "gone and after pooled slots may have been recycled: "
+                "explicit captures only, no references, no raw "
+                "pointers to pooled entries"};
+    }
+
+    void
+    check(const Project &, const FileContext &file,
+          std::vector<Finding> &out) const override
+    {
+        // Pooled / recycled slot types: capturing a raw pointer to one
+        // across a delay is a use-after-recycle.
+        static const std::set<std::string_view> pooled = {
+            "MshrEntry", "MshrTarget", "Entry", "CacheBlk"};
+        for (const ScheduledLambda &lam : scheduledLambdas(file)) {
+            for (const CaptureEntry &e : lam.captures) {
+                switch (e.kind) {
+                case CaptureEntry::Kind::DefaultRef:
+                    add(out, info().id, file, *e.at,
+                        "default reference capture [&] in a scheduled "
+                        "callback: every captured local dangles by the "
+                        "time the event runs; capture explicitly by "
+                        "value");
+                    break;
+                case CaptureEntry::Kind::DefaultCopy:
+                    add(out, info().id, file, *e.at,
+                        "default copy capture [=] in a scheduled "
+                        "callback: list the captures explicitly so "
+                        "their lifetime and size stay auditable");
+                    break;
+                case CaptureEntry::Kind::Ref:
+                    add(out, info().id, file, *e.at,
+                        "reference capture '&" + e.name +
+                            "' in a scheduled callback: the referent's "
+                            "frame is gone when the event runs; "
+                            "capture by value (move callbacks)");
+                    break;
+                case CaptureEntry::Kind::Copy:
+                    if (e.pointer && contains(pooled, e.type)) {
+                        add(out, info().id, file, *e.at,
+                            "captured raw pointer '" + e.name +
+                                "' to pooled " + e.type +
+                                " slot in a scheduled callback: the "
+                                "slot can be recycled before the event "
+                                "runs (use-after-recycle); capture the "
+                                "block address / seq+token and "
+                                "re-look-up");
+                    }
+                    break;
+                case CaptureEntry::Kind::This:
+                    break;
+                }
+            }
+        }
+    }
+};
+
+// ---------------------------------------------------------------------
+// Rule: callback-inline-size
+// ---------------------------------------------------------------------
+
+class CallbackInlineSizeRule final : public Rule
+{
+  public:
+    RuleInfo
+    info() const override
+    {
+        return {"callback-inline-size",
+                "captures of a scheduled callback must fit "
+                "EventQueue::Callback's inline buffer; oversized "
+                "captures silently heap-allocate on every schedule"};
+    }
+
+    void
+    check(const Project &, const FileContext &file,
+          std::vector<Finding> &out) const override
+    {
+        // Must track EventQueue::Callback in
+        // src/common/event_queue.hh (SmallFunction<void(), 112>).
+        constexpr std::size_t kInlineBytes = 112;
+        // Estimated sizeof for capture-size accounting, matching
+        // SmallFunction's pointer-aligned inline layout (buffer +
+        // vtable pointer). Pointers, references, this, and scalars
+        // count 8; unknown types count 8 (under-approximate: the rule
+        // only fires when the *known* captures already overflow).
+        static const std::map<std::string_view, std::size_t> sizeOf = {
+            {"FillCallback", 80}, {"MemCallback", 56},
+            {"Callback", 120},    {"MshrTarget", 96},
+            {"MemRequest", 24},   {"string", 32},
+            {"vector", 24},       {"function", 32},
+            {"deque", 80},        {"shared_ptr", 16},
+        };
+        for (const ScheduledLambda &lam : scheduledLambdas(file)) {
+            std::size_t total = 0;
+            bool unknownDefaults = false;
+            std::string breakdown;
+            for (const CaptureEntry &e : lam.captures) {
+                if (e.kind == CaptureEntry::Kind::DefaultRef ||
+                    e.kind == CaptureEntry::Kind::DefaultCopy) {
+                    unknownDefaults = true;
+                    continue;
+                }
+                std::size_t sz = 8;
+                if (e.kind == CaptureEntry::Kind::Copy && !e.pointer) {
+                    const auto it = sizeOf.find(e.type);
+                    if (it != sizeOf.end())
+                        sz = it->second;
+                }
+                total += sz;
+                if (!breakdown.empty())
+                    breakdown += " + ";
+                breakdown +=
+                    (e.name.empty() ? std::string("this") : e.name) +
+                    ":" + std::to_string(sz);
+            }
+            if (!unknownDefaults && total > kInlineBytes) {
+                add(out, info().id, file, *lam.at,
+                    "estimated capture size " + std::to_string(total) +
+                        " bytes (" + breakdown + ") exceeds the " +
+                        std::to_string(kInlineBytes) +
+                        "-byte inline buffer of EventQueue::Callback: "
+                        "this callback heap-allocates on every "
+                        "schedule; shrink the captures or justify with "
+                        "a suppression if the path is cold");
+            }
+        }
+    }
+};
+
+// ---------------------------------------------------------------------
+// Rule: stat-name
+// ---------------------------------------------------------------------
+
+class StatNameRule final : public Rule
+{
+  public:
+    RuleInfo
+    info() const override
+    {
+        return {"stat-name",
+                "StatSet::get/has literals must be producible from "
+                "some set()/merge() literal — a typo'd key is a lint "
+                "error, not a silently-missing column"};
+    }
+
+    void
+    check(const Project &project, const FileContext &file,
+          std::vector<Finding> &out) const override
+    {
+        if (!project.stats.sawAnyDef())
+            return; // single-file run with no definitions in sight
+        const std::vector<Token> &toks = file.lex.tokens;
+        for (std::size_t i = 2; i + 1 < toks.size(); ++i) {
+            if (!(isPunct(toks[i - 1], ".") || isPunct(toks[i - 1], "->")))
+                continue;
+            if (!(isIdent(toks[i], "get") || isIdent(toks[i], "has")))
+                continue;
+            if (!isPunct(toks[i + 1], "("))
+                continue;
+            const std::size_t close = matchClose(toks, i + 1);
+            if (close >= toks.size())
+                continue;
+            const auto args = splitArgs(toks, i + 1, close);
+            if (args.empty())
+                continue;
+            const auto [aFirst, aLast] = args[0];
+            // Only pure literal arguments are checkable.
+            std::string name;
+            bool pure = aLast > aFirst;
+            for (std::size_t k = aFirst; k < aLast; ++k) {
+                if (toks[k].kind == TokKind::String)
+                    name += stringValue(toks[k]);
+                else
+                    pure = false;
+            }
+            if (!pure || name.empty())
+                continue;
+            if (!matches(project.stats, name, 0)) {
+                add(out, info().id, file, toks[i],
+                    "stat name \"" + name +
+                        "\" is never produced by any StatSet::set() / "
+                        "merge() literal in the analyzed files: a typo "
+                        "here reads as a missing or zero column");
+            }
+        }
+    }
+
+  private:
+    static bool
+    matches(const StatIndex &stats, const std::string &name, int depth)
+    {
+        if (depth > 6)
+            return true; // give up permissively on deep prefix chains
+        if (contains(stats.exactDefs, name))
+            return true;
+        for (const std::string &w : stats.defPrefixWildcards) {
+            if (name.compare(0, w.size(), w) == 0)
+                return true;
+        }
+        for (const std::string &p : stats.exactMergePrefixes) {
+            if (name.size() > p.size() &&
+                name.compare(0, p.size(), p) == 0 &&
+                matches(stats, name.substr(p.size()), depth + 1))
+                return true;
+        }
+        for (const std::string &d : stats.dynMergeLeads) {
+            if (name.compare(0, d.size(), d) != 0)
+                continue;
+            for (std::size_t i = d.size(); i < name.size(); ++i) {
+                if (name[i] == '.' &&
+                    matches(stats, name.substr(i + 1), depth + 1))
+                    return true;
+            }
+        }
+        return false;
+    }
+};
+
+} // namespace
+
+const std::vector<const Rule *> &
+allRules()
+{
+    static const NondeterminismRule r1;
+    static const UnorderedIterationRule r2;
+    static const CheckSideEffectRule r3;
+    static const CallbackCaptureRule r4;
+    static const CallbackInlineSizeRule r5;
+    static const StatNameRule r6;
+    static const std::vector<const Rule *> rules = {&r1, &r2, &r3,
+                                                    &r4, &r5, &r6};
+    return rules;
+}
+
+} // namespace spburst::lint

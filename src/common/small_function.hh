@@ -38,6 +38,16 @@ class SmallFunction<R(Args...), InlineBytes>
     /** Empty function (same as default construction). */
     SmallFunction(std::nullptr_t) noexcept {}
 
+    /** Inline-storage alignment. Pointer alignment (not max_align_t):
+     *  event/memory callbacks capture pointers, integers, and nested
+     *  SmallFunctions, never over-aligned types — and max_align_t
+     *  padding used to inflate every nested callback capture by 16+
+     *  bytes (e.g. FillCallback was 96 bytes instead of 80, pushing
+     *  the interconnect hop wrapper past EventQueue::Callback's inline
+     *  buffer and onto the heap on every hop). Over-aligned callables
+     *  simply take the heap path via the constructor guard below. */
+    static constexpr std::size_t kInlineAlign = alignof(void *);
+
     template <typename F,
               typename = std::enable_if_t<
                   !std::is_same_v<std::decay_t<F>, SmallFunction> &&
@@ -46,7 +56,7 @@ class SmallFunction<R(Args...), InlineBytes>
     {
         using Fn = std::decay_t<F>;
         if constexpr (sizeof(Fn) <= InlineBytes &&
-                      alignof(Fn) <= alignof(std::max_align_t)) {
+                      alignof(Fn) <= kInlineAlign) {
             ::new (static_cast<void *>(buf_)) Fn(std::forward<F>(f));
             ops_ = &inlineOps<Fn>;
         } else {
@@ -145,8 +155,11 @@ class SmallFunction<R(Args...), InlineBytes>
         }
     }
 
+    // Buffer first: with the ops pointer last, sizeof(SmallFunction)
+    // is exactly InlineBytes + sizeof(void *), so nesting a callback
+    // inside a larger one costs no padding.
+    alignas(kInlineAlign) unsigned char buf_[InlineBytes];
     const Ops *ops_ = nullptr;
-    alignas(std::max_align_t) unsigned char buf_[InlineBytes];
 };
 
 } // namespace spburst

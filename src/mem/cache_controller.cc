@@ -153,10 +153,12 @@ CacheController::request(const MemRequest &req_in, FillCallback done)
         // Replay next cycle; the callback is preserved and the miss is
         // only counted once it stops being rejected.
         ++stats_.mshrDemandRetries;
-        clock_->events.schedule(clock_->now + 1,
-                                [this, req, t = std::move(target)]() mutable {
-                                    request(req, std::move(t.done));
-                                });
+        clock_->events.schedule(
+            clock_->now + 1,
+            // spburst-lint: allow(callback-inline-size) -- MSHR-full replay path, off the steady-state hot path
+            [this, req, t = std::move(target)]() mutable {
+                request(req, std::move(t.done));
+            });
         return;
     }
 

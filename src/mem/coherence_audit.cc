@@ -1,5 +1,8 @@
 #include "mem/coherence_audit.hh"
 
+#include <algorithm>
+#include <vector>
+
 #include "check/check.hh"
 #include "mem/cache_controller.hh"
 #include "mem/directory.hh"
@@ -69,10 +72,19 @@ CoherenceAuditor::auditFull() const
 {
     if (!dir_)
         return;
+    // Audit in address order so the first SPBURST_CHECK to fire — and
+    // therefore the error report — is the same on every host. The
+    // harvest loop itself is order-insensitive (it only collects keys).
+    std::vector<Addr> addrs;
+    addrs.reserve(dir_->entries().size());
+    // spburst-lint: allow(unordered-iteration) -- key harvest only; sorted below
     for (const auto &[addr, entry] : dir_->entries()) {
         (void)entry;
-        auditBlock(addr);
+        addrs.push_back(addr);
     }
+    std::sort(addrs.begin(), addrs.end());
+    for (const Addr addr : addrs)
+        auditBlock(addr);
 }
 
 void

@@ -1,0 +1,29 @@
+// Fixture: the callback-capture rule must flag default captures,
+// reference captures, and raw pointers to pooled slots in scheduled
+// lambdas.
+namespace fx
+{
+
+struct MshrEntry
+{
+    unsigned long long addr;
+};
+
+struct EventQueue
+{
+    template <typename F>
+    void schedule(unsigned long long when, F &&f);
+};
+
+inline void
+arm(EventQueue &events, unsigned long long now)
+{
+    int pending = 0;
+    events.schedule(now + 1, [&] { ++pending; });
+    events.schedule(now + 1, [=] { (void)pending; });
+    events.schedule(now + 2, [&pending] { ++pending; });
+    MshrEntry *entry = nullptr;
+    events.schedule(now + 3, [entry] { (void)entry->addr; });
+}
+
+} // namespace fx

@@ -1,0 +1,29 @@
+// Fixture: disciplined scheduled-callback captures must pass —
+// explicit this plus small by-value scalars.
+namespace fx
+{
+
+struct EventQueue
+{
+    template <typename F>
+    void schedule(unsigned long long when, F &&f);
+};
+
+class Controller
+{
+  public:
+    void arm(unsigned long long now);
+
+  private:
+    void fill(unsigned long long addr);
+    EventQueue *events_;
+};
+
+inline void
+Controller::arm(unsigned long long now)
+{
+    unsigned long long addr = 0x40;
+    events_->schedule(now + 1, [this, addr] { fill(addr); });
+}
+
+} // namespace fx

@@ -1,0 +1,41 @@
+// Fixture: the callback-inline-size rule must flag this capture set —
+// this (8) + MemRequest (24) + MshrTarget (96) = 128 bytes, over the
+// 112-byte inline buffer of EventQueue::Callback.
+namespace fx
+{
+
+struct MemRequest
+{
+    unsigned long long blockAddr;
+    unsigned long long payload[2];
+};
+
+struct MshrTarget
+{
+    unsigned char blob[96];
+};
+
+struct EventQueue
+{
+    template <typename F>
+    void schedule(unsigned long long when, F &&f);
+};
+
+class Controller
+{
+  public:
+    void retry(EventQueue &events, unsigned long long now);
+};
+
+inline void
+Controller::retry(EventQueue &events, unsigned long long now)
+{
+    MemRequest req;
+    MshrTarget target;
+    events.schedule(now + 1, [this, req, t = target]() mutable {
+        (void)req;
+        (void)t;
+    });
+}
+
+} // namespace fx

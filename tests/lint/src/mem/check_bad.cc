@@ -1,0 +1,20 @@
+// Fixture: the check-side-effect rule must flag increments,
+// assignments, and mutating calls inside SPBURST_CHECK conditions.
+namespace fx
+{
+
+struct Queue
+{
+    bool pop();
+    int size() const;
+};
+
+inline void
+audit(Queue &q, int &count)
+{
+    SPBURST_CHECK(Mshr, ++count > 0, "count must advance");
+    SPBURST_CHECK(Mshr, (count = q.size()) >= 0, "sampled size");
+    SPBURST_CHECK(Mshr, q.pop(), "queue must drain");
+}
+
+} // namespace fx

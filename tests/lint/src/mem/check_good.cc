@@ -1,0 +1,20 @@
+// Fixture: pure SPBURST_CHECK conditions must pass — comparisons,
+// const member calls, and logical operators are all side-effect-free.
+namespace fx
+{
+
+struct Queue
+{
+    bool empty() const;
+    int size() const;
+};
+
+inline void
+audit(const Queue &q, int count, int limit)
+{
+    SPBURST_CHECK(Mshr, count <= limit, "bounded");
+    SPBURST_CHECK(Mshr, q.empty() || q.size() > 0, "consistent");
+    SPBURST_CHECK_SLOW(Mshr, count == 0 || !q.empty(), "drained");
+}
+
+} // namespace fx

@@ -1,0 +1,27 @@
+// Fixture: patterns the nondeterminism rule must NOT flag — accessor
+// declarations and member calls named 'clock', and identifiers that
+// merely contain a banned word.
+namespace fx
+{
+
+struct SimClock;
+
+class System
+{
+  public:
+    SimClock &clock() { return clock_; }
+
+  private:
+    SimClock &clock_;
+};
+
+unsigned long long
+readSimTime(System &sys)
+{
+    auto &clk = sys.clock();
+    (void)clk;
+    unsigned long long timeout = 0;
+    return timeout;
+}
+
+} // namespace fx

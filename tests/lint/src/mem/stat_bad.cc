@@ -1,0 +1,16 @@
+// Fixture: the stat-name rule must flag get/has literals no
+// set()/merge() literal can produce (defined in stat_defs.cc).
+namespace fx
+{
+
+inline double
+readBack(const StatSet &stats)
+{
+    double v = stats.get("loads.hits");
+    v += stats.get("loads.hitz");
+    if (stats.has("sb.occupancy.max"))
+        v += 1.0;
+    return v;
+}
+
+} // namespace fx

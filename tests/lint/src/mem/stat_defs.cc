@@ -1,0 +1,18 @@
+// Fixture: StatSet definitions feeding the stat-name rule — exact
+// names, a dynamic-suffix wildcard, an exact merge prefix, and a
+// dynamic merge prefix.
+namespace fx
+{
+
+inline void
+publish(StatSet &stats, StatSet &core, int c)
+{
+    stats.set("loads.hits", 1.0);
+    stats.set("loads.misses", 2.0);
+    stats.set("sb.occupancy.avg", 0.5);
+    stats.set(std::string("violations.") + name(), 1.0);
+    stats.merge("mem.", core);
+    stats.merge("core" + std::to_string(c) + ".", core);
+}
+
+} // namespace fx

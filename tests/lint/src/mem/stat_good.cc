@@ -1,0 +1,19 @@
+// Fixture: stat-name lookups producible from the stat_defs.cc
+// literals must pass — exact, via exact merge prefix, via dynamic
+// merge prefix, via definition wildcard, and via a two-level chain.
+namespace fx
+{
+
+inline double
+readBack(const StatSet &stats)
+{
+    double v = stats.get("loads.misses");
+    v += stats.get("mem.loads.hits");
+    v += stats.get("core3.sb.occupancy.avg");
+    v += stats.get("violations.tso.total");
+    if (stats.has("mem.core1.loads.hits"))
+        v += 1.0;
+    return v;
+}
+
+} // namespace fx

@@ -1,0 +1,18 @@
+// Fixture: suppression machinery — the first allow() silences the
+// rand() on the next line (used), the second silences nothing and
+// must be reported as unused-suppression.
+#include <cstdlib>
+
+namespace fx
+{
+
+inline unsigned
+mixed()
+{
+    // spburst-lint: allow(nondeterminism) -- fixture: justified host entropy
+    unsigned x = rand();
+    unsigned y = 1; // spburst-lint: allow(nondeterminism) -- stale
+    return x + y;
+}
+
+} // namespace fx

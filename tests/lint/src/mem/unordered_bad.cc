@@ -1,0 +1,41 @@
+// Fixture: the unordered-iteration rule must flag all four iteration
+// shapes — bare variable, iterator loop, unqualified accessor, and
+// accessor through a typed receiver.
+#include <unordered_map>
+
+namespace fx
+{
+
+class Table
+{
+  public:
+    std::unordered_map<int, int> &entries() { return entries_; }
+
+    int
+    sumOwn() const
+    {
+        int sum = 0;
+        for (const auto &[k, v] : entries())
+            sum += v;
+        return sum;
+    }
+
+  private:
+    std::unordered_map<int, int> entries_;
+};
+
+inline int
+sumAll(Table *table)
+{
+    std::unordered_map<int, int> local;
+    int sum = 0;
+    for (const auto &[k, v] : local)
+        sum += v;
+    for (auto it = local.begin(); it != local.end(); ++it)
+        sum += it->second;
+    for (const auto &[k, v] : table->entries())
+        sum += v;
+    return sum;
+}
+
+} // namespace fx

@@ -1,0 +1,30 @@
+// Fixture: the sorted-copy harvest pattern passes — the harvest loop
+// carries a justified suppression (which must count as used), and
+// ordered containers iterate freely.
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+namespace fx
+{
+
+inline int
+sumSorted(const std::unordered_map<int, int> &table)
+{
+    std::vector<int> keys;
+    keys.reserve(table.size());
+    // spburst-lint: allow(unordered-iteration) -- key harvest only; sorted below
+    for (const auto &[k, v] : table)
+        keys.push_back(k);
+    std::sort(keys.begin(), keys.end());
+    int sum = 0;
+    for (int k : keys)
+        sum += k;
+    std::map<int, int> ordered;
+    for (const auto &[k, v] : ordered)
+        sum += v;
+    return sum;
+}
+
+} // namespace fx

@@ -1,0 +1,14 @@
+// Fixture: host-side directories (tools/, src/exp, bench setup) are
+// exempt from the determinism rules — this rand() is legal here.
+#include <cstdlib>
+
+namespace fx
+{
+
+inline unsigned
+hostSeed()
+{
+    return rand();
+}
+
+} // namespace fx

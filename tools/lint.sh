@@ -1,18 +1,48 @@
 #!/usr/bin/env bash
-# Run clang-tidy over the spburst sources with the repo's .clang-tidy
-# profile. Used locally and by the `lint` job in CI.
+# Single entry point for the repo's static analysis. Two gates, in
+# order:
 #
-# Usage: tools/lint.sh [build-dir]
+#   1. spburst_lint — the repo-specific analyzer (src/analysis): the
+#      determinism, check-macro, event-callback, and stat-name rules.
+#      Built from source here; no external dependency.
+#   2. clang-tidy with the repo's .clang-tidy profile.
+#
+# Usage: tools/lint.sh [build-dir] [extra clang-tidy args...]
 #
 # The build dir must contain compile_commands.json; pass
-# -DCMAKE_EXPORT_COMPILE_COMMANDS=ON to cmake (CI does). Extra args
-# after the build dir are forwarded to clang-tidy.
+# -DCMAKE_EXPORT_COMPILE_COMMANDS=ON to cmake (CI does).
+#
+# Environment:
+#   SPBURST_LINT_SARIF  if set, spburst_lint also writes a SARIF 2.1.0
+#                       log to this path (CI uploads it as an artifact)
+#   GITHUB_ACTIONS      when "true", spburst_lint emits ::error
+#                       annotations so findings land on the PR diff
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 build_dir="${1:-"${repo_root}/build"}"
 shift || true
 
+if [[ ! -f "${build_dir}/compile_commands.json" ]]; then
+    echo "lint.sh: ${build_dir}/compile_commands.json not found." >&2
+    echo "  Configure with: cmake -S '${repo_root}' -B '${build_dir}' \\" >&2
+    echo "      -DCMAKE_EXPORT_COMPILE_COMMANDS=ON" >&2
+    exit 2
+fi
+
+# --- Gate 1: spburst_lint -------------------------------------------------
+cmake --build "${build_dir}" --target spburst_lint
+lint_args=("--compdb=${build_dir}" "--root=${repo_root}")
+if [[ -n "${SPBURST_LINT_SARIF:-}" ]]; then
+    lint_args+=("--sarif=${SPBURST_LINT_SARIF}")
+fi
+if [[ "${GITHUB_ACTIONS:-}" == "true" ]]; then
+    lint_args+=("--github")
+fi
+echo "lint.sh: spburst_lint ${lint_args[*]}"
+"${build_dir}/tools/spburst_lint" "${lint_args[@]}"
+
+# --- Gate 2: clang-tidy ---------------------------------------------------
 # Locate clang-tidy: plain name first, then versioned names (newest
 # first). The dev container may not ship it — fail with instructions
 # rather than silently passing.
@@ -27,13 +57,6 @@ if [[ -z "${tidy}" ]]; then
     echo "lint.sh: clang-tidy not found on PATH." >&2
     echo "  Install it (e.g. 'apt-get install clang-tidy' or an LLVM" >&2
     echo "  release) or run the 'lint' job in CI, which provisions it." >&2
-    exit 2
-fi
-
-if [[ ! -f "${build_dir}/compile_commands.json" ]]; then
-    echo "lint.sh: ${build_dir}/compile_commands.json not found." >&2
-    echo "  Configure with: cmake -S '${repo_root}' -B '${build_dir}' \\" >&2
-    echo "      -DCMAKE_EXPORT_COMPILE_COMMANDS=ON" >&2
     exit 2
 fi
 
