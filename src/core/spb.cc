@@ -53,9 +53,14 @@ SpbDetector::onStoreCommit(Addr addr, unsigned size)
 {
     ++stats_.storesObserved;
 
-    // (1) Difference between this store's block and the last one.
-    const Addr block = blockNumber(addr) & ((Addr{1} << 58) - 1);
-    const Addr delta = block - lastBlock_;
+    // (1) Difference between this store's block and the last one. The
+    // hardware register is 58 bits wide, so the delta must be reduced
+    // modulo 2^58 as well: a contiguous step that crosses the register's
+    // alias boundary (block 2^58 - 1 -> 0) still reads as +1, and the
+    // raw 64-bit difference (which would be 1 - 2^58) never does.
+    constexpr Addr kBlockRegMask = (Addr{1} << 58) - 1;
+    const Addr block = blockNumber(addr) & kBlockRegMask;
+    const Addr delta = (block - lastBlock_) & kBlockRegMask;
     if (delta == 1) {
         if (satCounter_ < params_.counterMax)
             ++satCounter_;
@@ -63,7 +68,7 @@ SpbDetector::onStoreCommit(Addr addr, unsigned size)
         satCounter_ = 0;
     }
     if (params_.backwardBursts) {
-        if (delta == static_cast<Addr>(-1)) {
+        if (delta == kBlockRegMask) {
             if (backwardCounter_ < params_.counterMax)
                 ++backwardCounter_;
         } else if (delta != 0) {

@@ -11,11 +11,14 @@ namespace spburst::exp
 std::string
 configKey(const SystemConfig &cfg)
 {
-    char buf[320];
+    // The workload name prefixes as a std::string: trace workloads
+    // embed arbitrarily long file paths that must never truncate (a
+    // truncated key would alias distinct checkpoint entries).
+    char buf[256];
     std::snprintf(
         buf, sizeof(buf),
-        "%s|sb%u|p%d|spb%d:%u:%d:%d|i%d|c%d|pf%d|t%d|s%lu|u%lu|%s|m%u:%zu",
-        cfg.workload.c_str(), cfg.sbSize, static_cast<int>(cfg.policy),
+        "|sb%u|p%d|spb%d:%u:%d:%d|i%d|c%d|pf%d|t%d|s%lu|u%lu|%s|m%u:%zu",
+        cfg.sbSize, static_cast<int>(cfg.policy),
         cfg.useSpb, cfg.spb.checkInterval, cfg.spb.dynamicThreshold,
         cfg.spb.backwardBursts, cfg.idealSb, cfg.coalescingSb,
         static_cast<int>(cfg.l1Prefetcher), cfg.threads,
@@ -23,7 +26,7 @@ configKey(const SystemConfig &cfg)
         static_cast<unsigned long>(cfg.maxUopsPerCore),
         cfg.coreParams.name.c_str(), cfg.mem.l1d.prefetchIssuePerCycle,
         cfg.mem.l1d.demandReservedMshrs);
-    return buf;
+    return cfg.workload + buf;
 }
 
 std::uint64_t

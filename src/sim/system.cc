@@ -1,6 +1,7 @@
 #include "sim/system.hh"
 
 #include "common/logging.hh"
+#include "trace/champsim/source.hh"
 
 namespace spburst
 {
@@ -85,6 +86,8 @@ SimResult::toStatSet() const
     for (std::size_t c = 0; c < cores.size(); ++c) {
         s.merge("core" + std::to_string(c) + ".", cores[c].toStatSet());
         s.merge("l1d" + std::to_string(c) + ".", l1d[c].toStatSet());
+        if (c < trace.size())
+            s.merge("trace" + std::to_string(c) + ".", trace[c]);
     }
     s.set("dram.reads", static_cast<double>(dramReads));
     s.set("dram.writes", static_cast<double>(dramWrites));
@@ -107,7 +110,15 @@ System::System(const SystemConfig &config)
 {
     SPB_ASSERT(config_.threads >= 1, "need at least one thread");
 
-    const ProfileParams &profile = findProfile(config_.workload);
+    // Either a ChampSim trace replay ("trace:PATH[,...]") or one of the
+    // synthetic workload profiles.
+    const bool is_trace = champsim::isTraceWorkload(config_.workload);
+    champsim::TraceSpec trace_spec;
+    const ProfileParams *profile = nullptr;
+    if (is_trace)
+        trace_spec = champsim::parseTraceWorkload(config_.workload);
+    else
+        profile = &findProfile(config_.workload);
 
     for (int t = 0; t < config_.threads; ++t) {
         if (config_.l1Prefetcher != L1PrefetcherKind::None) {
@@ -134,8 +145,15 @@ System::System(const SystemConfig &config)
             }
         }
 
-        traces_.push_back(buildWorkload(profile, config_.seed, t,
-                                        config_.threads));
+        if (is_trace) {
+            auto src = std::make_unique<champsim::TraceReplaySource>(
+                trace_spec, t);
+            champSources_.push_back(src.get());
+            traces_.push_back(std::move(src));
+        } else {
+            traces_.push_back(buildWorkload(*profile, config_.seed, t,
+                                            config_.threads));
+        }
 
         CoreConfig cc;
         cc.params = config_.coreParams;
@@ -298,6 +316,8 @@ System::snapshot()
             r.l1pf.push_back(prefetchers_[t]->stats());
         }
     }
+    for (const champsim::TraceReplaySource *src : champSources_)
+        r.trace.push_back(src->stats().toStatSet());
     r.l3 = mem_.l3().stats();
     r.dramReads = mem_.dram().reads();
     r.dramWrites = mem_.dram().writes();

@@ -29,6 +29,11 @@
 namespace spburst
 {
 
+namespace champsim
+{
+class TraceReplaySource;
+} // namespace champsim
+
 /**
  * Cache-prefetcher configuration (Fig. 16 axis). Stream is the Table I
  * L1 prefetcher; Aggressive/Adaptive add an FDP prefetcher at the L2
@@ -93,6 +98,9 @@ struct SimResult
     std::uint64_t dramWrites = 0;
     DirectoryStats directory;             //!< zeros on single core
     std::vector<StreamPrefetcherStats> l1pf;
+    /** Per-core trace-frontend decode/crack stats (ChampSim trace
+     *  workloads only; empty for synthetic workloads). */
+    std::vector<StatSet> trace;
     EnergyBreakdown energy;               //!< whole system
     /** simcheck activity during this run (violations are fatal unless a
      *  ThrowGuard is active, so a returned result normally shows 0). */
@@ -182,6 +190,9 @@ class System
     std::vector<std::unique_ptr<StreamPrefetcher>> prefetchers_;
     std::vector<std::unique_ptr<PrefetcherIface>> l2Prefetchers_;
     std::vector<std::unique_ptr<TraceSource>> traces_;
+    /** Non-owning views of traces_ entries that are ChampSim replays
+     *  (empty for synthetic workloads); used to report decode stats. */
+    std::vector<champsim::TraceReplaySource *> champSources_;
     std::vector<std::unique_ptr<Core>> cores_;
     /** Thread's check counters at construction; results report deltas. */
     check::Counters checkBase_;

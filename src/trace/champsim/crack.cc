@@ -1,0 +1,286 @@
+#include "trace/champsim/crack.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace spburst::champsim
+{
+
+const char *
+branchKindName(BranchKind kind)
+{
+    switch (kind) {
+      case BranchKind::NotBranch: return "not_branch";
+      case BranchKind::DirectJump: return "direct_jump";
+      case BranchKind::Indirect: return "indirect";
+      case BranchKind::Conditional: return "conditional";
+      case BranchKind::DirectCall: return "direct_call";
+      case BranchKind::IndirectCall: return "indirect_call";
+      case BranchKind::Return: return "return";
+      case BranchKind::Other: return "other";
+    }
+    return "?";
+}
+
+Cracker::Cracker()
+{
+    regWriter_.fill(kNoWriter);
+    bimodal_.fill(1); // weakly not-taken
+    lastTarget_.fill(0);
+}
+
+BranchKind
+Cracker::classify(const Record &rec)
+{
+    if (rec.isBranch == 0)
+        return BranchKind::NotBranch;
+
+    bool reads_sp = false, reads_ip = false, reads_flags = false,
+         reads_other = false;
+    for (std::uint8_t r : rec.srcRegs) {
+        if (r == 0)
+            continue;
+        if (r == kRegStackPointer)
+            reads_sp = true;
+        else if (r == kRegInstructionPointer)
+            reads_ip = true;
+        else if (r == kRegFlags)
+            reads_flags = true;
+        else
+            reads_other = true;
+    }
+    bool writes_sp = false, writes_ip = false;
+    for (std::uint8_t r : rec.destRegs) {
+        if (r == kRegStackPointer)
+            writes_sp = true;
+        else if (r == kRegInstructionPointer)
+            writes_ip = true;
+    }
+
+    // ChampSim's taxonomy (ooo_cpu.cc): the combination of special
+    // registers read and written identifies the branch kind.
+    if (!reads_sp && !reads_flags && writes_ip && !reads_other)
+        return BranchKind::DirectJump;
+    if (!reads_sp && !reads_flags && writes_ip && reads_other)
+        return BranchKind::Indirect;
+    if (!reads_sp && reads_flags && writes_ip && !reads_other)
+        return BranchKind::Conditional;
+    if (reads_sp && reads_ip && !reads_flags && writes_sp && writes_ip &&
+        !reads_other)
+        return BranchKind::DirectCall;
+    if (reads_sp && reads_ip && !reads_flags && writes_sp && writes_ip &&
+        reads_other)
+        return BranchKind::IndirectCall;
+    if (reads_sp && !reads_ip && writes_sp && writes_ip)
+        return BranchKind::Return;
+    return BranchKind::Other;
+}
+
+bool
+Cracker::predict(BranchKind kind, const Record &rec,
+                 std::uint64_t next_ip)
+{
+    const bool taken = rec.branchTaken != 0;
+    switch (kind) {
+      case BranchKind::NotBranch:
+        return false;
+      case BranchKind::DirectJump:
+      case BranchKind::DirectCall:
+        // Target is in the instruction bytes; a BTB hit predicts it.
+        return false;
+      case BranchKind::Return:
+        // A return-address stack predicts returns near-perfectly.
+        return false;
+      case BranchKind::Conditional:
+      case BranchKind::Other: {
+        // 2-bit bimodal predictor on the direction.
+        std::uint8_t &ctr =
+            bimodal_[(rec.ip >> 2) & (kBimodalEntries - 1)];
+        const bool predicted_taken = ctr >= 2;
+        if (taken && ctr < 3)
+            ++ctr;
+        else if (!taken && ctr > 0)
+            --ctr;
+        return predicted_taken != taken;
+      }
+      case BranchKind::Indirect:
+      case BranchKind::IndirectCall: {
+        // Last-target table: mispredict whenever the target moved.
+        std::uint64_t &target =
+            lastTarget_[(rec.ip >> 2) & (kTargetEntries - 1)];
+        const std::uint64_t actual = taken ? next_ip : 0;
+        const bool wrong = actual != 0 && target != actual;
+        if (actual != 0)
+            target = actual;
+        return wrong;
+      }
+    }
+    return false;
+}
+
+std::uint8_t
+Cracker::distanceTo(std::uint64_t at, std::uint64_t producer)
+{
+    if (producer == kNoWriter || producer >= at)
+        return 0;
+    const std::uint64_t d = at - producer;
+    if (d > 255) {
+        // The producer left the window a MicroOp can encode; it has
+        // long since completed, so "always ready" is the right model.
+        ++stats_.depsTruncated;
+        return 0;
+    }
+    return static_cast<std::uint8_t>(d);
+}
+
+void
+Cracker::crack(const Record &rec, std::uint64_t next_ip,
+               std::vector<MicroOp> &out)
+{
+    ++stats_.instrs;
+
+    // Producer indices of this instruction's register sources, most
+    // recent first (at most 4 + the instruction's own loads).
+    std::uint64_t producers[kNumSrcRegs + kNumSrcMem];
+    int num_producers = 0;
+    for (std::uint8_t r : rec.srcRegs) {
+        if (r == 0)
+            continue;
+        const std::uint64_t w = regWriter_[r];
+        if (w != kNoWriter)
+            producers[num_producers++] = w;
+    }
+    const int num_reg_producers = num_producers;
+    auto newest = [&](int limit, int nth) {
+        // nth most-recent producer among the first `limit` entries
+        // (0 = newest). Returns kNoWriter when there are fewer.
+        std::uint64_t best[2] = {kNoWriter, kNoWriter};
+        for (int i = 0; i < limit; ++i) {
+            const std::uint64_t p = producers[i];
+            if (best[0] == kNoWriter || p > best[0]) {
+                best[1] = best[0];
+                best[0] = p;
+            } else if (p != best[0] &&
+                       (best[1] == kNoWriter || p > best[1])) {
+                best[1] = p;
+            }
+        }
+        return best[nth];
+    };
+
+    /** Clamp [addr, addr+8) at its cache-block boundary: traces carry
+     *  no access size and spburst accesses touch one block. */
+    auto clampedSize = [&](Addr addr) {
+        const Addr room = kBlockSize - (addr & (kBlockSize - 1));
+        if (room < 8) {
+            ++stats_.memClamped;
+            return static_cast<std::uint8_t>(room);
+        }
+        return static_cast<std::uint8_t>(8);
+    };
+
+    const std::size_t first_out = out.size();
+    auto emit = [&](const MicroOp &op) {
+        out.push_back(op);
+        ++stats_.uops;
+        return uopIndex_++;
+    };
+
+    // (1) Loads: one uop per memory read, address-dependent on the two
+    // most recent register producers.
+    int num_loads = 0;
+    for (std::uint64_t addr : rec.srcMem) {
+        if (addr == 0)
+            continue;
+        MicroOp op;
+        op.cls = OpClass::Load;
+        op.pc = rec.ip;
+        op.addr = addr;
+        op.size = clampedSize(addr);
+        op.srcDist1 = distanceTo(uopIndex_, newest(num_reg_producers, 0));
+        op.srcDist2 = distanceTo(uopIndex_, newest(num_reg_producers, 1));
+        op.hasDest = true;
+        const std::uint64_t idx = emit(op);
+        producers[num_producers++] = idx; // loads feed the rest
+        ++num_loads;
+        ++stats_.loads;
+    }
+
+    // (2) The register-to-register part: a branch, an IntAlu uop, or —
+    // for a pure load (one read, no writes, register destination) —
+    // nothing: the load itself produces the value.
+    bool has_dest_regs = false;
+    for (std::uint8_t r : rec.destRegs)
+        has_dest_regs |= r != 0;
+    bool has_stores = false;
+    for (std::uint64_t a : rec.destMem)
+        has_stores |= a != 0;
+
+    std::uint64_t writer = kNoWriter;
+    if (rec.isBranch != 0) {
+        const BranchKind kind = classify(rec);
+        MicroOp op;
+        op.cls = OpClass::Branch;
+        op.pc = rec.ip;
+        op.mispredicted = predict(kind, rec, next_ip);
+        op.srcDist1 = distanceTo(uopIndex_, newest(num_producers, 0));
+        op.srcDist2 = distanceTo(uopIndex_, newest(num_producers, 1));
+        writer = emit(op);
+        ++stats_.branches;
+        ++stats_.branchKind[static_cast<int>(kind)];
+        if (op.mispredicted)
+            ++stats_.predictedMispredicts;
+    } else if (num_loads == 1 && !has_stores && has_dest_regs &&
+               num_producers > 0) {
+        writer = producers[num_producers - 1]; // the load
+    } else if (has_dest_regs || (num_loads == 0 && !has_stores)) {
+        MicroOp op;
+        op.cls = OpClass::IntAlu;
+        op.pc = rec.ip;
+        op.srcDist1 = distanceTo(uopIndex_, newest(num_producers, 0));
+        op.srcDist2 = distanceTo(uopIndex_, newest(num_producers, 1));
+        op.hasDest = has_dest_regs;
+        writer = emit(op);
+        ++stats_.aluOps;
+    } else if (num_loads > 0) {
+        writer = producers[num_producers - 1]; // newest load
+    }
+
+    // (3) Stores: data from this instruction's compute/load result
+    // (srcDist1), address from the register producers (srcDist2).
+    for (std::uint64_t addr : rec.destMem) {
+        if (addr == 0)
+            continue;
+        MicroOp op;
+        op.cls = OpClass::Store;
+        op.pc = rec.ip;
+        op.addr = addr;
+        op.size = clampedSize(addr);
+        op.region = Region::App;
+        const std::uint64_t data =
+            writer != kNoWriter ? writer : newest(num_producers, 0);
+        op.srcDist1 = distanceTo(uopIndex_, data);
+        op.srcDist2 = distanceTo(uopIndex_, newest(num_reg_producers, 0));
+        const std::uint64_t idx = emit(op);
+        if (writer == kNoWriter)
+            writer = idx;
+        ++stats_.stores;
+    }
+
+    SPB_ASSERT(out.size() > first_out,
+               "record at ip %#llx cracked to zero uops",
+               static_cast<unsigned long long>(rec.ip));
+
+    // (4) Register writeback: destinations now come from this
+    // instruction's result-producing uop.
+    if (writer != kNoWriter) {
+        for (std::uint8_t r : rec.destRegs) {
+            if (r != 0)
+                regWriter_[r] = writer;
+        }
+    }
+}
+
+} // namespace spburst::champsim

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Cracking ChampSim instructions into spburst MicroOps.
+ *
+ * A ChampSim record is one retired x86 instruction: up to 4 source and
+ * 2 destination registers, up to 4 memory reads and 2 memory writes,
+ * and a branch flag + taken bit. The spburst core consumes MicroOps —
+ * single-action uops whose data dependences are *backward distances*
+ * in the dynamic uop stream. The cracker bridges the two:
+ *
+ *  - each memory read becomes a Load uop, each memory write a Store
+ *    uop, and the register-to-register part (when present) an IntAlu
+ *    uop, in the order loads → compute/branch → stores (an x86
+ *    read-modify-write cracks exactly like hardware does);
+ *  - register dependences are tracked through a 256-entry last-writer
+ *    scoreboard and rendered as backward distances, picking the two
+ *    most recent producers (distances beyond the 255 encodable uops
+ *    are dropped — such producers have long since committed);
+ *  - branches are classified with ChampSim's register heuristic
+ *    (stack pointer / flags / instruction pointer reads and writes)
+ *    into jump/call/return/conditional/indirect kinds, and a small
+ *    deterministic front-end model (2-bit bimodal conditional
+ *    predictor + last-target indirect predictor, ideal RAS) decides
+ *    MicroOp::mispredicted — replay is bit-identical for a given
+ *    trace, with no host randomness involved;
+ *  - memory accesses are clamped at cache-block boundaries (ChampSim
+ *    traces carry no access size; spburst models at most one block per
+ *    access).
+ */
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "trace/champsim/format.hh"
+#include "trace/uop.hh"
+
+namespace spburst::champsim
+{
+
+/** ChampSim's branch taxonomy (register-heuristic classification). */
+enum class BranchKind : std::uint8_t
+{
+    NotBranch,
+    DirectJump,   //!< unconditional, target in the instruction
+    Indirect,     //!< unconditional, target from a register
+    Conditional,  //!< flags-dependent direct branch
+    DirectCall,
+    IndirectCall,
+    Return,
+    Other,        //!< branch flag set, no pattern matched
+};
+
+/** Number of BranchKind values. */
+inline constexpr int kNumBranchKinds = 8;
+
+/** Human-readable BranchKind name. */
+const char *branchKindName(BranchKind kind);
+
+/** Cracker observability counters. */
+struct CrackStats
+{
+    std::uint64_t instrs = 0;  //!< records cracked
+    std::uint64_t uops = 0;    //!< MicroOps emitted
+    std::uint64_t loads = 0;
+    std::uint64_t stores = 0;
+    std::uint64_t aluOps = 0;
+    std::uint64_t branches = 0;
+    std::uint64_t branchKind[kNumBranchKinds] = {};
+    std::uint64_t predictedMispredicts = 0; //!< front-end model says wrong
+    std::uint64_t depsTruncated = 0; //!< producer > 255 uops back
+    std::uint64_t memClamped = 0;    //!< access clamped at a block edge
+};
+
+/**
+ * Stateful record-to-MicroOp cracker for one hardware thread's stream.
+ * Deterministic: identical record sequences produce identical uops.
+ */
+class Cracker
+{
+  public:
+    Cracker();
+
+    /**
+     * Crack @p rec, appending its uops to @p out.
+     *
+     * @param rec     The instruction.
+     * @param next_ip The ip of the *next* record in the trace — the
+     *                actual target of a taken branch (pass ip + 4 when
+     *                unknown, e.g. at end of trace).
+     * @param out     Receives 1..7 MicroOps.
+     */
+    void crack(const Record &rec, std::uint64_t next_ip,
+               std::vector<MicroOp> &out);
+
+    /** Classify @p rec with ChampSim's register heuristic. */
+    static BranchKind classify(const Record &rec);
+
+    const CrackStats &stats() const { return stats_; }
+
+  private:
+    /** Predict rec's outcome, update predictor state, and return
+     *  whether the front end would have mispredicted it. */
+    bool predict(BranchKind kind, const Record &rec,
+                 std::uint64_t next_ip);
+
+    /** Backward distance from the uop about to be emitted at
+     *  @p at to producer index @p producer (0 = no dependence). */
+    std::uint8_t distanceTo(std::uint64_t at, std::uint64_t producer);
+
+    static constexpr std::uint64_t kNoWriter = ~0ULL;
+    static constexpr std::size_t kBimodalEntries = 4096;
+    static constexpr std::size_t kTargetEntries = 1024;
+
+    std::uint64_t uopIndex_ = 0; //!< index of the next uop to emit
+    std::array<std::uint64_t, 256> regWriter_;
+    std::array<std::uint8_t, kBimodalEntries> bimodal_;
+    std::array<std::uint64_t, kTargetEntries> lastTarget_;
+    CrackStats stats_;
+};
+
+} // namespace spburst::champsim

@@ -1,0 +1,293 @@
+#include "trace/champsim/reader.hh"
+
+#include <cerrno>
+#include <cstring>
+
+#include <fcntl.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#ifdef SPBURST_HAVE_ZLIB
+#include <zlib.h>
+#endif
+
+#include "common/logging.hh"
+
+namespace spburst::champsim
+{
+
+namespace
+{
+
+bool
+endsWith(const std::string &s, const char *suffix)
+{
+    const std::size_t n = std::strlen(suffix);
+    return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
+}
+
+/** Plain uncompressed file through stdio. */
+class PlainSource final : public ByteSource
+{
+  public:
+    explicit PlainSource(const std::string &path)
+    {
+        file_ = std::fopen(path.c_str(), "rb");
+        if (file_ == nullptr)
+            SPB_FATAL("cannot open trace file '%s': %s", path.c_str(),
+                      std::strerror(errno));
+        path_ = path;
+    }
+
+    ~PlainSource() override
+    {
+        if (file_ != nullptr)
+            std::fclose(file_);
+    }
+
+    std::size_t
+    read(void *buf, std::size_t n) override
+    {
+        const std::size_t got = std::fread(buf, 1, n, file_);
+        if (got < n && std::ferror(file_) != 0)
+            SPB_FATAL("read error on trace file '%s'", path_.c_str());
+        return got;
+    }
+
+  private:
+    std::string path_;
+    std::FILE *file_ = nullptr;
+};
+
+#ifdef SPBURST_HAVE_ZLIB
+/** .gz file through zlib's streaming inflate. */
+class GzSource final : public ByteSource
+{
+  public:
+    explicit GzSource(const std::string &path)
+    {
+        file_ = gzopen(path.c_str(), "rb");
+        if (file_ == nullptr)
+            SPB_FATAL("cannot open gzip trace '%s': %s", path.c_str(),
+                      std::strerror(errno));
+        gzbuffer(file_, 1u << 17);
+        path_ = path;
+    }
+
+    ~GzSource() override
+    {
+        if (file_ != nullptr)
+            gzclose(file_);
+    }
+
+    std::size_t
+    read(void *buf, std::size_t n) override
+    {
+        const unsigned chunk = static_cast<unsigned>(
+            n > (1u << 20) ? (1u << 20) : n);
+        const int got = gzread(file_, buf, chunk);
+        if (got < 0) {
+            int err = 0;
+            const char *msg = gzerror(file_, &err);
+            SPB_FATAL("gzip error on trace '%s': %s", path_.c_str(),
+                      msg != nullptr ? msg : "unknown");
+        }
+        return static_cast<std::size_t>(got);
+    }
+
+  private:
+    std::string path_;
+    gzFile file_ = nullptr;
+};
+#endif // SPBURST_HAVE_ZLIB
+
+/**
+ * Compressed file through a `prog -dc -- path` child process and a
+ * pipe — the classic ChampSim arrangement. No shell is involved, so
+ * paths need no quoting.
+ */
+class PipeSource final : public ByteSource
+{
+  public:
+    PipeSource(const char *prog, const std::string &path)
+        : prog_(prog), path_(path)
+    {
+        // O_CLOEXEC matters: a concurrently forked sibling decoder
+        // must not inherit this pipe's fds past its exec, or closing
+        // our read end would no longer EPIPE-terminate our child and
+        // the destructor's waitpid would block forever.
+        int fds[2];
+        if (pipe2(fds, O_CLOEXEC) != 0)
+            SPB_FATAL("pipe2() failed for '%s': %s", path.c_str(),
+                      std::strerror(errno));
+        pid_ = fork();
+        if (pid_ < 0)
+            SPB_FATAL("fork() failed for '%s': %s", path.c_str(),
+                      std::strerror(errno));
+        if (pid_ == 0) {
+            ::close(fds[0]);
+            // dup2 clears O_CLOEXEC on the stdout copy; fds[1] itself
+            // closes at exec.
+            if (dup2(fds[1], STDOUT_FILENO) < 0)
+                _exit(127);
+            ::close(fds[1]);
+            execlp(prog, prog, "-dc", "--", path.c_str(),
+                   static_cast<char *>(nullptr));
+            _exit(127); // exec failed: decompressor not installed
+        }
+        ::close(fds[1]);
+        fd_ = fds[0];
+    }
+
+    ~PipeSource() override
+    {
+        if (fd_ >= 0)
+            ::close(fd_);
+        if (pid_ > 0 && !reaped_) {
+            // Abandoned mid-stream (replay-loop reopen): the child
+            // dies on SIGPIPE; just reap it.
+            int status = 0;
+            waitpid(pid_, &status, 0);
+        }
+    }
+
+    std::size_t
+    read(void *buf, std::size_t n) override
+    {
+        for (;;) {
+            const ssize_t got = ::read(fd_, buf, n);
+            if (got > 0)
+                return static_cast<std::size_t>(got);
+            if (got == 0) {
+                checkChildAtEof();
+                return 0;
+            }
+            if (errno != EINTR)
+                SPB_FATAL("read error from '%s -dc %s': %s", prog_,
+                          path_.c_str(), std::strerror(errno));
+        }
+    }
+
+  private:
+    void
+    checkChildAtEof()
+    {
+        if (reaped_)
+            return;
+        int status = 0;
+        waitpid(pid_, &status, 0);
+        reaped_ = true;
+        if (WIFEXITED(status) && WEXITSTATUS(status) == 0)
+            return;
+        if (WIFEXITED(status) && WEXITSTATUS(status) == 127)
+            SPB_FATAL("cannot decompress '%s': '%s' is not installed "
+                      "(or not on PATH)",
+                      path_.c_str(), prog_);
+        SPB_FATAL("'%s -dc %s' failed (corrupt or truncated trace?)",
+                  prog_, path_.c_str());
+    }
+
+    const char *prog_;
+    std::string path_;
+    pid_t pid_ = -1;
+    int fd_ = -1;
+    bool reaped_ = false;
+};
+
+} // namespace
+
+std::unique_ptr<ByteSource>
+openByteSource(const std::string &path)
+{
+    if (endsWith(path, ".xz"))
+        return std::make_unique<PipeSource>("xz", path);
+    if (endsWith(path, ".gz")) {
+#ifdef SPBURST_HAVE_ZLIB
+        return std::make_unique<GzSource>(path);
+#else
+        return std::make_unique<PipeSource>("gzip", path);
+#endif
+    }
+    return std::make_unique<PlainSource>(path);
+}
+
+Decoder::Decoder(std::string path) : path_(std::move(path))
+{
+    src_ = openByteSource(path_);
+}
+
+std::size_t
+Decoder::fill()
+{
+    if (bufPos_ > 0) {
+        std::memmove(buf_, buf_ + bufPos_, bufLen_ - bufPos_);
+        bufLen_ -= bufPos_;
+        bufPos_ = 0;
+    }
+    while (bufLen_ < sizeof(buf_)) {
+        const std::size_t got =
+            src_->read(buf_ + bufLen_, sizeof(buf_) - bufLen_);
+        if (got == 0)
+            break;
+        bufLen_ += got;
+    }
+    return bufLen_;
+}
+
+bool
+Decoder::next(Record &rec)
+{
+    if (bufLen_ - bufPos_ < kRecordBytes) {
+        fill();
+        if (bufLen_ < kRecordBytes) {
+            if (bufLen_ != 0)
+                SPB_FATAL("trace '%s' ends in a partial record (%zu "
+                          "trailing bytes) — truncated download or not "
+                          "a ChampSim trace?",
+                          path_.c_str(), bufLen_);
+            return false;
+        }
+    }
+    unsigned char record[kRecordBytes];
+    std::memcpy(record, buf_ + bufPos_, kRecordBytes);
+    decodeRecord(record, rec);
+    bufPos_ += kRecordBytes;
+    ++position_;
+    return true;
+}
+
+std::uint64_t
+Decoder::skip(std::uint64_t n)
+{
+    std::uint64_t skipped = 0;
+    while (skipped < n) {
+        if (bufLen_ - bufPos_ < kRecordBytes) {
+            fill();
+            if (bufLen_ - bufPos_ < kRecordBytes)
+                break; // partial tail is reported by next()
+        }
+        const std::uint64_t avail =
+            (bufLen_ - bufPos_) / kRecordBytes;
+        const std::uint64_t take =
+            avail < n - skipped ? avail : n - skipped;
+        bufPos_ += static_cast<std::size_t>(take) * kRecordBytes;
+        skipped += take;
+    }
+    position_ += skipped;
+    return skipped;
+}
+
+void
+Decoder::reopen()
+{
+    // Tear the old source down before forking the new one, so a
+    // subprocess-backed source's child is reaped rather than inherited.
+    src_.reset();
+    src_ = openByteSource(path_);
+    bufLen_ = 0;
+    bufPos_ = 0;
+    position_ = 0;
+}
+
+} // namespace spburst::champsim

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Streaming readers for ChampSim trace files.
+ *
+ * A trace may be stored plain, gzip-compressed (`.gz`) or
+ * xz-compressed (`.xz`). All three open as a forward-only byte stream:
+ * plain files through stdio, `.gz` through zlib when the build found
+ * it, and `.xz` (or `.gz` without zlib) through a decompressor child
+ * process (`xz -dc` / `gzip -dc`) feeding a pipe — the standard
+ * ChampSim arrangement, which never materialises the multi-GB
+ * uncompressed trace on disk. Rewinding (the replay loop, resumed
+ * experiment jobs) reopens the stream from the start; every System
+ * owns its sources, so concurrent experiment jobs each hold their own
+ * file handles and never share read positions.
+ *
+ * File contents are immutable inputs, so reading them is deterministic
+ * and safe for result-affecting code (unlike host clocks/randomness).
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "trace/champsim/format.hh"
+
+namespace spburst::champsim
+{
+
+/** Forward-only byte stream over a (possibly compressed) file. */
+class ByteSource
+{
+  public:
+    virtual ~ByteSource() = default;
+
+    /**
+     * Read up to @p n bytes into @p buf.
+     * @return Bytes read; 0 means end of stream. Read errors are
+     *         fatal (a trace that fails mid-read cannot yield a
+     *         meaningful simulation).
+     */
+    virtual std::size_t read(void *buf, std::size_t n) = 0;
+};
+
+/**
+ * Open @p path as a byte stream, picking the decoder from the file
+ * extension (.gz / .xz / anything else = plain). Fatal if the file
+ * does not exist or the required decompressor is unavailable.
+ */
+std::unique_ptr<ByteSource> openByteSource(const std::string &path);
+
+/**
+ * Buffered record decoder over a ByteSource: yields Records until end
+ * of trace, can skip cheaply, and can reopen the file to replay it.
+ */
+class Decoder
+{
+  public:
+    /** Opens @p path immediately; fatal if unreadable. */
+    explicit Decoder(std::string path);
+
+    /**
+     * Decode the next record.
+     * @retval true  @p rec holds the next instruction.
+     * @retval false end of trace; @p rec untouched. A trailing partial
+     *               record (file size not a multiple of 64) is fatal —
+     *               it means a truncated download or a wrong format.
+     */
+    bool next(Record &rec);
+
+    /**
+     * Discard up to @p n records without decoding register/memory
+     * slots. @return Records actually skipped (< n at end of trace).
+     */
+    std::uint64_t skip(std::uint64_t n);
+
+    /** Restart the stream from the first record of the file. */
+    void reopen();
+
+    /** Records handed out or skipped since the last reopen. */
+    std::uint64_t position() const { return position_; }
+
+    const std::string &path() const { return path_; }
+
+  private:
+    /** Refill buf_ from the source; returns bytes now buffered. */
+    std::size_t fill();
+
+    std::string path_;
+    std::unique_ptr<ByteSource> src_;
+    /** Read granularity: 512 records per syscall/inflate call. */
+    static constexpr std::size_t kBufRecords = 512;
+    unsigned char buf_[kBufRecords * kRecordBytes];
+    std::size_t bufLen_ = 0;
+    std::size_t bufPos_ = 0;
+    std::uint64_t position_ = 0;
+};
+
+} // namespace spburst::champsim

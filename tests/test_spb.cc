@@ -192,6 +192,40 @@ TEST(SpbDetector, InterleavedStoresStillDetected)
     EXPECT_GE(bursts, 1) << "intra-block shuffling must not defeat SPB";
 }
 
+TEST(SpbDetector, ContiguousStepAcrossAliasBoundary)
+{
+    // The last-block register is 58 bits wide, so block 2^58 - 1 is
+    // followed by alias 0. A contiguous store stream crossing that
+    // boundary must still read as delta +1: the delta has to be
+    // reduced mod 2^58 just like the register contents, not computed
+    // as a raw 64-bit difference (which would be 1 - 2^58).
+    SpbDetector d(withN(16));
+    const Addr top_block_addr = ~Addr{0} - (kBlockSize - 1);
+    d.onStoreCommit(top_block_addr - kBlockSize, 8); // block 2^58 - 2
+    d.onStoreCommit(top_block_addr, 8);              // block 2^58 - 1
+    EXPECT_EQ(d.satCounter(), 1u);
+    d.onStoreCommit(0x0, 8); // block aliases to 0: still contiguous
+    EXPECT_EQ(d.satCounter(), 2u)
+        << "a +1 step across the 58-bit alias boundary must count";
+    EXPECT_EQ(d.lastBlock(), 0u);
+}
+
+TEST(SpbDetector, EndOfPageSuppressionCountsEachOccurrence)
+{
+    SpbDetector d(withN(8));
+    // Two separate windows, each closing in the last block of a page:
+    // both checks fire, both bursts have zero blocks left to request.
+    for (Addr page : {Addr{0x70000}, Addr{0x90000}}) {
+        const Addr last_block = page + kPageSize - kBlockSize;
+        for (int i = 0; i < 8; ++i)
+            d.onStoreCommit(last_block - kBlockSize + i * 8, 8);
+        EXPECT_EQ(d.onStoreCommit(last_block, 8).count, 0u);
+    }
+    EXPECT_EQ(d.stats().endOfPageSuppressed, 2u);
+    EXPECT_EQ(d.stats().bursts, 0u) << "a suppressed burst is no burst";
+    EXPECT_EQ(d.stats().blocksRequested, 0u);
+}
+
 // ---------------------------------------------------------------------
 // Dynamic-threshold variant (Sec. IV-C ablation)
 // ---------------------------------------------------------------------

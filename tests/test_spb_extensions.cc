@@ -34,6 +34,38 @@ TEST(ComputeBackwardBurst, PrecedingBlocksOfPage)
     // First block of a page: nothing precedes.
     b = computeBackwardBurst(0x2000);
     EXPECT_EQ(b.count, 0u);
+
+    // Last byte of the last block: everything else precedes.
+    b = computeBackwardBurst(0x2000 + kPageSize - 1);
+    EXPECT_EQ(b.firstBlock, 0x2000u);
+    EXPECT_EQ(b.count, kBlocksPerPage - 1);
+}
+
+TEST(BackwardBursts, DescendingStepAcrossAliasBoundary)
+{
+    // Mirror of the forward alias-boundary case: stepping down from
+    // block alias 0 to alias 2^58 - 1 is a contiguous -1 delta once
+    // the difference is reduced mod 2^58.
+    SpbDetector d(backwardParams(16));
+    d.onStoreCommit(0x0, 8); // block alias 0
+    d.onStoreCommit(~Addr{0} - (kBlockSize - 1), 8); // alias 2^58 - 1
+    EXPECT_EQ(d.backwardCounter(), 1u)
+        << "a -1 step across the 58-bit alias boundary must count";
+}
+
+TEST(BackwardBursts, StartOfPageSuppressed)
+{
+    SpbDetector d(backwardParams(8));
+    const Addr page = 0x60000;
+    // Descending 8-byte stores whose closing commit lands in the first
+    // block of the page: the check fires, but nothing precedes block 0.
+    for (int i = 0; i < 8; ++i)
+        d.onStoreCommit(page + 0x78 - i * 8, 8);
+    const SpbBurst b = d.onStoreCommit(page + 0x38, 8);
+    EXPECT_EQ(b.count, 0u);
+    EXPECT_EQ(d.stats().endOfPageSuppressed, 1u);
+    EXPECT_EQ(d.stats().bursts, 0u);
+    EXPECT_EQ(d.stats().backwardBursts, 0u);
 }
 
 TEST(BackwardBursts, DescendingPatternFires)

@@ -21,6 +21,41 @@ namespace
 {
 
 // ---------------------------------------------------------------------
+// VectorSource replay and post-exhaustion filler
+// ---------------------------------------------------------------------
+
+TEST(VectorSource, LoopModeRepeatsTheSequence)
+{
+    VectorSource src({uops::alu(0x100), uops::load(0x104, 0x4000)},
+                     /*loop=*/true);
+    for (int round = 0; round < 3; ++round) {
+        EXPECT_EQ(src.next().pc, 0x100u);
+        EXPECT_EQ(src.next().pc, 0x104u);
+    }
+    EXPECT_EQ(src.produced(), 6u);
+}
+
+TEST(VectorSource, NonLoopFillerIsAnInertNop)
+{
+    // After exhaustion a non-looping source pads with IntAlu no-ops.
+    // The filler must be inert: no dependences, no destination, no
+    // memory access, no branch — anything else would perturb the core
+    // state the test meant to freeze.
+    VectorSource src({uops::store(0x100, 0x4000)}, /*loop=*/false);
+    EXPECT_EQ(src.next().cls, OpClass::Store);
+    for (int i = 0; i < 4; ++i) {
+        const MicroOp nop = src.next();
+        EXPECT_EQ(nop.cls, OpClass::IntAlu);
+        EXPECT_EQ(nop.pc, 0xdead0000u) << "filler pc marks padding";
+        EXPECT_EQ(nop.srcDist1, 0);
+        EXPECT_EQ(nop.srcDist2, 0);
+        EXPECT_FALSE(nop.hasDest);
+        EXPECT_FALSE(nop.mispredicted);
+    }
+    EXPECT_EQ(src.produced(), 5u) << "fillers count as produced uops";
+}
+
+// ---------------------------------------------------------------------
 // uop factories
 // ---------------------------------------------------------------------
 

@@ -32,6 +32,10 @@ namespace
 struct Options
 {
     std::vector<std::string> workloads{"x264"};
+    bool workloadsExplicit = false;
+    /** ChampSim trace workloads (--trace=, repeatable; kept separate
+     *  from --workload because trace specs contain commas). */
+    std::vector<std::string> traces;
     unsigned sb = 56;
     StorePrefetchPolicy policy = StorePrefetchPolicy::AtCommit;
     bool spb = false;
@@ -57,6 +61,9 @@ usage()
     std::puts(
         "spburst_run — run the SPB simulator\n"
         "  --workload=NAME[,NAME...] | all | sb-bound | parsec\n"
+        "  --trace=FILE[,skip=N][,warmup=N][,roi=N]\n"
+        "                         replay a ChampSim trace (.champsim,\n"
+        "                         .gz or .xz; repeatable)\n"
         "  --sb=N                 store-buffer entries (default 56)\n"
         "  --policy=none|at-execute|at-commit   (default at-commit)\n"
         "  --spb                  enable Store-Prefetch Bursts\n"
@@ -126,6 +133,9 @@ parse(int argc, char **argv)
         const char *v = nullptr;
         if ((v = value("--workload=")) != nullptr) {
             o.workloads = expandWorkloads(v);
+            o.workloadsExplicit = true;
+        } else if ((v = value("--trace=")) != nullptr) {
+            o.traces.push_back(std::string("trace:") + v);
         } else if ((v = value("--sb=")) != nullptr) {
             o.sb = static_cast<unsigned>(std::strtoul(v, nullptr, 10));
         } else if ((v = value("--policy=")) != nullptr) {
@@ -210,7 +220,14 @@ parse(int argc, char **argv)
 int
 main(int argc, char **argv)
 {
-    const Options o = parse(argc, argv);
+    Options o = parse(argc, argv);
+
+    // --trace entries join (or, with no explicit --workload, replace)
+    // the workload list; downstream they are ordinary workload names.
+    if (!o.traces.empty() && !o.workloadsExplicit)
+        o.workloads.clear();
+    o.workloads.insert(o.workloads.end(), o.traces.begin(),
+                       o.traces.end());
 
     // The multi-workload path runs on the experiment engine: one job
     // per workload, executed on --jobs host threads, results returned

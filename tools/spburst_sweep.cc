@@ -38,6 +38,9 @@ namespace
 struct Options
 {
     std::vector<std::string> workloads;
+    /** ChampSim trace workloads (--trace=, repeatable; kept separate
+     *  from --workload because trace specs contain commas). */
+    std::vector<std::string> traces;
     std::vector<unsigned> sbs{56};
     std::vector<std::string> strategies{"at-commit"};
     std::vector<unsigned> spbNs;
@@ -64,7 +67,10 @@ usage()
     std::puts(
         "spburst_sweep — parallel, checkpointed configuration sweeps\n"
         "grid axes (comma lists; each multiplies the grid):\n"
-        "  --workload=NAMES | all | sb-bound | parsec   (required)\n"
+        "  --workload=NAMES | all | sb-bound | parsec\n"
+        "  --trace=FILE[,skip=N][,warmup=N][,roi=N]\n"
+        "                         ChampSim trace workload (repeatable;\n"
+        "                         --workload and/or --trace required)\n"
         "  --sb=N,...             SB sizes (default 56)\n"
         "  --strategy=none|at-execute|at-commit|spb|ideal,...\n"
         "  --spb-n=N,...          SPB window lengths\n"
@@ -208,6 +214,8 @@ parse(int argc, char **argv)
         const char *v = nullptr;
         if ((v = value("--workload=")) != nullptr) {
             o.workloads = expandWorkloads(v);
+        } else if ((v = value("--trace=")) != nullptr) {
+            o.traces.push_back(std::string("trace:") + v);
         } else if ((v = value("--sb=")) != nullptr) {
             o.sbs = splitUnsigned(v);
         } else if ((v = value("--strategy=")) != nullptr) {
@@ -255,9 +263,11 @@ parse(int argc, char **argv)
             SPB_FATAL("unknown option '%s'", arg.c_str());
         }
     }
+    o.workloads.insert(o.workloads.end(), o.traces.begin(),
+                       o.traces.end());
     if (o.workloads.empty()) {
         usage();
-        SPB_FATAL("--workload is required");
+        SPB_FATAL("--workload or --trace is required");
     }
     return o;
 }
