@@ -23,6 +23,8 @@ BenchOptions::parse(int argc, char **argv, std::uint64_t default_uops)
             o.uops = std::strtoull(arg + 7, nullptr, 10);
         } else if (std::strncmp(arg, "--seed=", 7) == 0) {
             o.seed = std::strtoull(arg + 7, nullptr, 10);
+        } else if (std::strncmp(arg, "--sample=", 9) == 0) {
+            o.sample = sample::SampleSpec::parse(arg + 9);
         } else if (std::strncmp(arg, "--jobs=", 7) == 0) {
             o.jobs = static_cast<unsigned>(
                 std::strtoul(arg + 7, nullptr, 10));
@@ -33,8 +35,9 @@ BenchOptions::parse(int argc, char **argv, std::uint64_t default_uops)
         } else if (std::strncmp(arg, "--check=", 8) == 0) {
             check::setLevel(check::parseLevel(arg + 8));
         } else if (std::strcmp(arg, "--help") == 0) {
-            std::printf("options: --uops=N --seed=N --quick "
-                        "--jobs=N --progress --check=off|fast|full\n");
+            std::printf("options: --uops=N --seed=N --sample=SPEC "
+                        "--quick --jobs=N --progress "
+                        "--check=off|fast|full\n");
             std::exit(0);
         } else {
             SPB_FATAL("unknown bench option '%s'", arg);
@@ -57,6 +60,7 @@ Runner::makeStandardConfig(const std::string &workload, unsigned sb_size,
                                   strategy.spb, strategy.ideal);
     cfg.maxUopsPerCore = options_.uops;
     cfg.seed = options_.seed;
+    cfg.sample = options_.sample;
     return cfg;
 }
 

@@ -30,12 +30,16 @@ struct BenchOptions
 {
     std::uint64_t uops = 120'000; //!< committed uops per core per run
     std::uint64_t seed = 1;
+    /** Interval-sampling spec applied to every standard config
+     *  (--sample=; disabled by default — figure tables then carry the
+     *  sampled estimates' detailed windows only). */
+    sample::SampleSpec sample;
     unsigned jobs = 0;            //!< host threads for prewarm (0=auto)
     bool progress = false;        //!< live progress line on stderr
 
-    /** Parse --uops=N, --seed=N, --quick (uops=20k), --jobs=N,
-     *  --progress, --check=off|fast|full (sets the global simcheck
-     *  level). Unknown flags are rejected (fatal). */
+    /** Parse --uops=N, --seed=N, --sample=SPEC, --quick (uops=20k),
+     *  --jobs=N, --progress, --check=off|fast|full (sets the global
+     *  simcheck level). Unknown flags are rejected (fatal). */
     static BenchOptions parse(int argc, char **argv,
                               std::uint64_t default_uops = 120'000);
 };

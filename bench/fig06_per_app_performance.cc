@@ -25,10 +25,15 @@ main(int argc, char **argv)
                        kRealStrategies);
 
     for (unsigned sb : {14u, 28u, 56u}) {
-        TextTable table(
-            "(" + std::string(sb == 14 ? "a" : sb == 28 ? "b" : "c") +
-                ") " + std::to_string(sb) + "-entry SB",
-            {"workload", "at-execute", "at-commit", "SPB"});
+        // Two-step concat: GCC 12 -Wrestrict misfires on
+        // operator+(const char *, std::string &&).
+        std::string title = "(";
+        title += sb == 14 ? "a" : sb == 28 ? "b" : "c";
+        title += ") ";
+        title += std::to_string(sb);
+        title += "-entry SB";
+        TextTable table(title,
+                        {"workload", "at-execute", "at-commit", "SPB"});
         for (const auto &w : suiteSbBound()) {
             const double ideal =
                 static_cast<double>(runner.run(w, 56, kIdeal).cycles);

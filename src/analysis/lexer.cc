@@ -146,8 +146,11 @@ lex(LexedFile &f)
                 std::size_t dstart = p;
                 while (p < n && s[p] != '(')
                     ++p;
-                const std::string delim =
-                    ")" + s.substr(dstart, p - dstart) + "\"";
+                // Two-step concat: GCC 12 -Wrestrict misfires on
+                // operator+(const char *, std::string &&).
+                std::string delim = ")";
+                delim += s.substr(dstart, p - dstart);
+                delim += '"';
                 std::size_t close = s.find(delim, p);
                 std::size_t send =
                     close == std::string::npos ? n : close + delim.size();

@@ -122,13 +122,16 @@ class NondeterminismRule final : public Rule
             }
             if (!always && !asCall)
                 continue;
-            add(out, info().id, file, t,
-                "'" + std::string(t.text) +
-                    "' in result-affecting code: simulated results "
-                    "must be bit-identical across hosts and runs; use "
-                    "spburst::Rng seeded from the config for "
-                    "randomness, and keep host timing in src/exp or "
-                    "tools/");
+            // Two-step concat here and below: GCC 12 -Wrestrict
+            // misfires on operator+(const char *, std::string &&).
+            std::string msg = "'";
+            msg += t.text;
+            msg += "' in result-affecting code: simulated results "
+                   "must be bit-identical across hosts and runs; use "
+                   "spburst::Rng seeded from the config for "
+                   "randomness, and keep host timing in src/exp or "
+                   "tools/";
+            add(out, info().id, file, t, msg);
         }
     }
 };
@@ -341,13 +344,15 @@ class CheckSideEffectRule final : public Rule
             for (std::size_t k = cFirst; k < cLast; ++k) {
                 const Token &t = toks[k];
                 if (isPunct(t, "++") || isPunct(t, "--")) {
-                    add(out, info().id, file, t,
-                        "'" + std::string(t.text) + "' inside a " +
-                            std::string(toks[i].text) +
-                            " condition: the side effect vanishes at "
-                            "--check=off and under "
-                            "SPBURST_DISABLE_CHECKS; hoist it out of "
-                            "the check");
+                    std::string msg = "'";
+                    msg += t.text;
+                    msg += "' inside a ";
+                    msg += toks[i].text;
+                    msg += " condition: the side effect vanishes at "
+                           "--check=off and under "
+                           "SPBURST_DISABLE_CHECKS; hoist it out of "
+                           "the check";
+                    add(out, info().id, file, t, msg);
                 } else if (t.kind == TokKind::Punct &&
                            contains(assignOps, t.text)) {
                     add(out, info().id, file, t,

@@ -36,6 +36,30 @@ SpbDetector::SpbDetector(const SpbParams &params) : params_(params)
                params.checkInterval);
 }
 
+SpbDetectorState
+SpbDetector::architecturalState() const
+{
+    SpbDetectorState s;
+    s.lastBlock = lastBlock_;
+    s.lastAddr = lastAddr_;
+    s.satCounter = satCounter_;
+    s.backwardCounter = backwardCounter_;
+    s.storeCount = storeCount_;
+    s.windowBytes = windowBytes_;
+    return s;
+}
+
+void
+SpbDetector::restoreArchitecturalState(const SpbDetectorState &state)
+{
+    lastBlock_ = state.lastBlock;
+    lastAddr_ = state.lastAddr;
+    satCounter_ = state.satCounter;
+    backwardCounter_ = state.backwardCounter;
+    storeCount_ = state.storeCount;
+    windowBytes_ = state.windowBytes;
+}
+
 unsigned
 SpbDetector::storageBits() const
 {

@@ -90,6 +90,20 @@ SpbBurst computeBurst(Addr addr);
  */
 SpbBurst computeBackwardBurst(Addr addr);
 
+/** Architectural register contents of an SpbDetector — everything the
+ *  detector carries between stores, excluding statistics. Used by the
+ *  sampling subsystem to warm the detector functionally and transplant
+ *  its state into the detailed core (see src/sample). */
+struct SpbDetectorState
+{
+    Addr lastBlock = 0;
+    Addr lastAddr = kInvalidAddr;
+    unsigned satCounter = 0;
+    unsigned backwardCounter = 0;
+    unsigned storeCount = 0;
+    std::uint64_t windowBytes = 0;
+};
+
 /** The 67-bit detection state machine. */
 class SpbDetector
 {
@@ -110,6 +124,12 @@ class SpbDetector
     unsigned satCounter() const { return satCounter_; }
     unsigned backwardCounter() const { return backwardCounter_; }
     unsigned storeCount() const { return storeCount_; }
+
+    /** Copy out the architectural registers (statistics excluded). */
+    SpbDetectorState architecturalState() const;
+
+    /** Overwrite the architectural registers (statistics untouched). */
+    void restoreArchitecturalState(const SpbDetectorState &state);
 
     /** Storage cost in bits: 58 + 4 + ceil(log2(N)) (+4 with the
      *  backward extension). */
@@ -148,6 +168,13 @@ class SpbEngine
 
     const SpbDetector &detector() const { return detector_; }
     const SpbStats &stats() const { return detector_.stats(); }
+
+    /** Transplant functionally-warmed detector registers (sampling). */
+    void
+    restoreDetectorState(const SpbDetectorState &state)
+    {
+        detector_.restoreArchitecturalState(state);
+    }
 
   private:
     SpbDetector detector_;

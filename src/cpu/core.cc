@@ -129,20 +129,25 @@ Core::quiescent() const
     // Something completes by timer.
     if (execPending_ != 0)
         return false;
-    // Fetch would make progress.
-    if (fetchPipe_.size() < p_.fetchBufferUops)
+    // Fetch would make progress (an exhausted fetch budget blocks
+    // correct-path fetch, but never wrong-path synthesis).
+    if (fetchPipe_.size() < p_.fetchBufferUops &&
+        (wrongPathMode_ || fetchBudget_ != 0))
         return false;
     // Commit would make progress.
     if (!rob_.empty() && rob_.front().completed)
         return false;
     // Dispatch would make progress — either the head is still
     // traversing the front end (it matures at a known future cycle) or
-    // no resource blocks it.
-    const FetchedUop &f = fetchPipe_.front();
-    if (clock_->now < f.fetchCycle + p_.frontEndDepth)
-        return false;
-    if (dispatchBlocker(f) == StallResource::None)
-        return false;
+    // no resource blocks it. With the fetch budget exhausted the pipe
+    // can be empty; dispatch then has no work at all.
+    if (!fetchPipe_.empty()) {
+        const FetchedUop &f = fetchPipe_.front();
+        if (clock_->now < f.fetchCycle + p_.frontEndDepth)
+            return false;
+        if (dispatchBlocker(f) == StallResource::None)
+            return false;
+    }
     // The SB head would start a drain.
     if (!sb_.quiescent())
         return false;
@@ -185,15 +190,39 @@ Core::skipQuiescentCycles(Cycle n)
             }
         }
     }
-    // Quiescence guarantees a mature, resource-blocked dispatch head.
-    const StallResource blocker = dispatchBlocker(fetchPipe_.front());
-    SPB_ASSERT(blocker != StallResource::None,
-               "skipQuiescentCycles on a dispatchable core");
-    stats_.dispatchStalls[static_cast<int>(blocker)] += n;
-    if (blocker == StallResource::Sb) {
-        stats_.sbStallsByRegion[static_cast<int>(sb_.headRegion())] += n;
+    // Quiescence guarantees a mature, resource-blocked dispatch head —
+    // unless the fetch budget ran out and the pipe is empty (sampling
+    // drain), in which case a tick would accrue no dispatch stall.
+    if (!fetchPipe_.empty()) {
+        const StallResource blocker =
+            dispatchBlocker(fetchPipe_.front());
+        SPB_ASSERT(blocker != StallResource::None,
+                   "skipQuiescentCycles on a dispatchable core");
+        stats_.dispatchStalls[static_cast<int>(blocker)] += n;
+        if (blocker == StallResource::Sb) {
+            stats_.sbStallsByRegion[static_cast<int>(sb_.headRegion())] +=
+                n;
+        }
     }
     sb_.skipCycles(n);
+}
+
+bool
+Core::drained() const
+{
+    return fetchPipe_.empty() && rob_.empty() && sb_.size() == 0 &&
+           execPending_ == 0 && memPendingCount_ == 0 &&
+           !wrongPathMode_;
+}
+
+void
+Core::restoreWarmState(const TlbSnapshot &tlb,
+                       const SpbDetectorState *detector)
+{
+    SPB_ASSERT(drained(), "warm-state load into a busy core");
+    dtlb_.restoreEntries(tlb);
+    if (spb_ && detector != nullptr)
+        spb_->restoreDetectorState(*detector);
 }
 
 Core::RobEntry *
@@ -575,6 +604,10 @@ Core::fetchStage()
             f.op = synthesizeWrongPath();
             ++stats_.wrongPathFetched;
         } else {
+            if (fetchBudget_ == 0)
+                break;
+            if (fetchBudget_ != kUnlimitedFetchBudget)
+                --fetchBudget_;
             f.op = trace_->next();
             if (isMemOp(f.op.cls))
                 lastDataAddr_ = f.op.addr;

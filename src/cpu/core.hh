@@ -19,6 +19,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <limits>
 #include <memory>
 
 #include "check/invariants.hh"
@@ -49,6 +50,10 @@ enum class StallResource : std::uint8_t
 
 /** Number of StallResource values. */
 inline constexpr int kNumStallResources = 6;
+
+/** Fetch-budget sentinel: no cap on correct-path fetch. */
+inline constexpr std::uint64_t kUnlimitedFetchBudget =
+    std::numeric_limits<std::uint64_t>::max();
 
 /** Human-readable resource name. */
 const char *stallResourceName(StallResource r);
@@ -147,6 +152,31 @@ class Core
      */
     void skipQuiescentCycles(Cycle n);
 
+    /**
+     * Cap correct-path fetch at @p uops more trace uops (sampling:
+     * each detailed window fetches exactly warmup + window uops, then
+     * the core drains). Wrong-path fetch is unaffected — a mispredicted
+     * branch at the end of a window still resolves normally. The
+     * default budget is unlimited, which leaves every non-sampled code
+     * path untouched.
+     */
+    void setFetchBudget(std::uint64_t uops) { fetchBudget_ = uops; }
+
+    /** Remaining correct-path fetch budget. */
+    std::uint64_t fetchBudget() const { return fetchBudget_; }
+
+    /** True when the core holds no in-flight work at all: front-end
+     *  pipe, ROB and SB empty, nothing pending in the memory system.
+     *  With an exhausted fetch budget this is the end-of-window state
+     *  the sampling loop waits for. */
+    bool drained() const;
+
+    /** Transplant functionally-warmed architectural state (sampling):
+     *  TLB entries, and — when SPB is enabled — detector registers.
+     *  Statistics are untouched. */
+    void restoreWarmState(const TlbSnapshot &tlb,
+                          const SpbDetectorState *detector);
+
     std::uint64_t committed() const { return stats_.committedUops; }
     const CoreStats &stats() const { return stats_; }
     const StoreBuffer &storeBuffer() const { return sb_; }
@@ -228,6 +258,9 @@ class Core
     unsigned fpRegsFree_;
     bool wrongPathMode_ = false;
     Addr lastDataAddr_ = 0x10000000;
+    /** Correct-path uops fetchStage may still pull from the trace;
+     *  kNeverCycle-like sentinel means unlimited (non-sampled runs). */
+    std::uint64_t fetchBudget_ = kUnlimitedFetchBudget;
 
     check::InOrderChecker commitOrder_; //!< ROB commits in order
 

@@ -55,6 +55,38 @@ Tlb::access(Addr vaddr)
     return params_.walkLatency;
 }
 
+TlbSnapshot
+Tlb::snapshotEntries() const
+{
+    TlbSnapshot snap;
+    snap.useClock = useClock_;
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+        const Entry &e = entries_[i];
+        if (!e.valid)
+            continue;
+        snap.entries.push_back(
+            {static_cast<std::uint32_t>(i), e.page, e.lastUse});
+    }
+    return snap;
+}
+
+void
+Tlb::restoreEntries(const TlbSnapshot &snap)
+{
+    for (Entry &e : entries_)
+        e = Entry{};
+    for (const TlbSnapshot::Entry &s : snap.entries) {
+        SPB_ASSERT(s.index < entries_.size(),
+                   "TLB snapshot entry %u out of range (TLB has %zu)",
+                   s.index, entries_.size());
+        Entry &e = entries_[s.index];
+        e.valid = true;
+        e.page = s.page;
+        e.lastUse = s.lastUse;
+    }
+    useClock_ = snap.useClock;
+}
+
 bool
 Tlb::probe(Addr vaddr) const
 {

@@ -35,6 +35,21 @@ struct TlbStats
     std::uint64_t misses = 0;
 };
 
+/** Point-in-time copy of the valid TLB entries and use clock; the
+ *  sampling subsystem transplants warmed translations into the
+ *  detailed core at each window start (see src/sample). */
+struct TlbSnapshot
+{
+    struct Entry
+    {
+        std::uint32_t index = 0; //!< position in the set-major array
+        Addr page = 0;
+        std::uint64_t lastUse = 0;
+    };
+    std::uint64_t useClock = 0;
+    std::vector<Entry> entries; //!< valid entries only, index-ascending
+};
+
 /** Set-associative, LRU data TLB. */
 class Tlb
 {
@@ -50,6 +65,12 @@ class Tlb
 
     /** Non-timing presence probe (tests). */
     bool probe(Addr vaddr) const;
+
+    /** Copy out the valid entries and use clock. */
+    TlbSnapshot snapshotEntries() const;
+
+    /** Replace all entries with @p snap (statistics untouched). */
+    void restoreEntries(const TlbSnapshot &snap);
 
     const TlbStats &stats() const { return stats_; }
     const TlbParams &params() const { return params_; }

@@ -26,7 +26,16 @@ configKey(const SystemConfig &cfg)
         static_cast<unsigned long>(cfg.maxUopsPerCore),
         cfg.coreParams.name.c_str(), cfg.mem.l1d.prefetchIssuePerCycle,
         cfg.mem.l1d.demandReservedMshrs);
-    return cfg.workload + buf;
+    std::string key = cfg.workload + buf;
+    // Interval sampling changes results, so its result-affecting spec
+    // joins the key. The checkpoint path does not (replayed and
+    // live-warmed runs are byte-identical), and the host-only
+    // scheduler / fast-forward knobs stay excluded as ever.
+    if (cfg.sample.enabled()) {
+        key += "|smp:";
+        key += cfg.sample.canonical();
+    }
+    return key;
 }
 
 std::uint64_t
@@ -91,8 +100,12 @@ sbSizeAxis(const std::vector<unsigned> &sizes)
 {
     Axis axis{"sb", {}};
     for (unsigned sb : sizes) {
+        // Two-step concat: GCC 12 -Wrestrict misfires on
+        // operator+(const char *, std::string &&) under -Werror.
+        std::string label = "sb";
+        label += std::to_string(sb);
         axis.variants.push_back(
-            {"sb" + std::to_string(sb),
+            {std::move(label),
              [sb](SystemConfig &cfg) { cfg.sbSize = sb; }});
     }
     return axis;
@@ -103,8 +116,10 @@ spbWindowAxis(const std::vector<unsigned> &ns)
 {
     Axis axis{"spb-n", {}};
     for (unsigned n : ns) {
+        std::string label = "n";
+        label += std::to_string(n);
         axis.variants.push_back(
-            {"n" + std::to_string(n),
+            {std::move(label),
              [n](SystemConfig &cfg) { cfg.spb.checkInterval = n; }});
     }
     return axis;

@@ -106,6 +106,38 @@ SetAssocCache::invalidate(Addr block_addr)
     return dirty;
 }
 
+CacheTagSnapshot
+SetAssocCache::snapshotTags() const
+{
+    CacheTagSnapshot snap;
+    snap.lruClock = clock_;
+    for (std::size_t i = 0; i < frames_.size(); ++i) {
+        const CacheBlk &f = frames_[i];
+        if (!isValid(f.state))
+            continue;
+        snap.frames.push_back({static_cast<std::uint32_t>(i), f.tag,
+                               f.state, f.lastTouch});
+    }
+    return snap;
+}
+
+void
+SetAssocCache::restoreTags(const CacheTagSnapshot &snap)
+{
+    for (CacheBlk &f : frames_)
+        f = CacheBlk{};
+    for (const CacheTagSnapshot::Frame &s : snap.frames) {
+        SPB_ASSERT(s.index < frames_.size(),
+                   "tag snapshot frame %u out of range (array has %zu)",
+                   s.index, frames_.size());
+        CacheBlk &f = frames_[s.index];
+        f.tag = s.tag;
+        f.state = s.state;
+        f.lastTouch = s.lastTouch;
+    }
+    clock_ = snap.lruClock;
+}
+
 std::uint64_t
 SetAssocCache::validCount() const
 {

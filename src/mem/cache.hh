@@ -42,6 +42,25 @@ struct CacheGeometry
     }
 };
 
+/**
+ * Point-in-time copy of a cache's valid frames and LRU clock. The
+ * sampling subsystem uses these to transplant functionally-warmed tag
+ * state into the detailed machine at each window start and to
+ * serialize it into architectural checkpoints (see src/sample).
+ */
+struct CacheTagSnapshot
+{
+    struct Frame
+    {
+        std::uint32_t index = 0; //!< position in frames()
+        Addr tag = 0;
+        CohState state = CohState::Invalid;
+        std::uint64_t lastTouch = 0;
+    };
+    std::uint64_t lruClock = 0;
+    std::vector<Frame> frames; //!< valid frames only, index-ascending
+};
+
 /** Structural set-associative cache with LRU replacement. */
 class SetAssocCache
 {
@@ -77,6 +96,15 @@ class SetAssocCache
 
     /** All frames (set-major); for stats finalisation and tests. */
     const std::vector<CacheBlk> &frames() const { return frames_; }
+
+    /** Copy out the valid frames and LRU clock. */
+    CacheTagSnapshot snapshotTags() const;
+
+    /** Replace the whole array content with @p snap: every frame not in
+     *  the snapshot becomes invalid, LRU order is reproduced exactly.
+     *  Prefetch metadata of restored frames is cleared (functional
+     *  warming models demand traffic only). */
+    void restoreTags(const CacheTagSnapshot &snap);
 
     /** Set index of an address (for conflict analysis in tests). */
     std::uint64_t

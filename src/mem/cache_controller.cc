@@ -662,4 +662,16 @@ CacheController::finalizeStats()
     evictedUnusedPf_.clear();
 }
 
+void
+CacheController::restoreWarmTags(const CacheTagSnapshot &snap)
+{
+    SPB_ASSERT(mshr_.inUse() == 0 && burstQueue_.empty() &&
+                   prefetchQueue_.empty(),
+               "%s: warm-state load while the controller is busy "
+               "(%zu MSHRs, %zu bursts, %zu prefetches)",
+               params_.name.c_str(), mshr_.inUse(), burstQueue_.size(),
+               prefetchQueue_.size());
+    tags_.restoreTags(snap);
+}
+
 } // namespace spburst

@@ -175,6 +175,14 @@ class CacheController : public MemLevel
     /** Fold still-resident unused prefetches into pfNeverUsed. */
     void finalizeStats();
 
+    /**
+     * Replace the tag array with functionally-warmed state (sampling;
+     * see src/sample). Only legal while the controller is idle — no
+     * outstanding misses, bursts or queued prefetches — i.e. between a
+     * drained detailed window and the next one.
+     */
+    void restoreWarmTags(const CacheTagSnapshot &snap);
+
   private:
     struct QueuedPrefetch
     {

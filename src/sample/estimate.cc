@@ -1,0 +1,56 @@
+#include "sample/estimate.hh"
+
+#include <cmath>
+
+namespace spburst::sample
+{
+
+double
+Estimate::relHalfWidthPct() const
+{
+    if (mean == 0.0)
+        return 0.0;
+    return 100.0 * halfWidth / std::fabs(mean);
+}
+
+double
+tCritical95(std::size_t df)
+{
+    // Two-sided 95% (upper 97.5% point) Student-t quantiles.
+    static const double table[] = {
+        12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306,
+        2.262,  2.228, 2.201, 2.179, 2.160, 2.145, 2.131, 2.120,
+        2.110,  2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064,
+        2.060,  2.056, 2.052, 2.048, 2.045, 2.042,
+    };
+    if (df == 0)
+        return 0.0;
+    if (df <= 30)
+        return table[df - 1];
+    return 1.960;
+}
+
+Estimate
+estimate95(const std::vector<double> &samples)
+{
+    Estimate e;
+    e.n = samples.size();
+    if (e.n == 0)
+        return e;
+    double sum = 0.0;
+    for (const double x : samples)
+        sum += x;
+    e.mean = sum / static_cast<double>(e.n);
+    if (e.n < 2)
+        return e;
+    double sq = 0.0;
+    for (const double x : samples)
+        sq += (x - e.mean) * (x - e.mean);
+    const double var = sq / static_cast<double>(e.n - 1);
+    e.stddev = std::sqrt(var);
+    e.halfWidth = tCritical95(e.n - 1) * e.stddev /
+                  std::sqrt(static_cast<double>(e.n));
+    return e;
+}
+
+} // namespace spburst::sample

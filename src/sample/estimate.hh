@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Confidence-interval arithmetic for interval sampling.
+ *
+ * Per-window measurements are treated as independent samples of the
+ * workload's steady-state behaviour; the aggregate estimate is the
+ * sample mean with a Student-t 95% confidence interval (SMARTS uses
+ * the same construction). With n windows the half-width is
+ * t(0.975, n-1) * s / sqrt(n).
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace spburst::sample
+{
+
+/** Mean +/- 95% confidence interval of a set of window samples. */
+struct Estimate
+{
+    std::size_t n = 0;      //!< number of samples
+    double mean = 0.0;
+    double stddev = 0.0;    //!< sample standard deviation (n-1)
+    double halfWidth = 0.0; //!< 95% CI half-width
+
+    /** Half-width as a percentage of the mean (0 when mean == 0). */
+    double relHalfWidthPct() const;
+};
+
+/** Two-sided 97.5% Student-t quantile for @p df degrees of freedom
+ *  (exact table for df <= 30, asymptotic 1.96 beyond). */
+double tCritical95(std::size_t df);
+
+/** Mean and 95% CI of @p samples; n < 2 yields a zero-width interval. */
+Estimate estimate95(const std::vector<double> &samples);
+
+} // namespace spburst::sample

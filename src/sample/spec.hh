@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Sampling specification: how a long run is carved into functional-
+ * warming phases and detailed measurement windows (SMARTS-style
+ * interval sampling; see DESIGN.md, "Execution modes").
+ *
+ * A run of `maxUopsPerCore` uops is split into periods of
+ * `intervalUops` each. In every period the simulator functionally
+ * warms `intervalUops - warmupUops - windowUops` uops (architectural
+ * state only: caches, TLB, branch predictor, SPB detector), then runs
+ * `warmupUops` uops in full detail to refill the pipeline and
+ * non-warmed structures, then measures IPC and SB-stall cycles over
+ * the next `windowUops` detailed uops. Per-window measurements are
+ * aggregated into mean +/- 95% confidence intervals.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace spburst::sample
+{
+
+/** Parsed `--sample=` specification. */
+struct SampleSpec
+{
+    /** Period length in uops; 0 disables sampling entirely. */
+    std::uint64_t intervalUops = 0;
+
+    /** Measured detailed uops per period. */
+    std::uint64_t windowUops = 0;
+
+    /** Detailed warm-up prefix preceding each measured window. */
+    std::uint64_t warmupUops = 0;
+
+    /** Adaptive stop: once at least `minWindows` windows are measured,
+     *  stop measuring when the 95% CI half-width of IPC drops to this
+     *  percentage of the mean. 0 measures every period in the budget. */
+    double ciTargetPct = 0.0;
+
+    /** Minimum measured windows before the adaptive stop may trigger. */
+    std::uint64_t minWindows = 8;
+
+    /**
+     * Optional warm-state checkpoint file. If the file exists and its
+     * identity matches the run, warming is skipped and detailed windows
+     * replay from the recorded state; otherwise this run warms live and
+     * writes the checkpoint for the next run. Host-side plumbing: the
+     * path is excluded from canonical() and from exp::configKey because
+     * results are byte-identical with or without it.
+     */
+    std::string checkpointPath;
+
+    bool enabled() const { return intervalUops != 0; }
+
+    /** Fatal unless the spec is internally consistent. */
+    void validate() const;
+
+    /** Parse "interval=N,window=M[,warmup=K][,ci=P][,min=W][,ckpt=F]".
+     *  warmup defaults to the window length when omitted. */
+    static SampleSpec parse(const std::string &text);
+
+    /** Canonical result-affecting form (excludes checkpointPath); used
+     *  as the sampling component of exp::configKey. */
+    std::string canonical() const;
+};
+
+} // namespace spburst::sample

@@ -1,6 +1,7 @@
 #include "sim/system.hh"
 
 #include "common/logging.hh"
+#include "sample/runtime.hh"
 #include "trace/champsim/source.hh"
 
 namespace spburst
@@ -89,6 +90,8 @@ SimResult::toStatSet() const
         if (c < trace.size())
             s.merge("trace" + std::to_string(c) + ".", trace[c]);
     }
+    if (!sample.entries().empty())
+        s.merge("sample.", sample);
     s.set("dram.reads", static_cast<double>(dramReads));
     s.set("dram.writes", static_cast<double>(dramWrites));
     s.set("energy.cache_dynamic_pj", energy.cacheDynamicPj);
@@ -120,6 +123,11 @@ System::System(const SystemConfig &config)
     else
         profile = &findProfile(config_.workload);
 
+    // Third execution mode: interval sampling. Decides here whether
+    // this run warms live or replays an architectural checkpoint.
+    if (config_.sample.enabled())
+        setupSampling();
+
     for (int t = 0; t < config_.threads; ++t) {
         if (config_.l1Prefetcher != L1PrefetcherKind::None) {
             // The L1 always runs the Table I stream prefetcher; the
@@ -145,14 +153,32 @@ System::System(const SystemConfig &config)
             }
         }
 
-        if (is_trace) {
+        if (sample_ && sample_->replay) {
+            // Checkpoint replay: the recorded window uop streams feed
+            // the core directly; the real decoder is never opened.
+            auto replay =
+                std::make_unique<sample::ReplaySource>(config_.workload);
+            sample_->replaySource = replay.get();
+            traces_.push_back(std::move(replay));
+        } else if (is_trace) {
             auto src = std::make_unique<champsim::TraceReplaySource>(
                 trace_spec, t);
-            champSources_.push_back(src.get());
+            // Decode stats are path-dependent in sampled mode (the
+            // replay path never decodes), so sampled results omit them.
+            if (!sample_)
+                champSources_.push_back(src.get());
             traces_.push_back(std::move(src));
         } else {
             traces_.push_back(buildWorkload(*profile, config_.seed, t,
                                             config_.threads));
+        }
+        if (sample_ && !sample_->replay) {
+            // Live warming: every uop anyone pulls flows through the
+            // warm image.
+            auto warming = std::make_unique<sample::WarmingSource>(
+                traces_.back().get(), sample_->image.get());
+            sample_->observer = warming.get();
+            traces_.push_back(std::move(warming));
         }
 
         CoreConfig cc;
@@ -193,6 +219,8 @@ System::run()
 SimResult
 System::run(const std::function<bool()> &interrupt)
 {
+    if (sample_)
+        return runSampled(interrupt);
     const std::uint64_t target = config_.maxUopsPerCore;
     const std::uint64_t cycle_limit =
         target * config_.cyclesPerUopLimit + 100'000;
@@ -318,6 +346,8 @@ System::snapshot()
     }
     for (const champsim::TraceReplaySource *src : champSources_)
         r.trace.push_back(src->stats().toStatSet());
+    if (sample_)
+        r.sample = sample_->stats;
     r.l3 = mem_.l3().stats();
     r.dramReads = mem_.dram().reads();
     r.dramWrites = mem_.dram().writes();

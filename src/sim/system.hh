@@ -24,6 +24,7 @@
 #include "mem/memory_system.hh"
 #include "prefetch/best_offset.hh"
 #include "prefetch/stream_prefetcher.hh"
+#include "sample/spec.hh"
 #include "trace/workloads.hh"
 
 namespace spburst
@@ -33,6 +34,12 @@ namespace champsim
 {
 class TraceReplaySource;
 } // namespace champsim
+
+namespace sample
+{
+struct SampleRunInfo;
+struct SampleRuntime;
+} // namespace sample
 
 /**
  * Cache-prefetcher configuration (Fig. 16 axis). Stream is the Table I
@@ -73,6 +80,17 @@ struct SystemConfig
     /** Safety net: abort after maxUopsPerCore * this many cycles. */
     std::uint64_t cyclesPerUopLimit = 400;
 
+    /**
+     * Interval sampling (SMARTS-style; see src/sample). When enabled,
+     * maxUopsPerCore bounds the *run extent* — the total uop stream
+     * carved into sampling periods — and only the detailed windows are
+     * simulated cycle by cycle. Single-threaded runs only. The
+     * result-affecting part of the spec is included in exp::configKey
+     * (the checkpoint path is not: results are byte-identical with or
+     * without checkpoint reuse).
+     */
+    sample::SampleSpec sample;
+
     // Host-side performance knobs. Neither affects simulated results
     // (and neither is part of exp::configKey): the scheduler choice is
     // order-equivalent by construction, and fast-forward skips only
@@ -99,8 +117,12 @@ struct SimResult
     DirectoryStats directory;             //!< zeros on single core
     std::vector<StreamPrefetcherStats> l1pf;
     /** Per-core trace-frontend decode/crack stats (ChampSim trace
-     *  workloads only; empty for synthetic workloads). */
+     *  workloads only; empty for synthetic workloads and for sampled
+     *  runs, whose decode position depends on the warming path). */
     std::vector<StatSet> trace;
+    /** Sampling estimates (`sample.*`): window count, mean IPC and
+     *  SB-stall rate with 95% CIs. Empty unless sampling is enabled. */
+    StatSet sample;
     EnergyBreakdown energy;               //!< whole system
     /** simcheck activity during this run (violations are fatal unless a
      *  ThrowGuard is active, so a returned result normally shows 0). */
@@ -173,7 +195,17 @@ class System
 
     const SystemConfig &config() const { return config_; }
 
+    /** Host-side facts about the sampled run (warmed uops, checkpoint
+     *  use); nullptr unless sampling is enabled. */
+    const sample::SampleRunInfo *sampleInfo() const;
+
   private:
+    /** Decide live-warming vs checkpoint replay and build the warm
+     *  image (sampling only; defined in sampled_run.cc). */
+    void setupSampling();
+
+    /** The sampled execution mode behind run() (sampled_run.cc). */
+    SimResult runSampled(const std::function<bool()> &interrupt);
     /**
      * End-of-run audit (--check=full): quiesce the memory hierarchy by
      * running the remaining event queue (no further core ticks — the
@@ -194,6 +226,9 @@ class System
      *  (empty for synthetic workloads); used to report decode stats. */
     std::vector<champsim::TraceReplaySource *> champSources_;
     std::vector<std::unique_ptr<Core>> cores_;
+    /** Sampling state (warm image, checkpoint, estimates); null unless
+     *  config_.sample is enabled. */
+    std::unique_ptr<sample::SampleRuntime> sample_;
     /** Thread's check counters at construction; results report deltas. */
     check::Counters checkBase_;
 };

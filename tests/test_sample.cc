@@ -1,0 +1,584 @@
+/**
+ * @file
+ * Tests for the interval-sampling subsystem (src/sample) and its
+ * integration through System: spec parsing and canonicalisation,
+ * confidence-interval arithmetic, the functional-warming image,
+ * exp::configKey coverage, sampled fixture replay under full checks,
+ * determinism across host configurations, architectural-checkpoint
+ * round trips (including cross-policy reuse), and a mutation-style
+ * accuracy check of the sampled estimates against full-detail runs on
+ * a long multi-phase trace.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "check/check.hh"
+#include "exp/engine.hh"
+#include "exp/spec.hh"
+#include "sample/checkpoint.hh"
+#include "sample/estimate.hh"
+#include "sample/runtime.hh"
+#include "sample/spec.hh"
+#include "sample/warm.hh"
+#include "sim/system.hh"
+#include "trace/source.hh"
+#include "trace/uop.hh"
+
+namespace spburst
+{
+namespace
+{
+
+using sample::Estimate;
+using sample::SampleSpec;
+using sample::WarmImage;
+using sample::WarmingSource;
+
+std::string
+fixturePath()
+{
+    return std::string(SPBURST_CHAMPSIM_FIXTURES) + "/fixture.champsim";
+}
+
+std::string
+tmpPath(const std::string &name)
+{
+    return testing::TempDir() + "spburst_sample_" + name;
+}
+
+/** Standard sampled fixture config: 20k uops in 4 periods of 5k. */
+SystemConfig
+sampledFixtureConfig(const std::string &strategy)
+{
+    StorePrefetchPolicy policy = StorePrefetchPolicy::AtCommit;
+    bool spb = false, ideal = false;
+    if (strategy == "none")
+        policy = StorePrefetchPolicy::None;
+    else if (strategy == "at-execute")
+        policy = StorePrefetchPolicy::AtExecute;
+    else if (strategy == "spb")
+        spb = true;
+    else if (strategy == "ideal")
+        ideal = true;
+    SystemConfig cfg =
+        makeConfig("trace:" + fixturePath(), 56, policy, spb, ideal);
+    cfg.maxUopsPerCore = 20'000;
+    cfg.sample =
+        SampleSpec::parse("interval=5000,window=1000,warmup=500");
+    return cfg;
+}
+
+/** Sorted-stats rendering used for byte-identity comparisons. */
+std::string
+resultFingerprint(const SimResult &r)
+{
+    std::string text;
+    const StatSet stats = r.toStatSet();
+    for (const auto &[k, v] : stats.entries()) {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%.17g", v);
+        text += k;
+        text += '=';
+        text += buf;
+        text += '\n';
+    }
+    return text;
+}
+
+SimResult
+runOne(const SystemConfig &cfg, sample::SampleRunInfo *info = nullptr)
+{
+    System sys(cfg);
+    const SimResult r = sys.run();
+    if (info != nullptr && sys.sampleInfo() != nullptr)
+        *info = *sys.sampleInfo();
+    return r;
+}
+
+// ---------------------------------------------------------------------
+// SampleSpec parsing and canonical form
+// ---------------------------------------------------------------------
+
+TEST(SampleSpec, ParsesEveryKey)
+{
+    const SampleSpec sp = SampleSpec::parse(
+        "interval=100000,window=2000,warmup=1000,ci=5,min=12,"
+        "ckpt=/tmp/x.ckpt");
+    EXPECT_EQ(sp.intervalUops, 100'000u);
+    EXPECT_EQ(sp.windowUops, 2'000u);
+    EXPECT_EQ(sp.warmupUops, 1'000u);
+    EXPECT_DOUBLE_EQ(sp.ciTargetPct, 5.0);
+    EXPECT_EQ(sp.minWindows, 12u);
+    EXPECT_EQ(sp.checkpointPath, "/tmp/x.ckpt");
+    EXPECT_TRUE(sp.enabled());
+}
+
+TEST(SampleSpec, WarmupDefaultsToWindowLength)
+{
+    const SampleSpec sp =
+        SampleSpec::parse("interval=50000,window=2000");
+    EXPECT_EQ(sp.warmupUops, 2'000u);
+}
+
+TEST(SampleSpec, DisabledByDefault)
+{
+    EXPECT_FALSE(SampleSpec{}.enabled());
+}
+
+TEST(SampleSpec, CanonicalExcludesCheckpointPath)
+{
+    const SampleSpec with_ckpt = SampleSpec::parse(
+        "interval=50000,window=2000,warmup=500,ckpt=/tmp/a.ckpt");
+    const SampleSpec without =
+        SampleSpec::parse("interval=50000,window=2000,warmup=500");
+    EXPECT_EQ(with_ckpt.canonical(), without.canonical());
+    EXPECT_EQ(without.canonical(),
+              "interval=50000,window=2000,warmup=500");
+    // The adaptive-stop knobs change results, so they appear.
+    const SampleSpec ci = SampleSpec::parse(
+        "interval=50000,window=2000,warmup=500,ci=5,min=10");
+    EXPECT_NE(ci.canonical(), without.canonical());
+    EXPECT_NE(ci.canonical().find("ci="), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Confidence-interval arithmetic
+// ---------------------------------------------------------------------
+
+TEST(SampleEstimate, StudentTTable)
+{
+    EXPECT_NEAR(sample::tCritical95(1), 12.706, 1e-3);
+    EXPECT_NEAR(sample::tCritical95(4), 2.776, 1e-3);
+    EXPECT_NEAR(sample::tCritical95(1000), 1.960, 1e-3);
+}
+
+TEST(SampleEstimate, KnownDataset)
+{
+    // {1..5}: mean 3, sample sd sqrt(2.5), t(4) = 2.776.
+    const Estimate e = sample::estimate95({1, 2, 3, 4, 5});
+    EXPECT_EQ(e.n, 5u);
+    EXPECT_DOUBLE_EQ(e.mean, 3.0);
+    EXPECT_NEAR(e.stddev, 1.5811, 1e-4);
+    EXPECT_NEAR(e.halfWidth, 2.776 * 1.5811 / 2.2360, 1e-3);
+    EXPECT_NEAR(e.relHalfWidthPct(), 100.0 * e.halfWidth / 3.0, 1e-9);
+}
+
+TEST(SampleEstimate, ConstantSamplesHaveZeroWidth)
+{
+    const Estimate e = sample::estimate95({2.5, 2.5, 2.5, 2.5});
+    EXPECT_DOUBLE_EQ(e.mean, 2.5);
+    EXPECT_DOUBLE_EQ(e.halfWidth, 0.0);
+}
+
+TEST(SampleEstimate, FewerThanTwoSamplesHaveZeroWidth)
+{
+    EXPECT_DOUBLE_EQ(sample::estimate95({}).halfWidth, 0.0);
+    EXPECT_DOUBLE_EQ(sample::estimate95({7.0}).mean, 7.0);
+    EXPECT_DOUBLE_EQ(sample::estimate95({7.0}).halfWidth, 0.0);
+}
+
+// ---------------------------------------------------------------------
+// WarmImage: functional MESI/LRU/TLB maintenance
+// ---------------------------------------------------------------------
+
+TEST(WarmImageTest, StoreFillsModifiedLoadFillsExclusive)
+{
+    WarmImage img(MemSystemParams::tableI(), TlbParams{}, SpbParams{});
+
+    img.apply(uops::store(0x100, 0x1000));
+    const CacheBlk *b1 = img.l1().find(blockAlign(0x1000));
+    ASSERT_NE(b1, nullptr);
+    EXPECT_EQ(b1->state, CohState::Modified);
+    const CacheBlk *b2 = img.l2().find(blockAlign(0x1000));
+    ASSERT_NE(b2, nullptr);
+    EXPECT_EQ(b2->state, CohState::Exclusive);
+    EXPECT_NE(img.l3().find(blockAlign(0x1000)), nullptr);
+
+    img.apply(uops::load(0x104, 0x2000));
+    const CacheBlk *l = img.l1().find(blockAlign(0x2000));
+    ASSERT_NE(l, nullptr);
+    EXPECT_EQ(l->state, CohState::Exclusive);
+
+    // A store hitting a clean L1 block upgrades it to Modified.
+    img.apply(uops::store(0x108, 0x2000));
+    EXPECT_EQ(img.l1().find(blockAlign(0x2000))->state,
+              CohState::Modified);
+
+    EXPECT_EQ(img.stats().stores, 2u);
+    EXPECT_EQ(img.stats().loads, 1u);
+    EXPECT_EQ(img.stats().l3Misses, 2u);
+}
+
+TEST(WarmImageTest, InclusionBackInvalidatesOnL3Eviction)
+{
+    // One-set, two-way caches at every level: the third distinct block
+    // evicts the LRU from the L3, which must back-invalidate it from
+    // the upper levels too.
+    MemSystemParams mem = MemSystemParams::tableI();
+    mem.l1d.geometry = CacheGeometry{2 * kBlockSize, 2};
+    mem.l2.geometry = CacheGeometry{2 * kBlockSize, 2};
+    mem.l3.geometry = CacheGeometry{2 * kBlockSize, 2};
+    WarmImage img(mem, TlbParams{}, SpbParams{});
+
+    img.apply(uops::load(0x100, 0x10000));
+    img.apply(uops::load(0x104, 0x20000));
+    img.apply(uops::load(0x108, 0x30000)); // evicts 0x10000 from L3
+    EXPECT_EQ(img.l3().find(blockAlign(0x10000)), nullptr);
+    EXPECT_EQ(img.l1().find(blockAlign(0x10000)), nullptr)
+        << "inclusive hierarchy: the L3 victim must leave the L1";
+    EXPECT_NE(img.l1().find(blockAlign(0x30000)), nullptr);
+}
+
+TEST(WarmImageTest, WarmingSourceCountsAndRecords)
+{
+    VectorSource src({uops::alu(0x1), uops::store(0x2, 0x1000),
+                      uops::load(0x3, 0x2000)});
+    WarmImage img(MemSystemParams::tableI(), TlbParams{}, SpbParams{});
+    WarmingSource warm(&src, &img);
+
+    (void)warm.next();
+    EXPECT_EQ(warm.position(), 1u);
+
+    std::vector<MicroOp> sink;
+    warm.setRecord(&sink);
+    (void)warm.next();
+    (void)warm.next();
+    warm.setRecord(nullptr);
+    (void)warm.next(); // VectorSource loops; not recorded
+    EXPECT_EQ(sink.size(), 2u);
+    EXPECT_EQ(warm.position(), 4u);
+    EXPECT_EQ(img.stats().uops, 4u);
+}
+
+// ---------------------------------------------------------------------
+// exp::configKey coverage
+// ---------------------------------------------------------------------
+
+TEST(SampleConfigKey, SampleSpecIncludedHostKnobsExcluded)
+{
+    SystemConfig base = makeConfig("x264", 56,
+                                   StorePrefetchPolicy::AtCommit);
+    const std::string plain = exp::configKey(base);
+    EXPECT_EQ(plain.find("|smp:"), std::string::npos);
+
+    SystemConfig sampled = base;
+    sampled.sample =
+        SampleSpec::parse("interval=5000,window=1000,warmup=500");
+    const std::string key = exp::configKey(sampled);
+    EXPECT_NE(key, plain) << "the sampling spec changes results and "
+                             "must join the key";
+    EXPECT_NE(key.find("|smp:interval=5000,window=1000,warmup=500"),
+              std::string::npos);
+
+    // The checkpoint path is host-side plumbing: replayed and
+    // live-warmed runs are byte-identical, so it stays out.
+    SystemConfig ckpt = sampled;
+    ckpt.sample.checkpointPath = "/tmp/warm.ckpt";
+    EXPECT_EQ(exp::configKey(ckpt), key);
+
+    // And the scheduler / fast-forward knobs stay excluded as ever.
+    SystemConfig host = sampled;
+    host.scheduler = SchedulerKind::LegacyHeap;
+    host.fastForward = false;
+    EXPECT_EQ(exp::configKey(host), key);
+}
+
+// ---------------------------------------------------------------------
+// Core fetch budget (the window-boundary mechanism)
+// ---------------------------------------------------------------------
+
+TEST(SampleFetchBudget, CoreCommitsExactlyTheBudgetThenDrains)
+{
+    SystemConfig cfg = makeConfig("x264", 56,
+                                  StorePrefetchPolicy::AtCommit);
+    cfg.maxUopsPerCore = 10'000;
+    System sys(cfg);
+    EXPECT_EQ(sys.core(0).fetchBudget(), kUnlimitedFetchBudget);
+
+    sys.core(0).setFetchBudget(123);
+    EXPECT_TRUE(sys.core(0).drained()) << "fresh core starts drained";
+    do {
+        ASSERT_LT(sys.clock().now, 100'000u) << "budget run never drained";
+        sys.tickOnce();
+    } while (!(sys.core(0).drained() && sys.clock().events.empty()));
+    EXPECT_EQ(sys.core(0).committed(), 123u);
+    EXPECT_EQ(sys.core(0).fetchBudget(), 0u);
+}
+
+// ---------------------------------------------------------------------
+// Sampled fixture replay (tier-1 smoke) and its statistics
+// ---------------------------------------------------------------------
+
+TEST(SampledFixture, ReplaysUnderFullChecksWithSampleStats)
+{
+    const check::Level saved = check::level();
+    check::setLevel(check::Level::Full);
+    const SimResult r = runOne(sampledFixtureConfig("spb"));
+    check::setLevel(saved);
+
+    const StatSet s = r.toStatSet();
+    EXPECT_DOUBLE_EQ(s.get("sample.windows"), 4.0);
+    EXPECT_DOUBLE_EQ(s.get("sample.detailed_uops"), 4.0 * 1500.0);
+    EXPECT_GT(s.get("sample.ipc_mean"), 0.0);
+    EXPECT_GT(s.get("sample.cpi_mean"), 0.0);
+    EXPECT_GE(s.get("sample.ipc_ci95"), 0.0);
+    // Decode position depends on the warming path, so trace.* stats
+    // are deliberately absent from sampled runs.
+    EXPECT_FALSE(s.has("trace0.instrs"));
+    EXPECT_TRUE(r.trace.empty());
+}
+
+TEST(SampledFixture, AllFivePoliciesRunSampled)
+{
+    for (const char *strategy :
+         {"none", "at-execute", "at-commit", "spb", "ideal"}) {
+        const SimResult r = runOne(sampledFixtureConfig(strategy));
+        EXPECT_DOUBLE_EQ(r.sample.get("windows"), 4.0)
+            << "strategy " << strategy;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Determinism across host configurations
+// ---------------------------------------------------------------------
+
+std::string
+sampledJobsFingerprint(unsigned host_threads, SchedulerKind sched,
+                       bool ff)
+{
+    std::vector<exp::Job> jobs;
+    for (const char *strategy : {"none", "at-commit", "spb"}) {
+        SystemConfig cfg = sampledFixtureConfig(strategy);
+        cfg.scheduler = sched;
+        cfg.fastForward = ff;
+        jobs.push_back(exp::Job{exp::configKey(cfg), std::move(cfg)});
+    }
+    exp::EngineOptions opts;
+    opts.hostThreads = host_threads;
+    const exp::ExperimentReport report = exp::runJobs(jobs, opts);
+    std::string all;
+    for (const auto &out : report.outcomes) {
+        all += out.key;
+        all += '\n';
+        for (const auto &[k, v] : out.stats.entries()) {
+            char buf[64];
+            std::snprintf(buf, sizeof(buf), "%.17g", v);
+            all += k;
+            all += '=';
+            all += buf;
+            all += '\n';
+        }
+    }
+    return all;
+}
+
+TEST(SampledDeterminism, IdenticalStatsAcrossJobsSchedulerFastForward)
+{
+    const std::string base =
+        sampledJobsFingerprint(1, SchedulerKind::Calendar, true);
+    EXPECT_FALSE(base.empty());
+    EXPECT_EQ(base,
+              sampledJobsFingerprint(8, SchedulerKind::Calendar, true))
+        << "--jobs=8 must not change sampled results";
+    EXPECT_EQ(base,
+              sampledJobsFingerprint(1, SchedulerKind::LegacyHeap, true))
+        << "scheduler choice must not change sampled results";
+    EXPECT_EQ(base,
+              sampledJobsFingerprint(1, SchedulerKind::Calendar, false))
+        << "fast-forward must not change sampled results";
+}
+
+// ---------------------------------------------------------------------
+// Architectural checkpoints
+// ---------------------------------------------------------------------
+
+TEST(SampleCheckpoint, WriteReplayLiveAreByteIdentical)
+{
+    const std::string ckpt = tmpPath("roundtrip.ckpt");
+    std::remove(ckpt.c_str());
+
+    SystemConfig live_cfg = sampledFixtureConfig("at-commit");
+    const SimResult live = runOne(live_cfg);
+
+    SystemConfig ckpt_cfg = live_cfg;
+    ckpt_cfg.sample.checkpointPath = ckpt;
+    sample::SampleRunInfo write_info, replay_info;
+    const SimResult wrote = runOne(ckpt_cfg, &write_info);
+    EXPECT_TRUE(write_info.wroteCheckpoint);
+    EXPECT_FALSE(write_info.fromCheckpoint);
+    EXPECT_GT(write_info.warmedUops, 0u);
+
+    const SimResult replayed = runOne(ckpt_cfg, &replay_info);
+    EXPECT_TRUE(replay_info.fromCheckpoint);
+    EXPECT_EQ(replay_info.warmedUops, 0u)
+        << "replay must not re-warm the trace";
+
+    const std::string base = resultFingerprint(live);
+    EXPECT_EQ(base, resultFingerprint(wrote))
+        << "writing the checkpoint must not perturb results";
+    EXPECT_EQ(base, resultFingerprint(replayed))
+        << "replaying the checkpoint must reproduce the live run "
+           "byte for byte";
+    std::remove(ckpt.c_str());
+}
+
+TEST(SampleCheckpoint, OneWarmingPassServesAllFivePolicies)
+{
+    const std::string ckpt = tmpPath("sweep.ckpt");
+    std::remove(ckpt.c_str());
+    const char *strategies[] = {"none", "at-execute", "at-commit",
+                                "spb", "ideal"};
+
+    std::vector<std::string> live;
+    for (const char *s : strategies)
+        live.push_back(resultFingerprint(runOne(sampledFixtureConfig(s))));
+
+    bool first = true;
+    for (std::size_t i = 0; i < 5; ++i) {
+        SystemConfig cfg = sampledFixtureConfig(strategies[i]);
+        cfg.sample.checkpointPath = ckpt;
+        sample::SampleRunInfo info;
+        const SimResult r = runOne(cfg, &info);
+        if (first) {
+            EXPECT_TRUE(info.wroteCheckpoint);
+            first = false;
+        } else {
+            EXPECT_TRUE(info.fromCheckpoint)
+                << "policy " << strategies[i]
+                << " must reuse the warm state (it is policy-"
+                   "independent by construction)";
+        }
+        EXPECT_EQ(live[i], resultFingerprint(r))
+            << "policy " << strategies[i];
+    }
+    std::remove(ckpt.c_str());
+}
+
+TEST(SampleCheckpoint, IdentityMismatchFallsBackToLiveWarming)
+{
+    const std::string ckpt = tmpPath("mismatch.ckpt");
+    std::remove(ckpt.c_str());
+
+    SystemConfig cfg = sampledFixtureConfig("at-commit");
+    cfg.sample.checkpointPath = ckpt;
+    (void)runOne(cfg);
+
+    // A different seed changes the identity: the stale file must be
+    // ignored (live warming) and rewritten, not trusted.
+    SystemConfig other = cfg;
+    other.seed = 99;
+    sample::SampleRunInfo info;
+    const SimResult r = runOne(other, &info);
+    EXPECT_FALSE(info.fromCheckpoint);
+    EXPECT_TRUE(info.wroteCheckpoint);
+
+    SystemConfig other_live = other;
+    other_live.sample.checkpointPath.clear();
+    EXPECT_EQ(resultFingerprint(runOne(other_live)),
+              resultFingerprint(r));
+    std::remove(ckpt.c_str());
+}
+
+TEST(SampleCheckpoint, TruncatedFileFallsBackToLiveWarming)
+{
+    const std::string ckpt = tmpPath("truncated.ckpt");
+    std::remove(ckpt.c_str());
+
+    SystemConfig cfg = sampledFixtureConfig("at-commit");
+    cfg.sample.checkpointPath = ckpt;
+    const SimResult full = runOne(cfg);
+
+    // Chop the file in half: load must reject it and re-warm.
+    std::FILE *f = std::fopen(ckpt.c_str(), "rb+");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, 0, SEEK_END);
+    const long size = std::ftell(f);
+    ASSERT_EQ(std::fclose(f), 0);
+    ASSERT_EQ(truncate(ckpt.c_str(), size / 2), 0);
+
+    sample::SampleRunInfo info;
+    const SimResult r = runOne(cfg, &info);
+    EXPECT_FALSE(info.fromCheckpoint);
+    EXPECT_TRUE(info.wroteCheckpoint);
+    EXPECT_EQ(resultFingerprint(full), resultFingerprint(r));
+    std::remove(ckpt.c_str());
+}
+
+// ---------------------------------------------------------------------
+// Accuracy: sampled estimates vs full detail on a long trace
+// ---------------------------------------------------------------------
+
+/** Generate (once) a long multi-phase trace with spburst_tracegen. */
+const std::string &
+longTracePath()
+{
+    static const std::string path = [] {
+        const std::string p = tmpPath("long.champsim");
+        const std::string cmd = std::string(SPBURST_TRACEGEN_BIN) +
+                                " --out=" + p +
+                                " --instructions=120000 > /dev/null";
+        if (std::system(cmd.c_str()) != 0)
+            return std::string();
+        return p;
+    }();
+    return path;
+}
+
+TEST(SampledAccuracy, EstimatesWithinReportedCiForAllFivePolicies)
+{
+    ASSERT_FALSE(longTracePath().empty()) << "tracegen failed";
+    const check::Level saved = check::level();
+    check::setLevel(check::Level::Full);
+
+    for (const char *strategy :
+         {"none", "at-execute", "at-commit", "spb", "ideal"}) {
+        StorePrefetchPolicy policy = StorePrefetchPolicy::AtCommit;
+        bool spb = false, ideal = false;
+        if (std::string(strategy) == "none")
+            policy = StorePrefetchPolicy::None;
+        else if (std::string(strategy) == "at-execute")
+            policy = StorePrefetchPolicy::AtExecute;
+        else if (std::string(strategy) == "spb")
+            spb = true;
+        else if (std::string(strategy) == "ideal")
+            ideal = true;
+        SystemConfig cfg = makeConfig("trace:" + longTracePath(), 56,
+                                      policy, spb, ideal);
+        cfg.maxUopsPerCore = 120'000;
+
+        const SimResult full = runOne(cfg);
+        const double full_ipc =
+            static_cast<double>(full.committedUops()) /
+            static_cast<double>(full.cycles);
+        const double full_sb =
+            1000.0 * static_cast<double>(full.sbStalls()) /
+            static_cast<double>(full.committedUops());
+
+        cfg.sample =
+            SampleSpec::parse("interval=10000,window=2000,warmup=1000");
+        const SimResult sampled = runOne(cfg);
+        const StatSet s = sampled.toStatSet();
+        EXPECT_DOUBLE_EQ(s.get("sample.windows"), 12.0);
+
+        const double ipc_mean = s.get("sample.ipc_mean");
+        const double ipc_ci = s.get("sample.ipc_ci95");
+        EXPECT_LE(std::abs(ipc_mean - full_ipc), ipc_ci)
+            << strategy << ": sampled IPC " << ipc_mean << " +/- "
+            << ipc_ci << " misses full-detail " << full_ipc;
+
+        const double sb_mean = s.get("sample.sb_stall_per_kuop_mean");
+        const double sb_ci = s.get("sample.sb_stall_per_kuop_ci95");
+        EXPECT_LE(std::abs(sb_mean - full_sb), sb_ci)
+            << strategy << ": sampled SB stalls/kuop " << sb_mean
+            << " +/- " << sb_ci << " misses full-detail " << full_sb;
+    }
+    check::setLevel(saved);
+}
+
+} // namespace
+} // namespace spburst

@@ -22,6 +22,7 @@
 
 #include "check/check.hh"
 #include "common/logging.hh"
+#include "sample/runtime.hh"
 #include "sim/system.hh"
 #include "trace/workloads.hh"
 
@@ -33,8 +34,13 @@ namespace
 struct Options
 {
     std::string suite = "all";
+    bool suiteExplicit = false;
+    /** ChampSim trace workloads (--trace=, repeatable; kept separate
+     *  from --workload because trace specs contain commas). */
+    std::vector<std::string> traces;
     std::uint64_t uops = 200'000;
     std::uint64_t seed = 1;
+    sample::SampleSpec sample;
     std::string out = "BENCH_simspeed.json";
     SchedulerKind scheduler = SchedulerKind::Calendar;
     bool fastForward = true;
@@ -45,6 +51,10 @@ struct Sample
 {
     std::string name;
     std::uint64_t uops = 0;
+    /** Uops retired by functional warming (sampled runs only); the
+     *  effective throughput counts these too, since they advance the
+     *  workload just as detailed simulation would. */
+    std::uint64_t warmedUops = 0;
     std::uint64_t simCycles = 0;
     std::uint64_t ffCycles = 0;
     std::uint64_t events = 0;
@@ -57,9 +67,14 @@ usage()
     std::puts(
         "spburst_perf — measure simulator host throughput\n"
         "  --workload=all|sb-bound|parsec|NAME[,NAME...]  (default all)\n"
+        "  --trace=FILE[,skip=N][,warmup=N][,roi=N]\n"
+        "                         ChampSim trace workload (repeatable)\n"
         "  --uops=N               committed uops per workload "
         "(default 200k)\n"
         "  --seed=N               workload seed (default 1)\n"
+        "  --sample=interval=N,window=M[,...]  interval sampling; adds\n"
+        "                         a warmed-uops column and effective\n"
+        "                         (warmed+detailed) throughput\n"
         "  --spb                  run with Store-Prefetch Bursts on\n"
         "  --scheduler=calendar|heap   (default calendar)\n"
         "  --no-fast-forward      disable quiescence fast-forward\n"
@@ -103,10 +118,15 @@ parse(int argc, char **argv)
         const char *v = nullptr;
         if ((v = value("--workload=")) != nullptr) {
             o.suite = v;
+            o.suiteExplicit = true;
+        } else if ((v = value("--trace=")) != nullptr) {
+            o.traces.push_back(std::string("trace:") + v);
         } else if ((v = value("--uops=")) != nullptr) {
             o.uops = std::strtoull(v, nullptr, 10);
         } else if ((v = value("--seed=")) != nullptr) {
             o.seed = std::strtoull(v, nullptr, 10);
+        } else if ((v = value("--sample=")) != nullptr) {
+            o.sample = sample::SampleSpec::parse(v);
         } else if (arg == "--spb") {
             o.spb = true;
         } else if ((v = value("--scheduler=")) != nullptr) {
@@ -138,15 +158,19 @@ printSampleJson(std::FILE *f, const Sample &s)
 {
     std::fprintf(
         f,
-        "{\"name\": \"%s\", \"uops\": %llu, \"sim_cycles\": %llu, "
+        "{\"name\": \"%s\", \"uops\": %llu, \"warmed_uops\": %llu, "
+        "\"sim_cycles\": %llu, "
         "\"ff_cycles\": %llu, \"events\": %llu, "
         "\"host_seconds\": %.6f, \"uops_per_sec\": %.0f, "
+        "\"effective_uops_per_sec\": %.0f, "
         "\"sim_cycles_per_sec\": %.0f, \"events_per_sec\": %.0f}",
         s.name.c_str(), static_cast<unsigned long long>(s.uops),
+        static_cast<unsigned long long>(s.warmedUops),
         static_cast<unsigned long long>(s.simCycles),
         static_cast<unsigned long long>(s.ffCycles),
         static_cast<unsigned long long>(s.events), s.hostSeconds,
         static_cast<double>(s.uops) / s.hostSeconds,
+        static_cast<double>(s.uops + s.warmedUops) / s.hostSeconds,
         static_cast<double>(s.simCycles) / s.hostSeconds,
         static_cast<double>(s.events) / s.hostSeconds);
 }
@@ -157,7 +181,13 @@ int
 main(int argc, char **argv)
 {
     const Options o = parse(argc, argv);
-    const std::vector<std::string> workloads = expandSuite(o.suite);
+    // --trace entries join (or, with no explicit --workload, replace)
+    // the synthetic suite, matching spburst_run's convention.
+    std::vector<std::string> workloads;
+    if (o.traces.empty() || o.suiteExplicit)
+        workloads = expandSuite(o.suite);
+    workloads.insert(workloads.end(), o.traces.begin(),
+                     o.traces.end());
     SPB_ASSERT(!workloads.empty(), "empty workload suite");
 
     std::vector<Sample> samples;
@@ -169,6 +199,7 @@ main(int argc, char **argv)
         cfg.useSpb = o.spb;
         cfg.maxUopsPerCore = o.uops;
         cfg.seed = o.seed;
+        cfg.sample = o.sample;
         cfg.scheduler = o.scheduler;
         cfg.fastForward = o.fastForward;
 
@@ -180,6 +211,8 @@ main(int argc, char **argv)
         Sample s;
         s.name = w;
         s.uops = r.committedUops();
+        if (const auto *info = sys.sampleInfo())
+            s.warmedUops = info->warmedUops;
         s.simCycles = r.cycles;
         s.ffCycles = sys.fastForwardedCycles();
         s.events = sys.clock().events.executedEvents();
@@ -188,18 +221,24 @@ main(int argc, char **argv)
         if (s.hostSeconds <= 0.0)
             s.hostSeconds = 1e-9; // clock granularity floor
         total.uops += s.uops;
+        total.warmedUops += s.warmedUops;
         total.simCycles += s.simCycles;
         total.ffCycles += s.ffCycles;
         total.events += s.events;
         total.hostSeconds += s.hostSeconds;
         std::printf("%-14s %9.0f kuops/s %10.0f kcycles/s "
-                    "%8.0f kevents/s  (%.2fs, %llu%% cycles "
-                    "fast-forwarded)\n",
+                    "%8.0f kevents/s",
                     w.c_str(),
                     static_cast<double>(s.uops) / s.hostSeconds / 1e3,
                     static_cast<double>(s.simCycles) / s.hostSeconds /
                         1e3,
-                    static_cast<double>(s.events) / s.hostSeconds / 1e3,
+                    static_cast<double>(s.events) / s.hostSeconds /
+                        1e3);
+        if (o.sample.enabled())
+            std::printf(" %9.0f keff/s",
+                        static_cast<double>(s.uops + s.warmedUops) /
+                            s.hostSeconds / 1e3);
+        std::printf("  (%.2fs, %llu%% cycles fast-forwarded)\n",
                     s.hostSeconds,
                     static_cast<unsigned long long>(
                         s.simCycles == 0 ? 0
@@ -208,28 +247,33 @@ main(int argc, char **argv)
         samples.push_back(std::move(s));
     }
 
-    std::printf("%-14s %9.0f kuops/s %10.0f kcycles/s %8.0f kevents/s "
-                "(%.2fs total)\n",
+    std::printf("%-14s %9.0f kuops/s %10.0f kcycles/s %8.0f kevents/s",
                 "TOTAL",
                 static_cast<double>(total.uops) / total.hostSeconds /
                     1e3,
                 static_cast<double>(total.simCycles) /
                     total.hostSeconds / 1e3,
                 static_cast<double>(total.events) / total.hostSeconds /
-                    1e3,
-                total.hostSeconds);
+                    1e3);
+    if (o.sample.enabled())
+        std::printf(" %9.0f keff/s",
+                    static_cast<double>(total.uops + total.warmedUops) /
+                        total.hostSeconds / 1e3);
+    std::printf(" (%.2fs total)\n", total.hostSeconds);
 
     std::FILE *f = std::fopen(o.out.c_str(), "w");
     if (f == nullptr)
         SPB_FATAL("cannot write '%s'", o.out.c_str());
     std::fprintf(f,
                  "{\n  \"suite\": \"%s\",\n  \"uops_per_workload\": "
-                 "%llu,\n  \"spb\": %s,\n  \"scheduler\": \"%s\",\n"
+                 "%llu,\n  \"spb\": %s,\n  \"sample\": \"%s\",\n"
+                 "  \"scheduler\": \"%s\",\n"
                  "  \"fast_forward\": %s,\n  \"check\": \"%s\",\n"
                  "  \"workloads\": [\n",
                  o.suite.c_str(),
                  static_cast<unsigned long long>(o.uops),
                  o.spb ? "true" : "false",
+                 o.sample.enabled() ? o.sample.canonical().c_str() : "",
                  schedulerKindName(o.scheduler),
                  o.fastForward ? "true" : "false",
                  check::levelName(check::level()));

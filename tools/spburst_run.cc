@@ -48,6 +48,7 @@ struct Options
     int threads = 1;
     std::uint64_t uops = 200'000;
     std::uint64_t seed = 1;
+    sample::SampleSpec sample;
     std::string format = "text";
     SchedulerKind scheduler = SchedulerKind::Calendar;
     bool fastForward = true;
@@ -76,6 +77,11 @@ usage()
         "  --threads=N            cores/threads (default 1)\n"
         "  --uops=N               committed uops per core (default 200k)\n"
         "  --seed=N               workload seed (default 1)\n"
+        "  --sample=interval=N,window=M[,warmup=K][,ci=P][,min=W]\n"
+        "          [,ckpt=FILE]   SMARTS-style interval sampling: warm\n"
+        "                         functionally, measure M-uop detailed\n"
+        "                         windows, report mean +/- 95% CI; ckpt=\n"
+        "                         reuses warm state across a policy sweep\n"
         "  --format=text|json|csv (default text)\n"
         "  --check=off|fast|full  invariant checking level (default fast)\n"
         "  --scheduler=calendar|heap   event-queue implementation\n"
@@ -178,6 +184,8 @@ parse(int argc, char **argv)
             o.uops = std::strtoull(v, nullptr, 10);
         } else if ((v = value("--seed=")) != nullptr) {
             o.seed = std::strtoull(v, nullptr, 10);
+        } else if ((v = value("--sample=")) != nullptr) {
+            o.sample = sample::SampleSpec::parse(v);
         } else if ((v = value("--format=")) != nullptr) {
             o.format = v;
         } else if ((v = value("--check=")) != nullptr) {
@@ -245,6 +253,7 @@ main(int argc, char **argv)
         cfg.threads = o.threads;
         cfg.maxUopsPerCore = o.uops;
         cfg.seed = o.seed;
+        cfg.sample = o.sample;
         cfg.scheduler = o.scheduler;
         cfg.fastForward = o.fastForward;
         jobs.push_back(exp::Job{exp::configKey(cfg), std::move(cfg)});
@@ -290,6 +299,20 @@ main(int argc, char **argv)
                  formatDouble(r.energy.totalPj() * 1e-6, 1)});
         }
         table.print();
+        // In sampled runs the table rows cover only the detailed
+        // windows; the per-workload estimate lines carry the error bars.
+        for (const auto &r : results) {
+            if (r.sample.entries().empty())
+                continue;
+            std::printf("%s: sampled %d windows: IPC %.3f +/- %.3f "
+                        "(95%% CI), SB stalls/kuop %.2f +/- %.2f\n",
+                        r.workload.c_str(),
+                        static_cast<int>(r.sample.get("windows")),
+                        r.sample.get("ipc_mean"),
+                        r.sample.get("ipc_ci95"),
+                        r.sample.get("sb_stall_per_kuop_mean"),
+                        r.sample.get("sb_stall_per_kuop_ci95"));
+        }
     } else {
         SPB_FATAL("unknown format '%s'", o.format.c_str());
     }

@@ -49,6 +49,7 @@ struct Options
     int simThreads = 1;
     std::uint64_t uops = 100'000;
     std::uint64_t seed = 1;
+    sample::SampleSpec sample;
     bool perJobSeeds = false;
 
     unsigned jobs = 0;
@@ -80,6 +81,10 @@ usage()
         "  --sim-threads=N        simulated cores per job (default 1)\n"
         "  --uops=N               committed uops per core (default 100k)\n"
         "  --seed=N               base seed (default 1)\n"
+        "  --sample=interval=N,window=M[,warmup=K][,ci=P][,min=W]\n"
+        "          [,ckpt=FILE]   interval sampling for every job; with\n"
+        "                         ckpt= the whole sweep warms once and\n"
+        "                         replays the checkpoint per policy\n"
         "  --per-job-seeds        derive a distinct seed per grid point\n"
         "  --check=off|fast|full  invariant checking level (default fast)\n"
         "engine:\n"
@@ -233,6 +238,8 @@ parse(int argc, char **argv)
             o.uops = std::strtoull(v, nullptr, 10);
         } else if ((v = value("--seed=")) != nullptr) {
             o.seed = std::strtoull(v, nullptr, 10);
+        } else if ((v = value("--sample=")) != nullptr) {
+            o.sample = sample::SampleSpec::parse(v);
         } else if (arg == "--per-job-seeds") {
             o.perJobSeeds = true;
         } else if ((v = value("--check=")) != nullptr) {
@@ -285,6 +292,7 @@ main(int argc, char **argv)
     spec.base.threads = o.simThreads;
     spec.base.maxUopsPerCore = o.uops;
     spec.base.seed = o.seed;
+    spec.base.sample = o.sample;
     spec.perJobSeeds = o.perJobSeeds;
 
     spec.axes.push_back(exp::sbSizeAxis(o.sbs));
