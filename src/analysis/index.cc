@@ -1,0 +1,596 @@
+/**
+ * @file
+ * Project-wide declaration index for the semantic lint rules.
+ *
+ * Three passes over the token streams, all heuristic but deterministic:
+ *
+ *  1. Class sweep — for every `class`/`struct` body, a statement-level
+ *     scan collects non-static data members (name + line, host-only
+ *     annotation applied) and method declarations. Methods whose name
+ *     starts with "snapshot"/"restore", or whose declaration line
+ *     carries a `state(snapshot)`/`state(restore)` annotation, are
+ *     classified as state-capture/state-restore methods. Inline method
+ *     bodies become FunctionDecls.
+ *  2. Definition sweep — out-of-class `Class::method(...) {` and free
+ *     `name(...) {` definitions (outside any class body) become
+ *     FunctionDecls; `hot` annotations on the name line or the line
+ *     above (the return type usually sits on its own line) mark hot
+ *     roots.
+ *  3. Reachability — a BFS over the name-based call graph propagates
+ *     hotness. Callee names resolve to a unique body, or — when the
+ *     bare name is ambiguous — to the single candidate sharing the
+ *     caller's file stem or class; otherwise no edge is added, which
+ *     keeps the graph deterministic and every finding explainable.
+ *
+ * Known limits (documented in DESIGN.md): members declared through a
+ * type whose template arguments contain parentheses (e.g.
+ * `std::function<void()>`) are classified as method declarations, and
+ * comma-declarator lists record only the last name. Neither shape
+ * appears in the stateful simulator classes this index guards.
+ */
+
+#include <cctype>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/model.hh"
+#include "analysis/util.hh"
+
+namespace spburst::lint
+{
+
+namespace
+{
+
+bool
+isKeywordNotCall(std::string_view w)
+{
+    return w == "if" || w == "for" || w == "while" || w == "switch" ||
+           w == "return" || w == "sizeof" || w == "catch" ||
+           w == "throw" || w == "new" || w == "delete" ||
+           w == "alignof" || w == "decltype" || w == "static_assert" ||
+           w == "assert" || w == "defined";
+}
+
+bool
+hasAnnotation(const FileContext &file, int line, const char *tag)
+{
+    // A function's `hot` (or a method's state(...)) annotation may sit
+    // on the name line or the line above it: in this codebase the
+    // return type takes its own line, and an own-line annotation
+    // comment above the signature targets the return-type line.
+    for (int l = line - 1; l <= line; ++l) {
+        const auto it = file.annotations.find(l);
+        if (it != file.annotations.end() && it->second.count(tag))
+            return true;
+    }
+    return false;
+}
+
+/** Class-body '{' token index -> (class name, name-token index). */
+std::map<std::size_t, std::pair<std::string, std::size_t>>
+classBodies(const std::vector<Token> &toks)
+{
+    std::map<std::size_t, std::pair<std::string, std::size_t>> opens;
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+        if (!(isIdent(toks[i], "class") || isIdent(toks[i], "struct")))
+            continue;
+        if (i > 0 && isIdent(toks[i - 1], "enum"))
+            continue;
+        std::size_t j = i + 1;
+        if (j >= toks.size() || toks[j].kind != TokKind::Ident)
+            continue;
+        for (std::size_t k = j + 1; k < toks.size(); ++k) {
+            if (isPunct(toks[k], "{")) {
+                opens.emplace(k,
+                              std::make_pair(std::string(toks[j].text), j));
+                break;
+            }
+            if (isPunct(toks[k], ";") || isPunct(toks[k], "("))
+                break;
+        }
+    }
+    return opens;
+}
+
+/** True when the statement tokens [begin, end) contain the ident. */
+bool
+stmtHas(const std::vector<Token> &toks, std::size_t begin,
+        std::size_t end, std::string_view word)
+{
+    for (std::size_t i = begin; i < end; ++i)
+        if (isIdent(toks[i], word))
+            return true;
+    return false;
+}
+
+/** Last Ident in [begin, cut) — the declarator name of a member
+ *  statement once initializers are cut off. */
+std::size_t
+lastIdentBefore(const std::vector<Token> &toks, std::size_t begin,
+                std::size_t cut)
+{
+    for (std::size_t i = cut; i > begin; --i)
+        if (toks[i - 1].kind == TokKind::Ident)
+            return i - 1;
+    return toks.size();
+}
+
+struct ClassScanCtx
+{
+    const FileContext &file;
+    std::size_t fileIndex;
+    DeclIndex &index;
+};
+
+void
+classifyMethod(const FileContext &file, ClassDecl &cls,
+               const std::string &name, int line)
+{
+    if (name.rfind("snapshot", 0) == 0 ||
+        hasAnnotation(file, line, "state(snapshot)"))
+        cls.snapshotMethods.insert(name);
+    if (name.rfind("restore", 0) == 0 ||
+        hasAnnotation(file, line, "state(restore)"))
+        cls.restoreMethods.insert(name);
+}
+
+/** Statement-level scan of one class body [open, close]. */
+void
+scanClassBody(ClassScanCtx &ctx, const std::string &clsName,
+              std::size_t open, std::size_t close)
+{
+    const FileContext &file = ctx.file;
+    const std::vector<Token> &toks = file.lex.tokens;
+    ClassDecl &cls = ctx.index.classes[clsName];
+    if (cls.name.empty()) {
+        cls.name = clsName;
+        cls.file = file.relPath;
+        cls.line = toks[open].line;
+    }
+
+    std::size_t i = open + 1;
+    while (i < close && i < toks.size()) {
+        // Access label.
+        if ((isIdent(toks[i], "public") || isIdent(toks[i], "private") ||
+             isIdent(toks[i], "protected")) &&
+            i + 1 < close && isPunct(toks[i + 1], ":")) {
+            i += 2;
+            continue;
+        }
+        const std::size_t stmtStart = i;
+        int pd = 0;              // paren depth within the statement
+        bool parenSeen = false;  // a top-level '(' occurred
+        std::size_t parenTok = 0;
+        bool initList = false;   // ':' after the closed parameter list
+        std::size_t blockClose = 0; // a nested-type body was skipped
+        std::size_t j = i;
+        bool handled = false;
+        while (j < close && !handled) {
+            const Token &t = toks[j];
+            if (isPunct(t, "(")) {
+                if (pd == 0 && !parenSeen) {
+                    parenSeen = true;
+                    parenTok = j;
+                }
+                ++pd;
+                ++j;
+                continue;
+            }
+            if (isPunct(t, ")")) {
+                --pd;
+                ++j;
+                continue;
+            }
+            if (pd == 0 && isPunct(t, ":") && parenSeen) {
+                initList = true;
+                ++j;
+                continue;
+            }
+            if (pd == 0 && isPunct(t, ";")) {
+                // Plain statement: member declaration or bodiless
+                // method declaration.
+                if (stmtHas(toks, stmtStart, j, "static") ||
+                    stmtHas(toks, stmtStart, j, "using") ||
+                    stmtHas(toks, stmtStart, j, "typedef") ||
+                    stmtHas(toks, stmtStart, j, "friend") ||
+                    stmtHas(toks, stmtStart, j, "template")) {
+                    // not instance state
+                } else if (parenSeen && !blockClose) {
+                    if (parenTok > stmtStart &&
+                        toks[parenTok - 1].kind == TokKind::Ident) {
+                        const Token &nm = toks[parenTok - 1];
+                        classifyMethod(file, cls, std::string(nm.text),
+                                       nm.line);
+                        if (hasAnnotation(file, nm.line, "hot"))
+                            ctx.index.hotDeclMethods.insert(
+                                clsName + "::" + std::string(nm.text));
+                    }
+                } else {
+                    // Cut initializers/bitfields off the declarator.
+                    std::size_t cut = j;
+                    const std::size_t nameFrom =
+                        blockClose ? blockClose + 1 : stmtStart;
+                    for (std::size_t k = nameFrom; k < j; ++k) {
+                        if (isPunct(toks[k], "=") ||
+                            isPunct(toks[k], "[") ||
+                            isPunct(toks[k], ":")) {
+                            cut = k;
+                            break;
+                        }
+                    }
+                    const std::size_t nameTok =
+                        lastIdentBefore(toks, nameFrom, cut);
+                    const bool nestedTypeOnly =
+                        blockClose && nameTok >= toks.size();
+                    if (nameTok < toks.size() && !nestedTypeOnly) {
+                        MemberDecl m;
+                        m.name = std::string(toks[nameTok].text);
+                        m.file = file.relPath;
+                        m.line = toks[nameTok].line;
+                        m.hostOnly = hasAnnotation(file, m.line,
+                                                   "state(host-only)");
+                        cls.members.push_back(std::move(m));
+                    }
+                }
+                i = j + 1;
+                handled = true;
+                continue;
+            }
+            if (pd == 0 && isPunct(t, "{")) {
+                const bool nestedType =
+                    stmtHas(toks, stmtStart, j, "enum") ||
+                    stmtHas(toks, stmtStart, j, "class") ||
+                    stmtHas(toks, stmtStart, j, "struct") ||
+                    stmtHas(toks, stmtStart, j, "union");
+                const bool braceInit =
+                    initList && j > stmtStart &&
+                    (toks[j - 1].kind == TokKind::Ident ||
+                     isPunct(toks[j - 1], ">"));
+                if (nestedType || braceInit) {
+                    const std::size_t bc = matchClose(toks, j);
+                    if (nestedType)
+                        blockClose = bc;
+                    j = bc + 1;
+                    continue;
+                }
+                if (parenSeen) {
+                    // Inline method body.
+                    const std::size_t bc = matchClose(toks, j);
+                    if (parenTok > stmtStart &&
+                        toks[parenTok - 1].kind == TokKind::Ident) {
+                        const Token &nm = toks[parenTok - 1];
+                        classifyMethod(file, cls, std::string(nm.text),
+                                       nm.line);
+                        FunctionDecl fn;
+                        fn.cls = clsName;
+                        fn.name = std::string(nm.text);
+                        fn.fileIndex = ctx.fileIndex;
+                        fn.line = nm.line;
+                        fn.bodyBegin = j;
+                        fn.bodyEnd = bc;
+                        fn.hasBody = true;
+                        fn.hotRoot =
+                            hasAnnotation(file, nm.line, "hot");
+                        ctx.index.functions.push_back(std::move(fn));
+                    }
+                    i = bc + 1;
+                    if (i < close && isPunct(toks[i], ";"))
+                        ++i;
+                    handled = true;
+                    continue;
+                }
+                // Brace-initialised member: `SpbStats stats_{};`.
+                const std::size_t nameTok =
+                    lastIdentBefore(toks, stmtStart, j);
+                if (nameTok < toks.size()) {
+                    MemberDecl m;
+                    m.name = std::string(toks[nameTok].text);
+                    m.file = file.relPath;
+                    m.line = toks[nameTok].line;
+                    m.hostOnly = hasAnnotation(file, m.line,
+                                               "state(host-only)");
+                    cls.members.push_back(std::move(m));
+                }
+                i = matchClose(toks, j) + 1;
+                if (i < close && isPunct(toks[i], ";"))
+                    ++i;
+                handled = true;
+                continue;
+            }
+            ++j;
+        }
+        if (!handled)
+            break; // ran off the class body: malformed input
+    }
+}
+
+/** Skip qualifiers/ctor-initializers after the parameter list's ')';
+ *  returns the '{' token index of the body, or toks.size() when the
+ *  candidate turns out to be a declaration or call. */
+std::size_t
+findBodyBrace(const std::vector<Token> &toks, std::size_t parenClose)
+{
+    bool initList = false;
+    std::size_t j = parenClose + 1;
+    while (j < toks.size()) {
+        const Token &t = toks[j];
+        if (isPunct(t, ";") || isPunct(t, ",") || isPunct(t, ")") ||
+            isPunct(t, "=")) {
+            return toks.size(); // declaration, call argument, = delete
+        }
+        if (isPunct(t, "{")) {
+            if (initList && j > 0 &&
+                (toks[j - 1].kind == TokKind::Ident ||
+                 isPunct(toks[j - 1], ">"))) {
+                j = matchClose(toks, j) + 1; // brace-init in init list
+                continue;
+            }
+            return j;
+        }
+        if (isPunct(t, "(")) {
+            j = matchClose(toks, j) + 1; // init-list parens
+            continue;
+        }
+        if (isPunct(t, ":")) {
+            initList = true;
+            ++j;
+            continue;
+        }
+        if (t.kind == TokKind::Ident || isPunct(t, "::") ||
+            isPunct(t, "<") || isPunct(t, ">") || isPunct(t, "&") ||
+            isPunct(t, "&&") || isPunct(t, "*") || isPunct(t, ",") ||
+            isPunct(t, "->")) {
+            ++j;
+            continue;
+        }
+        return toks.size();
+    }
+    return toks.size();
+}
+
+/** Pass 2: out-of-class and free function definitions. */
+void
+scanDefinitions(const FileContext &file, std::size_t fileIndex,
+                DeclIndex &index,
+                const std::vector<std::pair<std::size_t, std::size_t>>
+                    &classRanges)
+{
+    const std::vector<Token> &toks = file.lex.tokens;
+    auto inClass = [&](std::size_t i) {
+        for (const auto &r : classRanges)
+            if (i > r.first && i < r.second)
+                return true;
+        return false;
+    };
+    for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+        if (toks[i].kind != TokKind::Ident || !isPunct(toks[i + 1], "("))
+            continue;
+        if (isKeywordNotCall(toks[i].text))
+            continue;
+        if (inClass(i))
+            continue; // inline methods were recorded by pass 1
+        std::string cls;
+        std::size_t nameTok = i;
+        if (i >= 2 && isPunct(toks[i - 1], "::") &&
+            toks[i - 2].kind == TokKind::Ident) {
+            cls = std::string(toks[i - 2].text);
+        } else if (i > 0 && (isPunct(toks[i - 1], ".") ||
+                             isPunct(toks[i - 1], "->") ||
+                             isPunct(toks[i - 1], "::"))) {
+            continue; // member/qualified call, not a definition
+        }
+        const std::size_t parenClose = matchClose(toks, i + 1);
+        if (parenClose >= toks.size())
+            continue;
+        const std::size_t body = findBodyBrace(toks, parenClose);
+        if (body >= toks.size())
+            continue;
+        FunctionDecl fn;
+        fn.cls = cls;
+        fn.name = std::string(toks[nameTok].text);
+        fn.fileIndex = fileIndex;
+        fn.line = toks[nameTok].line;
+        fn.bodyBegin = body;
+        fn.bodyEnd = matchClose(toks, body);
+        fn.hasBody = true;
+        fn.hotRoot = hasAnnotation(file, fn.line, "hot");
+        if (!cls.empty()) {
+            const auto it = index.classes.find(cls);
+            if (it != index.classes.end())
+                classifyMethod(file, it->second, fn.name, fn.line);
+        }
+        index.functions.push_back(std::move(fn));
+        i = body; // resume inside the body: nested lambdas et al. are
+                  // not separate graph nodes, their calls belong to us
+    }
+}
+
+/** Pass 3a: StatSet-typed variables and accessor methods (mirrors the
+ *  unordered-container index in project.cc). */
+void
+indexStatSetDecls(const FileContext &file, DeclIndex &index)
+{
+    const std::vector<Token> &toks = file.lex.tokens;
+    for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+        if (!isIdent(toks[i], "StatSet"))
+            continue;
+        std::size_t j = i + 1;
+        while (j < toks.size() &&
+               (isPunct(toks[j], "&") || isPunct(toks[j], "*") ||
+                isIdent(toks[j], "const")))
+            ++j;
+        if (j >= toks.size() || toks[j].kind != TokKind::Ident)
+            continue;
+        const std::string name1(toks[j].text);
+        const std::size_t after = j + 1;
+        if (after >= toks.size())
+            continue;
+        if (isPunct(toks[after], "(")) {
+            index.statSetMethodsByStem[file.stem].insert(name1);
+        } else if (isPunct(toks[after], "::") &&
+                   after + 2 < toks.size() &&
+                   toks[after + 1].kind == TokKind::Ident &&
+                   isPunct(toks[after + 2], "(")) {
+            index.statSetMethodsByStem[file.stem].insert(
+                std::string(toks[after + 1].text));
+        } else if (isPunct(toks[after], ";") ||
+                   isPunct(toks[after], "=") ||
+                   isPunct(toks[after], "{") ||
+                   isPunct(toks[after], ",") ||
+                   isPunct(toks[after], ")")) {
+            index.statSetVarsByStem[file.stem].insert(name1);
+        }
+    }
+}
+
+/** Pass 3b: receivers of `.reserve(` anywhere in the project. */
+void
+indexReserveCalls(const FileContext &file, DeclIndex &index)
+{
+    const std::vector<Token> &toks = file.lex.tokens;
+    for (std::size_t i = 2; i + 1 < toks.size(); ++i) {
+        if (!isIdent(toks[i], "reserve") || !isPunct(toks[i + 1], "("))
+            continue;
+        if (!(isPunct(toks[i - 1], ".") || isPunct(toks[i - 1], "->")))
+            continue;
+        if (toks[i - 2].kind == TokKind::Ident)
+            index.reservedNames.insert(std::string(toks[i - 2].text));
+    }
+}
+
+/** `deque<...> name` declarations: hot-alloc must not ask for a
+ *  reserve() on a container that has none and never relocates. */
+void
+indexDequeDecls(const FileContext &file, DeclIndex &index)
+{
+    const std::vector<Token> &toks = file.lex.tokens;
+    for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+        if (!isIdent(toks[i], "deque") || !isPunct(toks[i + 1], "<"))
+            continue;
+        const std::size_t past = matchTemplateClose(toks, i + 1);
+        if (past < toks.size() && toks[past].kind == TokKind::Ident)
+            index.dequeNames.insert(std::string(toks[past].text));
+    }
+}
+
+/** Callee names of one body: idents directly followed by '('. */
+std::set<std::string>
+calleesOf(const std::vector<Token> &toks, const FunctionDecl &fn)
+{
+    std::set<std::string> out;
+    for (std::size_t i = fn.bodyBegin + 1;
+         i + 1 < fn.bodyEnd && i + 1 < toks.size(); ++i) {
+        if (toks[i].kind == TokKind::Ident &&
+            isPunct(toks[i + 1], "(") &&
+            !isKeywordNotCall(toks[i].text))
+            out.insert(std::string(toks[i].text));
+    }
+    return out;
+}
+
+void
+propagateHot(Project &project)
+{
+    DeclIndex &index = project.decls;
+    for (std::size_t f = 0; f < index.functions.size(); ++f)
+        if (index.functions[f].hasBody)
+            index.byName[index.functions[f].name].push_back(f);
+
+    // A `hot` annotation on a bodiless in-class declaration marks the
+    // out-of-line definition of that method.
+    for (FunctionDecl &fn : index.functions)
+        if (!fn.hotRoot && !fn.cls.empty() &&
+            index.hotDeclMethods.count(fn.cls + "::" + fn.name))
+            fn.hotRoot = true;
+
+    std::vector<std::size_t> work;
+    for (std::size_t f = 0; f < index.functions.size(); ++f) {
+        if (index.functions[f].hotRoot) {
+            index.functions[f].hot = true;
+            index.functions[f].hotVia = index.functions[f].name;
+            work.push_back(f);
+        }
+    }
+    while (!work.empty()) {
+        const std::size_t f = work.back();
+        work.pop_back();
+        const FunctionDecl &caller = index.functions[f];
+        const FileContext &file = *project.files[caller.fileIndex];
+        const std::string via = caller.hotVia;
+        for (const std::string &name :
+             calleesOf(file.lex.tokens, caller)) {
+            const auto it = index.byName.find(name);
+            if (it == index.byName.end())
+                continue;
+            std::size_t target = index.functions.size();
+            if (it->second.size() == 1) {
+                target = it->second.front();
+            } else {
+                // Ambiguous bare name: resolve only when exactly one
+                // candidate shares the caller's file stem or class.
+                std::size_t match = index.functions.size();
+                int count = 0;
+                for (std::size_t cand : it->second) {
+                    const FunctionDecl &c = index.functions[cand];
+                    const bool sameStem =
+                        project.files[c.fileIndex]->stem == file.stem;
+                    const bool sameCls =
+                        !caller.cls.empty() && c.cls == caller.cls;
+                    if (sameStem || sameCls) {
+                        match = cand;
+                        ++count;
+                    }
+                }
+                if (count == 1)
+                    target = match;
+            }
+            if (target < index.functions.size() &&
+                !index.functions[target].hot) {
+                index.functions[target].hot = true;
+                index.functions[target].hotVia = via;
+                work.push_back(target);
+            }
+        }
+    }
+}
+
+} // namespace
+
+void
+buildDeclIndex(Project &project)
+{
+    project.decls = DeclIndex{};
+    DeclIndex &index = project.decls;
+
+    // Pass 1: class bodies (members, method classification, inline
+    // method bodies). Collect class token ranges for pass 2.
+    std::vector<std::vector<std::pair<std::size_t, std::size_t>>> ranges(
+        project.files.size());
+    for (std::size_t fi = 0; fi < project.files.size(); ++fi) {
+        const FileContext &file = *project.files[fi];
+        ClassScanCtx ctx{file, fi, index};
+        for (const auto &[open, named] : classBodies(file.lex.tokens)) {
+            const std::size_t close = matchClose(file.lex.tokens, open);
+            ranges[fi].emplace_back(open, close);
+            scanClassBody(ctx, named.first, open, close);
+        }
+    }
+
+    // Pass 2: out-of-class and free definitions.
+    for (std::size_t fi = 0; fi < project.files.size(); ++fi)
+        scanDefinitions(*project.files[fi], fi, index, ranges[fi]);
+
+    // Pass 3: StatSet declarations and reserve() receivers.
+    for (const auto &file : project.files) {
+        indexStatSetDecls(*file, index);
+        indexReserveCalls(*file, index);
+        indexDequeDecls(*file, index);
+    }
+
+    propagateHot(project);
+}
+
+} // namespace spburst::lint

@@ -56,8 +56,8 @@ lex(LexedFile &f)
 
     auto emit = [&](TokKind kind, std::size_t start, std::size_t len,
                     int tline, int tcol) {
-        f.tokens.push_back(
-            {kind, std::string_view(s).substr(start, len), tline, tcol});
+        f.tokens.push_back({kind, std::string_view(s).substr(start, len),
+                            tline, tcol, start});
     };
 
     while (i < n) {
@@ -192,7 +192,16 @@ lex(LexedFile &f)
             while (end < n) {
                 const char d = s[end];
                 if (std::isalnum(static_cast<unsigned char>(d)) ||
-                    d == '.' || d == '\'') {
+                    d == '.') {
+                    ++end;
+                } else if (d == '\'' && end + 1 < n &&
+                           (std::isalnum(
+                                static_cast<unsigned char>(s[end + 1])) ||
+                            s[end + 1] == '_')) {
+                    // C++14 digit separator: only when followed by an
+                    // alphanumeric, so an adjacent char literal (or a
+                    // stray quote in partial code) never gets munched
+                    // into the number and desyncs every later token.
                     ++end;
                 } else if ((d == '+' || d == '-') && end > i &&
                            (s[end - 1] == 'e' || s[end - 1] == 'E' ||

@@ -19,6 +19,7 @@
 
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <string_view>
@@ -42,8 +43,9 @@ struct Token
 {
     TokKind kind = TokKind::Punct;
     std::string_view text;
-    int line = 0; //!< 1-based
-    int col = 0;  //!< 1-based
+    int line = 0;         //!< 1-based
+    int col = 0;          //!< 1-based
+    std::size_t pos = 0;  //!< byte offset into the source (fix edits)
 };
 
 /** One comment (either // or block form), for suppression parsing. */

@@ -31,7 +31,15 @@ struct RuleInfo
     std::string_view summary; //!< one-line description
 };
 
-/** One diagnostic. */
+/** One textual replacement inside a source file (byte-addressed). */
+struct FixEdit
+{
+    std::size_t offset = 0; //!< byte offset into the file's content
+    std::size_t length = 0; //!< bytes to delete (0 = pure insertion)
+    std::string text;       //!< replacement text
+};
+
+/** One diagnostic, optionally carrying a mechanical fix. */
 struct Finding
 {
     std::string ruleId;
@@ -39,6 +47,8 @@ struct Finding
     int line = 0;
     int col = 0;
     std::string message;
+    std::string fixDescription;    //!< empty when no fix is attached
+    std::vector<FixEdit> fixEdits; //!< all edits apply to @c file
 };
 
 /** One `// spburst-lint: allow(<rule>, ...)` comment. */
@@ -65,6 +75,16 @@ struct FileContext
     bool resultAffecting = false;
     LexedFile lex;
     std::vector<Suppression> suppressions;
+    /** Parsed `// spburst-lint: <tag>` annotations, keyed by the line
+     *  they target (same targeting convention as allow(...): a trailing
+     *  comment targets its own line, an own-line comment targets the
+     *  next line). Tags: "hot", "state(host-only)", "state(snapshot)",
+     *  "state(restore)", "config(key)", "config(host-only)". */
+    std::map<int, std::set<std::string>> annotations;
+    /** Option names collected from file-level
+     *  `// spburst-lint: config-host-only(a, b, ...)` comments: CLI
+     *  options this file may parse without a per-line annotation. */
+    std::set<std::string> hostOnlyOptions;
 };
 
 /** Project-wide declaration knowledge for the unordered-iteration and
@@ -101,12 +121,76 @@ struct StatIndex
     }
 };
 
+/** One non-static data member of an indexed class. */
+struct MemberDecl
+{
+    std::string name;
+    std::string file; //!< root-relative path of the declaring file
+    int line = 0;
+    bool hostOnly = false; //!< annotated state(host-only)
+};
+
+/** One indexed function or method body (or bodiless declaration). */
+struct FunctionDecl
+{
+    std::string cls;  //!< qualifying class name; empty for free funcs
+    std::string name; //!< bare name
+    std::size_t fileIndex = 0; //!< into Project::files
+    int line = 0;              //!< 1-based line of the name token
+    std::size_t bodyBegin = 0; //!< token index of the opening '{'
+    std::size_t bodyEnd = 0;   //!< token index of the matching '}'
+    bool hasBody = false;
+    bool hotRoot = false;    //!< directly annotated `hot`
+    bool hot = false;        //!< hotRoot or reachable from one
+    std::string hotVia;      //!< name of the hot root that reaches it
+};
+
+/** Aggregated per-class declaration knowledge. */
+struct ClassDecl
+{
+    std::string name;
+    std::string file; //!< root-relative path of the defining file
+    int line = 0;     //!< line of the class-name token
+    std::vector<MemberDecl> members;
+    /** Method names that capture architectural state: name starts with
+     *  "snapshot", or the declaration is annotated state(snapshot). */
+    std::set<std::string> snapshotMethods;
+    /** Method names that restore it ("restore" prefix or
+     *  state(restore) annotation). */
+    std::set<std::string> restoreMethods;
+};
+
+/** Project-wide declaration index for the semantic rules (built once
+ *  before any rule runs, after the token indices). */
+struct DeclIndex
+{
+    std::map<std::string, ClassDecl> classes;
+    std::vector<FunctionDecl> functions;
+    /** Bare function name -> indices into @c functions (bodies only). */
+    std::map<std::string, std::vector<std::size_t>> byName;
+    /** Per file stem: variable/member names declared as StatSet. */
+    std::map<std::string, std::set<std::string>> statSetVarsByStem;
+    /** Per file stem: methods declared to return (a reference to) a
+     *  StatSet. */
+    std::map<std::string, std::set<std::string>> statSetMethodsByStem;
+    /** Names on which `.reserve(` / `->reserve(` is called anywhere in
+     *  the project (capacity-managed vectors for the hot-alloc rule). */
+    std::set<std::string> reservedNames;
+    /** Names declared anywhere as std::deque: chunked allocation with
+     *  no relocation, so hot-alloc's reserve() advice does not apply. */
+    std::set<std::string> dequeNames;
+    /** "Cls::name" of bodiless method declarations annotated `hot`;
+     *  the annotation transfers to the out-of-line definition. */
+    std::set<std::string> hotDeclMethods;
+};
+
 /** Everything a rule may look at. */
 struct Project
 {
     std::vector<std::unique_ptr<FileContext>> files;
     TypeIndex types;
     StatIndex stats;
+    DeclIndex decls;
 };
 
 /** One lint rule. Implementations live in rules.cc. */
@@ -123,6 +207,16 @@ class Rule
  *  rule id that can appear in a finding except "unused-suppression",
  *  which the engine emits itself. */
 const std::vector<const Rule *> &allRules();
+
+/** The five semantic rules (snapshot-coverage, codec-symmetry,
+ *  stat-hot-path, hot-alloc, config-key-coverage), registered by
+ *  allRules() after the token-level rules. Defined in
+ *  semantic_rules.cc. */
+const std::vector<const Rule *> &semanticRules();
+
+/** Build Project::decls from the lexed files. Defined in index.cc;
+ *  called by buildIndices(). */
+void buildDeclIndex(Project &project);
 
 /** Rule id the engine uses for stale allow(...) comments. */
 inline constexpr std::string_view kUnusedSuppressionId =

@@ -1,5 +1,6 @@
 #include "analysis/project.hh"
 
+#include <cctype>
 #include <fstream>
 #include <map>
 #include <sstream>
@@ -86,6 +87,117 @@ parseSuppressions(FileContext &file)
         }
         if (!s.rules.empty())
             file.suppressions.push_back(std::move(s));
+    }
+}
+
+/** Parse the non-allow `spburst-lint:` annotations. Targeting follows
+ *  the allow(...) convention: a trailing comment annotates its own
+ *  line, an own-line comment annotates the next line. Recognized:
+ *  `hot`, `state(host-only|snapshot|restore)`,
+ *  `config(key|host-only)`, and the file-level
+ *  `config-host-only(name, ...)` allowlist. Anything after ` -- ` is a
+ *  human justification. */
+void
+parseAnnotations(FileContext &file)
+{
+    // Own-line annotation comments often continue over several //
+    // lines (`state(host-only) -- a justification that wraps`); the
+    // annotation targets the first line after the whole comment run.
+    std::map<int, int> ownLineSpans; // start line -> end line
+    for (const Comment &c : file.lex.comments)
+        if (c.ownLine)
+            ownLineSpans.emplace(c.line, c.endLine);
+    for (const Comment &c : file.lex.comments) {
+        const std::string_view text = c.text;
+        const std::size_t tag = text.find("spburst-lint:");
+        if (tag == std::string_view::npos)
+            continue;
+        std::string_view body = text.substr(tag + 13);
+        if (const std::size_t j = body.find(" -- ");
+            j != std::string_view::npos)
+            body = body.substr(0, j);
+        int target = c.line;
+        if (c.ownLine) {
+            target = c.endLine + 1;
+            for (auto it = ownLineSpans.find(target);
+                 it != ownLineSpans.end();
+                 it = ownLineSpans.find(target))
+                target = it->second + 1;
+        }
+        auto trimmed = [](std::string_view s) {
+            auto ws = [](char w) {
+                return w == ' ' || w == '\t' || w == '\n' || w == '\r';
+            };
+            while (!s.empty() && ws(s.front()))
+                s.remove_prefix(1);
+            while (!s.empty() && ws(s.back()))
+                s.remove_suffix(1);
+            return std::string(s);
+        };
+        // Parenthesised tags: state(...), config(...). The substring
+        // "config(" cannot match inside "config-host-only(", so the
+        // three searches are independent.
+        for (std::string_view kind : {std::string_view("state"),
+                                      std::string_view("config")}) {
+            std::string pat(kind);
+            pat += '(';
+            std::size_t pos = 0;
+            while ((pos = body.find(pat, pos)) != std::string_view::npos) {
+                const std::size_t open = pos + pat.size() - 1;
+                const std::size_t close = body.find(')', open);
+                pos = open + 1;
+                if (close == std::string_view::npos)
+                    continue;
+                const std::string arg =
+                    trimmed(body.substr(open + 1, close - open - 1));
+                const bool known =
+                    (kind == "state" &&
+                     (arg == "host-only" || arg == "snapshot" ||
+                      arg == "restore")) ||
+                    (kind == "config" &&
+                     (arg == "key" || arg == "host-only"));
+                if (known)
+                    file.annotations[target].insert(std::string(kind) +
+                                                    "(" + arg + ")");
+            }
+        }
+        // File-level allowlist of host-only CLI option names.
+        std::size_t pos = 0;
+        while ((pos = body.find("config-host-only(", pos)) !=
+               std::string_view::npos) {
+            const std::size_t open = pos + 16;
+            const std::size_t close = body.find(')', open);
+            pos = open + 1;
+            if (close == std::string_view::npos)
+                continue;
+            std::string_view list = body.substr(open + 1, close - open - 1);
+            while (!list.empty()) {
+                const std::size_t comma = list.find(',');
+                std::string name = trimmed(list.substr(0, comma));
+                while (!name.empty() && name.front() == '-')
+                    name.erase(name.begin());
+                if (!name.empty())
+                    file.hostOnlyOptions.insert(std::move(name));
+                if (comma == std::string_view::npos)
+                    break;
+                list.remove_prefix(comma + 1);
+            }
+        }
+        // Bare `hot` tag (word-boundary match so prose in a
+        // justification never trips it).
+        for (std::size_t p = body.find("hot"); p != std::string_view::npos;
+             p = body.find("hot", p + 1)) {
+            const auto wordChar = [](char ch) {
+                return std::isalnum(static_cast<unsigned char>(ch)) ||
+                       ch == '_' || ch == '-' || ch == '(';
+            };
+            const bool bl = p == 0 || !wordChar(body[p - 1]);
+            const bool br = p + 3 >= body.size() || !wordChar(body[p + 3]);
+            if (bl && br) {
+                file.annotations[target].insert("hot");
+                break;
+            }
+        }
     }
 }
 
@@ -292,17 +404,9 @@ indexStatNames(const FileContext &file, StatIndex &stats)
 } // namespace
 
 std::unique_ptr<FileContext>
-loadFile(const std::string &path, const std::string &root,
-         std::vector<std::string> &errors)
+makeFile(const std::string &path, const std::string &root,
+         std::string source)
 {
-    std::ifstream in(path, std::ios::binary);
-    if (!in) {
-        errors.push_back("cannot read " + path);
-        return nullptr;
-    }
-    std::ostringstream buf;
-    buf << in.rdbuf();
-
     auto file = std::make_unique<FileContext>();
     file->path = path;
     file->relPath = relativeTo(path, root);
@@ -313,10 +417,25 @@ loadFile(const std::string &path, const std::string &root,
             break;
         }
     }
-    file->lex.source = buf.str();
+    file->lex.source = std::move(source);
     lex(file->lex);
     parseSuppressions(*file);
+    parseAnnotations(*file);
     return file;
+}
+
+std::unique_ptr<FileContext>
+loadFile(const std::string &path, const std::string &root,
+         std::vector<std::string> &errors)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        errors.push_back("cannot read " + path);
+        return nullptr;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return makeFile(path, root, buf.str());
 }
 
 void
@@ -330,6 +449,7 @@ buildIndices(Project &project)
         indexClassVars(*file, project.types);
     for (const auto &file : project.files)
         indexStatNames(*file, project.stats);
+    buildDeclIndex(project);
 }
 
 } // namespace spburst::lint

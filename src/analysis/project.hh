@@ -22,6 +22,13 @@ std::unique_ptr<FileContext> loadFile(const std::string &path,
                                       const std::string &root,
                                       std::vector<std::string> &errors);
 
+/** Lex and classify already-read file content. The engine reads
+ *  sources first (so a cache hit never pays for lexing) and calls this
+ *  only on a cache miss. */
+std::unique_ptr<FileContext> makeFile(const std::string &path,
+                                      const std::string &root,
+                                      std::string source);
+
 /** Build the TypeIndex and StatIndex over @p project.files. */
 void buildIndices(Project &project);
 

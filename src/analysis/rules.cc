@@ -44,8 +44,13 @@ void
 add(std::vector<Finding> &out, std::string_view rule,
     const FileContext &file, const Token &at, std::string message)
 {
-    out.push_back({std::string(rule), file.relPath, at.line, at.col,
-                   std::move(message)});
+    Finding f;
+    f.ruleId = std::string(rule);
+    f.file = file.relPath;
+    f.line = at.line;
+    f.col = at.col;
+    f.message = std::move(message);
+    out.push_back(std::move(f));
 }
 
 template <typename Set, typename Key>
@@ -756,8 +761,12 @@ allRules()
     static const CallbackCaptureRule r4;
     static const CallbackInlineSizeRule r5;
     static const StatNameRule r6;
-    static const std::vector<const Rule *> rules = {&r1, &r2, &r3,
-                                                    &r4, &r5, &r6};
+    static const std::vector<const Rule *> rules = [] {
+        std::vector<const Rule *> v = {&r1, &r2, &r3, &r4, &r5, &r6};
+        for (const Rule *r : semanticRules())
+            v.push_back(r);
+        return v;
+    }();
     return rules;
 }
 

@@ -1,0 +1,690 @@
+/**
+ * @file
+ * The semantic rule catalogue (rides on the DeclIndex from index.cc).
+ *
+ * Five rules guarding the invariants the sampling subsystem (PR 6) and
+ * the ROADMAP hot-path items turned into correctness requirements:
+ *
+ *  - snapshot-coverage:   every data member of a class with both
+ *                         snapshot and restore methods must be read by
+ *                         a snapshot method and written by a restore
+ *                         method, or be annotated state(host-only) —
+ *                         a member missing from restore makes sampled
+ *                         runs silently diverge from detailed runs.
+ *  - codec-symmetry:      paired writer/reader functions (put-/get-,
+ *                         write-/read-, encode-/decode-, store-/load-
+ *                         prefixed, plus save/load) in the same file
+ *                         and class must put and get the same fields
+ *                         in the same order and width.
+ *  - stat-hot-path:       string-keyed StatSet calls reachable from a
+ *                         hot-annotated root re-hash the key on every
+ *                         access; demand an interned StatHandle.
+ *  - hot-alloc:           new / make_unique / make_shared and
+ *                         push_back without a reserve() in hot
+ *                         functions.
+ *  - config-key-coverage: every "--option" literal parsed under tools/
+ *                         must be annotated config(key) (folded into
+ *                         exp::configKey), config(host-only), or
+ *                         listed in a file-level config-host-only(...)
+ *                         allowlist.
+ */
+
+#include <cctype>
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+
+#include "analysis/model.hh"
+#include "analysis/util.hh"
+
+namespace spburst::lint
+{
+
+namespace
+{
+
+void
+add(std::vector<Finding> &out, std::string_view rule,
+    const FileContext &file, const Token &at, std::string message)
+{
+    Finding f;
+    f.ruleId = std::string(rule);
+    f.file = file.relPath;
+    f.line = at.line;
+    f.col = at.col;
+    f.message = std::move(message);
+    out.push_back(std::move(f));
+}
+
+bool
+annotated(const FileContext &file, int line, const char *tag)
+{
+    for (int l = line - 1; l <= line; ++l) {
+        const auto it = file.annotations.find(l);
+        if (it != file.annotations.end() && it->second.count(tag))
+            return true;
+    }
+    return false;
+}
+
+/** Index of the '(' matching the ')' at @p close, scanning backwards;
+ *  toks.size() when unbalanced. */
+std::size_t
+matchOpenBackward(const std::vector<Token> &toks, std::size_t close)
+{
+    int depth = 0;
+    for (std::size_t i = close + 1; i-- > 0;) {
+        if (isPunct(toks[i], ")"))
+            ++depth;
+        else if (isPunct(toks[i], "(") && --depth == 0)
+            return i;
+    }
+    return toks.size();
+}
+
+/** Byte offset of the first column of the line token @p t starts on. */
+std::size_t
+lineStartOffset(const Token &t)
+{
+    const std::size_t col = t.col > 0 ? static_cast<std::size_t>(t.col - 1)
+                                      : 0;
+    return t.pos >= col ? t.pos - col : 0;
+}
+
+// ---------------------------------------------------------------------
+// Rule: snapshot-coverage
+// ---------------------------------------------------------------------
+
+class SnapshotCoverageRule final : public Rule
+{
+  public:
+    RuleInfo
+    info() const override
+    {
+        return {"snapshot-coverage",
+                "every data member of a class with snapshot/restore "
+                "methods must be read in snapshot and written in "
+                "restore, or be annotated state(host-only)"};
+    }
+
+    void
+    check(const Project &project, const FileContext &file,
+          std::vector<Finding> &out) const override
+    {
+        for (const auto &[name, cls] : project.decls.classes) {
+            if (cls.file != file.relPath)
+                continue; // report at the declaring file only
+            if (cls.snapshotMethods.empty() || cls.restoreMethods.empty())
+                continue;
+            // Bodies of the state methods, wherever they are defined.
+            std::vector<const FunctionDecl *> snap, rest;
+            for (const FunctionDecl &fn : project.decls.functions) {
+                if (!fn.hasBody || fn.cls != name)
+                    continue;
+                if (cls.snapshotMethods.count(fn.name))
+                    snap.push_back(&fn);
+                if (cls.restoreMethods.count(fn.name))
+                    rest.push_back(&fn);
+            }
+            // Partial file list (header without the .cc): skipping
+            // beats false positives — precommit runs see subsets.
+            if (snap.empty() || rest.empty())
+                continue;
+            for (const MemberDecl &m : cls.members) {
+                if (m.hostOnly)
+                    continue;
+                const bool inSnap = touched(project, snap, m.name);
+                const bool inRest = touched(project, rest, m.name);
+                if (inSnap && inRest)
+                    continue;
+                std::string what;
+                if (!inSnap && !inRest)
+                    what = "neither read in any snapshot method nor "
+                           "written in any restore method";
+                else if (!inSnap)
+                    what = "not read in any snapshot method";
+                else
+                    what = "not written in any restore method";
+                Finding f;
+                f.ruleId = std::string(info().id);
+                f.file = file.relPath;
+                f.line = m.line;
+                f.col = 1;
+                f.message = "data member '" + m.name +
+                            "' of stateful class '" + name + "' is " +
+                            what +
+                            ": sampled runs restore an incomplete "
+                            "state and silently diverge from detailed "
+                            "runs; cover it in " +
+                            *cls.snapshotMethods.begin() + "/" +
+                            *cls.restoreMethods.begin() +
+                            " or annotate it `// spburst-lint: "
+                            "state(host-only) -- <why>`";
+                out.push_back(std::move(f));
+            }
+        }
+    }
+
+  private:
+    static bool
+    touched(const Project &project,
+            const std::vector<const FunctionDecl *> &fns,
+            const std::string &member)
+    {
+        for (const FunctionDecl *fn : fns) {
+            const std::vector<Token> &toks =
+                project.files[fn->fileIndex]->lex.tokens;
+            for (std::size_t i = fn->bodyBegin;
+                 i <= fn->bodyEnd && i < toks.size(); ++i)
+                if (isIdent(toks[i], member))
+                    return true;
+        }
+        return false;
+    }
+};
+
+// ---------------------------------------------------------------------
+// Rule: codec-symmetry
+// ---------------------------------------------------------------------
+
+/** One serialization op inside a writer/reader body. */
+struct CodecOp
+{
+    std::string label; //!< normalized: "U64", "Le32", "raw", ...
+    const Token *at = nullptr;
+};
+
+constexpr std::string_view kWriterPrefixes[] = {"put", "write", "encode",
+                                                "store"};
+constexpr std::string_view kReaderPrefixes[] = {"get", "read", "decode",
+                                                "load"};
+
+/** "U64" for ("putU64", "put"); empty when @p name is not @p prefix
+ *  followed by an uppercase-led suffix. */
+std::string
+suffixAfter(std::string_view name, std::string_view prefix)
+{
+    if (name.size() > prefix.size() &&
+        name.compare(0, prefix.size(), prefix) == 0 &&
+        std::isupper(static_cast<unsigned char>(name[prefix.size()])))
+        return std::string(name.substr(prefix.size()));
+    return {};
+}
+
+template <std::size_t N>
+std::string
+opSuffix(std::string_view name, const std::string_view (&prefixes)[N])
+{
+    for (std::string_view p : prefixes) {
+        std::string s = suffixAfter(name, p);
+        if (!s.empty())
+            return s;
+    }
+    return {};
+}
+
+class CodecSymmetryRule final : public Rule
+{
+  public:
+    RuleInfo
+    info() const override
+    {
+        return {"codec-symmetry",
+                "paired writer/reader functions must put and get the "
+                "same fields in the same order and width"};
+    }
+
+    void
+    check(const Project &project, const FileContext &file,
+          std::vector<Finding> &out) const override
+    {
+        static const std::map<std::string_view, std::string_view>
+            counterpart = {{"put", "get"},
+                           {"write", "read"},
+                           {"encode", "decode"},
+                           {"store", "load"}};
+        for (const FunctionDecl &w : project.decls.functions) {
+            if (!w.hasBody ||
+                project.files[w.fileIndex].get() != &file)
+                continue;
+            // Writer-driven pairing: find this writer's reader name.
+            std::string readerName;
+            if (w.name == "save") {
+                readerName = "load";
+            } else {
+                for (std::string_view p : kWriterPrefixes) {
+                    const std::string s = suffixAfter(w.name, p);
+                    if (!s.empty()) {
+                        readerName = std::string(counterpart.at(p)) + s;
+                        break;
+                    }
+                }
+            }
+            if (readerName.empty())
+                continue;
+            const FunctionDecl *r = nullptr;
+            for (const FunctionDecl &cand : project.decls.functions) {
+                if (cand.hasBody && cand.name == readerName &&
+                    cand.cls == w.cls &&
+                    project.files[cand.fileIndex].get() == &file) {
+                    r = &cand;
+                    break;
+                }
+            }
+            if (!r)
+                continue; // unpaired writer: nothing to compare
+            compare(file, w, *r, out);
+        }
+    }
+
+  private:
+    template <std::size_t N>
+    static std::vector<CodecOp>
+    opsOf(const FileContext &file, const FunctionDecl &fn,
+          const std::string_view (&prefixes)[N], std::string_view rawFn)
+    {
+        std::vector<CodecOp> ops;
+        const std::vector<Token> &toks = file.lex.tokens;
+        for (std::size_t i = fn.bodyBegin + 1;
+             i + 1 < fn.bodyEnd && i + 1 < toks.size(); ++i) {
+            if (toks[i].kind != TokKind::Ident ||
+                !isPunct(toks[i + 1], "("))
+                continue;
+            if (toks[i].text == rawFn) {
+                ops.push_back({"raw", &toks[i]});
+                continue;
+            }
+            const std::string s = opSuffix(toks[i].text, prefixes);
+            if (!s.empty())
+                ops.push_back({s, &toks[i]});
+        }
+        return ops;
+    }
+
+    void
+    compare(const FileContext &file, const FunctionDecl &w,
+            const FunctionDecl &r, std::vector<Finding> &out) const
+    {
+        const auto wops = opsOf(file, w, kWriterPrefixes, "fwrite");
+        const auto rops = opsOf(file, r, kReaderPrefixes, "fread");
+        const std::string pair = "writer '" + w.name + "' / reader '" +
+                                 r.name + "'";
+        if (wops.size() != rops.size()) {
+            add(out, info().id, file,
+                file.lex.tokens[r.bodyBegin],
+                pair + ": writer emits " + std::to_string(wops.size()) +
+                    " fields but reader consumes " +
+                    std::to_string(rops.size()) +
+                    "; the codec must put and get the same fields in "
+                    "the same order");
+            return;
+        }
+        for (std::size_t k = 0; k < wops.size(); ++k) {
+            if (wops[k].label == rops[k].label)
+                continue;
+            add(out, info().id, file, *rops[k].at,
+                pair + " disagree at field " + std::to_string(k + 1) +
+                    ": writer puts <" + wops[k].label +
+                    "> but reader gets <" + rops[k].label +
+                    ">; a width or order mismatch here corrupts every "
+                    "checkpoint after this field");
+            return; // one desync poisons the rest: report once
+        }
+    }
+};
+
+// ---------------------------------------------------------------------
+// Rule: stat-hot-path
+// ---------------------------------------------------------------------
+
+class StatHotPathRule final : public Rule
+{
+  public:
+    RuleInfo
+    info() const override
+    {
+        return {"stat-hot-path",
+                "string-keyed StatSet accesses reachable from a "
+                "hot-annotated root re-hash the key every call; intern "
+                "a StatHandle once and use it"};
+    }
+
+    void
+    check(const Project &project, const FileContext &file,
+          std::vector<Finding> &out) const override
+    {
+        static const std::set<std::string_view> accessors = {
+            "set", "get", "has", "add"};
+        const std::vector<Token> &toks = file.lex.tokens;
+        for (const FunctionDecl &fn : project.decls.functions) {
+            if (!fn.hot || !fn.hasBody ||
+                project.files[fn.fileIndex].get() != &file)
+                continue;
+            for (std::size_t i = fn.bodyBegin + 1;
+                 i + 1 < fn.bodyEnd && i + 1 < toks.size(); ++i) {
+                if (toks[i].kind != TokKind::Ident ||
+                    accessors.count(toks[i].text) == 0)
+                    continue;
+                if (!isPunct(toks[i + 1], "(") || i < 2)
+                    continue;
+                if (!(isPunct(toks[i - 1], ".") ||
+                      isPunct(toks[i - 1], "->")))
+                    continue;
+                std::string recv;
+                if (toks[i - 2].kind == TokKind::Ident &&
+                    stemHas(project.decls.statSetVarsByStem, file.stem,
+                            std::string(toks[i - 2].text))) {
+                    recv = std::string(toks[i - 2].text);
+                } else if (isPunct(toks[i - 2], ")")) {
+                    const std::size_t open =
+                        matchOpenBackward(toks, i - 2);
+                    if (open < toks.size() && open > 0 &&
+                        toks[open - 1].kind == TokKind::Ident &&
+                        stemHas(project.decls.statSetMethodsByStem,
+                                file.stem,
+                                std::string(toks[open - 1].text)))
+                        recv = std::string(toks[open - 1].text) + "()";
+                }
+                if (recv.empty())
+                    continue;
+                const std::size_t close = matchClose(toks, i + 1);
+                if (close >= toks.size())
+                    continue;
+                const auto args = splitArgs(toks, i + 1, close);
+                if (args.empty() ||
+                    toks[args[0].first].kind != TokKind::String)
+                    continue; // handle-keyed or dynamic: fine
+                Finding f;
+                f.ruleId = std::string(info().id);
+                f.file = file.relPath;
+                f.line = toks[i].line;
+                f.col = toks[i].col;
+                f.message =
+                    "string-keyed StatSet::" + std::string(toks[i].text) +
+                    "(" + std::string(toks[args[0].first].text) +
+                    ", ...) on a hot path (reachable from hot root '" +
+                    fn.hotVia +
+                    "'): every call re-resolves the name; intern a "
+                    "StatHandle once at construction (StatSet::intern) "
+                    "and index with the handle here";
+                attachHoistFix(fn, toks, i, args[0].first, f);
+                out.push_back(std::move(f));
+            }
+        }
+    }
+
+  private:
+    /** Mechanical fix for member receivers (`stats_.add("x", v)`):
+     *  hoist an interned handle to the top of the hot function and use
+     *  it at the call site. Locals may not exist at the insertion
+     *  point, so only trailing-underscore (member) receivers get a
+     *  fix. */
+    static void
+    attachHoistFix(const FunctionDecl &fn,
+                   const std::vector<Token> &toks, std::size_t call,
+                   std::size_t literal, Finding &f)
+    {
+        if (toks[call - 2].kind != TokKind::Ident)
+            return;
+        const std::string recv(toks[call - 2].text);
+        if (recv.empty() || recv.back() != '_')
+            return;
+        std::string slug = "h_";
+        for (const char ch : stringValue(toks[literal]))
+            slug += std::isalnum(static_cast<unsigned char>(ch)) ? ch
+                                                                 : '_';
+        std::string decl = "\n    const auto ";
+        decl += slug;
+        decl += " = ";
+        decl += recv;
+        decl += ".intern(";
+        decl += toks[literal].text;
+        decl += ");";
+        f.fixDescription = "hoist an interned handle '" + slug +
+                           "' to the top of '" + fn.name + "'";
+        f.fixEdits.push_back(
+            {toks[fn.bodyBegin].pos + 1, 0, std::move(decl)});
+        f.fixEdits.push_back(
+            {toks[literal].pos, toks[literal].text.size(), slug});
+    }
+
+    template <typename MapOfSets>
+    static bool
+    stemHas(const MapOfSets &m, const std::string &stem,
+            const std::string &name)
+    {
+        const auto it = m.find(stem);
+        return it != m.end() && it->second.count(name) != 0;
+    }
+};
+
+// ---------------------------------------------------------------------
+// Rule: hot-alloc
+// ---------------------------------------------------------------------
+
+class HotAllocRule final : public Rule
+{
+  public:
+    RuleInfo
+    info() const override
+    {
+        return {"hot-alloc",
+                "heap allocation (new / make_unique / make_shared / "
+                "unreserved push_back) in a hot-annotated function: "
+                "per-uop allocations belong in construction"};
+    }
+
+    void
+    check(const Project &project, const FileContext &file,
+          std::vector<Finding> &out) const override
+    {
+        const std::vector<Token> &toks = file.lex.tokens;
+        for (const FunctionDecl &fn : project.decls.functions) {
+            if (!fn.hot || !fn.hasBody ||
+                project.files[fn.fileIndex].get() != &file)
+                continue;
+            for (std::size_t i = fn.bodyBegin + 1;
+                 i < fn.bodyEnd && i < toks.size(); ++i) {
+                const Token &t = toks[i];
+                if (t.kind != TokKind::Ident)
+                    continue;
+                if ((t.text == "new" &&
+                     !(i > 0 && isIdent(toks[i - 1], "operator"))) ||
+                    t.text == "make_unique" || t.text == "make_shared") {
+                    std::string msg = "'";
+                    msg += t.text;
+                    msg += "' in hot function '";
+                    msg += fn.name;
+                    msg += "' (reachable from hot root '";
+                    msg += fn.hotVia;
+                    msg += "'): allocate at construction or pool the "
+                           "objects; a per-uop allocation dominates "
+                           "the simulated hot loop";
+                    add(out, info().id, file, t, msg);
+                    continue;
+                }
+                if ((t.text == "push_back" || t.text == "emplace_back") &&
+                    i >= 2 && i + 1 < toks.size() &&
+                    isPunct(toks[i + 1], "(") &&
+                    (isPunct(toks[i - 1], ".") ||
+                     isPunct(toks[i - 1], "->")) &&
+                    toks[i - 2].kind == TokKind::Ident) {
+                    const std::string recv(toks[i - 2].text);
+                    if (isReserved(project, file, fn, recv))
+                        continue;
+                    Finding f;
+                    f.ruleId = std::string(info().id);
+                    f.file = file.relPath;
+                    f.line = t.line;
+                    f.col = t.col;
+                    f.message =
+                        "'" + recv + "." + std::string(t.text) +
+                        "' in hot function '" + fn.name +
+                        "' (reachable from hot root '" + fn.hotVia +
+                        "') with no reserve() in sight: growth "
+                        "reallocations land on the hot path; reserve "
+                        "the capacity up front";
+                    attachReserveFix(fn, toks, i, recv, f);
+                    out.push_back(std::move(f));
+                }
+            }
+        }
+    }
+
+  private:
+    /** Members (trailing underscore) count as reserved when any file
+     *  reserves them; locals must be reserved inside this body. */
+    static bool
+    isReserved(const Project &project, const FileContext &file,
+               const FunctionDecl &fn, const std::string &recv)
+    {
+        // Deques allocate in chunks and never relocate: reserve()
+        // does not exist for them and growth is already amortised.
+        if (project.decls.dequeNames.count(recv) != 0)
+            return true;
+        if (!recv.empty() && recv.back() == '_')
+            return project.decls.reservedNames.count(recv) != 0;
+        const std::vector<Token> &toks = file.lex.tokens;
+        for (std::size_t i = fn.bodyBegin;
+             i + 2 <= fn.bodyEnd && i + 2 < toks.size(); ++i) {
+            if (isIdent(toks[i], recv) &&
+                (isPunct(toks[i + 1], ".") ||
+                 isPunct(toks[i + 1], "->")) &&
+                isIdent(toks[i + 2], "reserve"))
+                return true;
+        }
+        return false;
+    }
+
+    /** Mechanical fix: when the push_back sits in a range-for over a
+     *  plain identifier, insert `recv.reserve(src.size());` on the
+     *  line before the for, matching its indentation. */
+    static void
+    attachReserveFix(const FunctionDecl &fn,
+                     const std::vector<Token> &toks, std::size_t call,
+                     const std::string &recv, Finding &f)
+    {
+        for (std::size_t j = call; j-- > fn.bodyBegin + 1;) {
+            if (!isIdent(toks[j], "for") || j + 1 >= toks.size() ||
+                !isPunct(toks[j + 1], "("))
+                continue;
+            const std::size_t close = matchClose(toks, j + 1);
+            if (close >= toks.size() || close > call)
+                continue; // the call is not in this for's body
+            // Range expression must be `x : src` with src an ident.
+            std::size_t colon = toks.size();
+            for (std::size_t k = j + 2; k < close; ++k) {
+                if (isPunct(toks[k], ";"))
+                    return; // classic for: no mechanical fix
+                if (isPunct(toks[k], ":")) {
+                    colon = k;
+                    break;
+                }
+            }
+            if (colon + 2 != close ||
+                toks[colon + 1].kind != TokKind::Ident)
+                return;
+            const std::string src(toks[colon + 1].text);
+            const std::string indent(
+                toks[j].col > 0
+                    ? static_cast<std::size_t>(toks[j].col - 1)
+                    : 0,
+                ' ');
+            f.fixDescription = "reserve '" + recv +
+                               "' to the size of '" + src +
+                               "' before the loop";
+            f.fixEdits.push_back({lineStartOffset(toks[j]), 0,
+                                  indent + recv + ".reserve(" + src +
+                                      ".size());\n"});
+            return;
+        }
+    }
+};
+
+// ---------------------------------------------------------------------
+// Rule: config-key-coverage
+// ---------------------------------------------------------------------
+
+class ConfigKeyCoverageRule final : public Rule
+{
+  public:
+    RuleInfo
+    info() const override
+    {
+        return {"config-key-coverage",
+                "every CLI option parsed under tools/ must be "
+                "annotated config(key) — folded into exp::configKey — "
+                "or declared host-only"};
+    }
+
+    void
+    check(const Project &, const FileContext &file,
+          std::vector<Finding> &out) const override
+    {
+        if (file.relPath.find("tools/") == std::string::npos)
+            return;
+        for (const Token &t : file.lex.tokens) {
+            if (t.kind != TokKind::String)
+                continue;
+            const std::string lit = stringValue(t);
+            if (!isOptionLiteral(lit))
+                continue;
+            std::string name = lit.substr(2);
+            if (!name.empty() && name.back() == '=')
+                name.pop_back();
+            if (file.hostOnlyOptions.count(name))
+                continue;
+            if (annotated(file, t.line, "config(key)") ||
+                annotated(file, t.line, "config(host-only)"))
+                continue;
+            add(out, info().id, file, t,
+                "CLI option '--" + name +
+                    "' is not covered: if it affects simulated "
+                    "results, fold it into exp::configKey and annotate "
+                    "`// spburst-lint: config(key)`; if it is "
+                    "host-side only, annotate `config(host-only)` or "
+                    "list it in a file-level `// spburst-lint: "
+                    "config-host-only(...)` allowlist");
+        }
+    }
+
+  private:
+    /** Exactly "--name" or "--name=" with [a-z0-9-] names: option
+     *  literals as they appear in parser comparisons. Prose in usage()
+     *  text never matches because it is one big literal. */
+    static bool
+    isOptionLiteral(const std::string &s)
+    {
+        if (s.size() < 3 || s.compare(0, 2, "--") != 0)
+            return false;
+        const std::size_t end =
+            s.back() == '=' ? s.size() - 1 : s.size();
+        if (end <= 2)
+            return false;
+        for (std::size_t i = 2; i < end; ++i) {
+            const char ch = s[i];
+            if (!((ch >= 'a' && ch <= 'z') || (ch >= '0' && ch <= '9') ||
+                  ch == '-'))
+                return false;
+        }
+        return true;
+    }
+};
+
+} // namespace
+
+const std::vector<const Rule *> &
+semanticRules()
+{
+    static const SnapshotCoverageRule r1;
+    static const CodecSymmetryRule r2;
+    static const StatHotPathRule r3;
+    static const HotAllocRule r4;
+    static const ConfigKeyCoverageRule r5;
+    static const std::vector<const Rule *> rules = {&r1, &r2, &r3, &r4,
+                                                    &r5};
+    return rules;
+}
+
+} // namespace spburst::lint

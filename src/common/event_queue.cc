@@ -47,6 +47,7 @@ EventQueue::Node *
 EventQueue::allocNode()
 {
     if (freeNodes_ == nullptr) {
+        // spburst-lint: allow(hot-alloc) -- pool refill: one chunk allocation amortised over kChunkNodes events
         chunks_.push_back(std::make_unique<Node[]>(kChunkNodes));
         Node *chunk = chunks_.back().get();
         for (std::size_t i = 0; i < kChunkNodes; ++i) {
@@ -100,6 +101,7 @@ EventQueue::scheduleCalendar(Cycle when, Callback cb)
     // that runUntil empties first. Never taken by the simulator proper
     // (all delays are >= 0 relative to the current cycle).
     if (when <= cursor_) {
+        // spburst-lint: allow(hot-alloc) -- legacy-heap compatibility path, never taken by the simulator proper
         overdue_.push_back(FlatEvent{when, id, std::move(cb)});
         return;
     }

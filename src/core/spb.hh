@@ -117,6 +117,7 @@ class SpbDetector
      * @param size Store size in bytes (used by the dynamic variant).
      * @return Burst to issue; count == 0 means "no burst".
      */
+    // spburst-lint: hot
     SpbBurst onStoreCommit(Addr addr, unsigned size);
 
     // State accessors (tests and the running example).
@@ -126,6 +127,7 @@ class SpbDetector
     unsigned storeCount() const { return storeCount_; }
 
     /** Copy out the architectural registers (statistics excluded). */
+    // spburst-lint: state(snapshot)
     SpbDetectorState architecturalState() const;
 
     /** Overwrite the architectural registers (statistics untouched). */
@@ -138,6 +140,8 @@ class SpbDetector
     const SpbStats &stats() const { return stats_; }
 
   private:
+    // spburst-lint: state(host-only) -- construction-time parameters,
+    // identical in the warming and detailed detectors
     SpbParams params_;
     Addr lastBlock_ = 0;       //!< 58-bit block address register
     Addr lastAddr_ = kInvalidAddr; //!< full address (page bookkeeping)
@@ -145,6 +149,9 @@ class SpbDetector
     unsigned backwardCounter_ = 0; //!< extension: -1 delta counter
     unsigned storeCount_ = 0;  //!< window position
     std::uint64_t windowBytes_ = 0; //!< dynamic variant: bytes stored
+    // spburst-lint: state(host-only) -- measurement counters, excluded
+    // from the architectural state by design (paper reports them per
+    // measurement interval)
     SpbStats stats_;
 };
 

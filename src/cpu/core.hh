@@ -132,6 +132,7 @@ class Core
          CacheController *l1d, TraceSource *trace);
 
     /** Simulate one cycle (memory events for the cycle already ran). */
+    // spburst-lint: hot
     void tick();
 
     /**

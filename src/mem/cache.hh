@@ -114,7 +114,10 @@ class SetAssocCache
     }
 
   private:
+    // spburst-lint: state(host-only) -- construction-time geometry,
+    // identical across the warming and detailed hierarchies
     std::uint64_t sets_;
+    // spburst-lint: state(host-only) -- construction-time geometry
     std::uint32_t ways_;
     std::vector<CacheBlk> frames_; // sets_ * ways_, set-major
     std::uint64_t clock_ = 0;      // LRU timestamp source

@@ -1,0 +1,32 @@
+// Fixture: codec-symmetry — writeHeader puts U64,U32 but readHeader
+// gets U64,U64 (width mismatch at field 2); writeBody emits three
+// fields but readBody consumes two (count mismatch).
+namespace fx
+{
+
+class Checkpoint
+{
+  public:
+    void writeHeader() { putU64(magic_); putU32(count_); }
+    void readHeader()
+    {
+        magic_ = getU64();
+        count_ = getU64();
+    }
+
+    void writeBody() { putU64(a_); putU64(b_); putU32(crc_); }
+    void readBody()
+    {
+        a_ = getU64();
+        b_ = getU64();
+    }
+
+  private:
+    unsigned long magic_ = 0;
+    unsigned count_ = 0;
+    unsigned long a_ = 0;
+    unsigned long b_ = 0;
+    unsigned crc_ = 0;
+};
+
+} // namespace fx

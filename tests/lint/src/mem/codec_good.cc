@@ -1,0 +1,36 @@
+// Fixture: codec-symmetry negatives — a symmetric method pair, a
+// save/load pair whose raw fwrite/fread ops line up, and an unpaired
+// writer (nothing to compare against).
+namespace fx
+{
+
+class Checkpoint
+{
+  public:
+    void writeHeader() { putU64(magic_); putU32(count_); }
+    void readHeader()
+    {
+        magic_ = getU64();
+        count_ = getU32();
+    }
+
+    void save(File &f)
+    {
+        putU64(magic_);
+        fwrite(&count_, sizeof(count_), 1, f.raw());
+    }
+    void load(File &f)
+    {
+        magic_ = getU64();
+        fread(&count_, sizeof(count_), 1, f.raw());
+    }
+
+    void writeTrailer() { putU32(crc_); } // reader defined elsewhere
+
+  private:
+    unsigned long magic_ = 0;
+    unsigned count_ = 0;
+    unsigned crc_ = 0;
+};
+
+} // namespace fx

@@ -1,0 +1,26 @@
+// Fixture: hot-alloc — an unreserved push_back in a range-for (gets
+// the mechanical reserve fix), a bare new, and a make_unique, all in
+// hot functions.
+namespace fx
+{
+
+// spburst-lint: hot
+inline std::vector<int>
+collect(const std::vector<int> &queue)
+{
+    std::vector<int> out;
+    for (int r : queue)
+        out.push_back(r);
+    return out;
+}
+
+// spburst-lint: hot
+inline Node *
+expand()
+{
+    auto spare = std::make_unique<Node>();
+    pool.keep(std::move(spare));
+    return new Node();
+}
+
+} // namespace fx

@@ -1,0 +1,31 @@
+// Fixture: hot-alloc negatives — a reserved local vector, a member
+// reserved at construction (reserve seen project-wide), a deque
+// (chunked, never relocates), and an allocation outside hot code.
+namespace fx
+{
+
+class Pipe
+{
+  public:
+    Pipe() { rob_.reserve(224); }
+
+    // spburst-lint: hot
+    void tick(const std::vector<int> &queue)
+    {
+        std::vector<int> out;
+        out.reserve(queue.size());
+        for (int r : queue)
+            out.push_back(r);
+        rob_.push_back(out.size());
+        fifo_.push_back(1);
+    }
+
+    void coldRebuild() { scratch_.push_back(new Node()); }
+
+  private:
+    std::vector<unsigned long> rob_;
+    std::deque<int> fifo_;
+    std::vector<Node *> scratch_;
+};
+
+} // namespace fx

@@ -1,0 +1,18 @@
+// Fixture: snapshot-coverage — 'stats_' is neither read in the
+// snapshot method nor written in the restore method and carries no
+// state(host-only) annotation; 'seq_' is covered and must not fire.
+namespace fx
+{
+
+class Detector
+{
+  public:
+    int snapshotState() const { return seq_; }
+    void restoreState(int s) { seq_ = s; }
+
+  private:
+    int seq_ = 0;
+    int stats_ = 0;
+};
+
+} // namespace fx

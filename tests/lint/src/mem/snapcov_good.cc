@@ -1,0 +1,31 @@
+// Fixture: snapshot-coverage negatives — covered members, an
+// annotated host-only member (multi-line justification), and a
+// partial-view class whose restore body is out of sight (skipped).
+namespace fx
+{
+
+class Detector
+{
+  public:
+    int snapshotState() const { return seq_; }
+    void restoreState(int s) { seq_ = s; }
+
+  private:
+    int seq_ = 0;
+    // spburst-lint: state(host-only) -- measurement counters are
+    // excluded from architectural state by design
+    int stats_ = 0;
+};
+
+class HeaderOnly
+{
+  public:
+    int snapshotState() const { return seq_; }
+    void restoreState(int s); // body not in this file set
+
+  private:
+    int seq_ = 0;
+    int other_ = 0;
+};
+
+} // namespace fx

@@ -1,0 +1,23 @@
+// Fixture: stat-hot-path — string-keyed StatSet accesses inside a
+// hot function, through a member variable and through an accessor
+// method; both re-resolve the name on every simulated event.
+namespace fx
+{
+
+class Pump
+{
+  public:
+    StatSet &stats() { return stats_; }
+
+    // spburst-lint: hot
+    void tick()
+    {
+        stats_.add("pump.ticks", 1.0);
+        stats().set("pump.depth", 2.0);
+    }
+
+  private:
+    StatSet stats_;
+};
+
+} // namespace fx

@@ -1,0 +1,24 @@
+// Fixture: stat-hot-path negatives — handle-keyed access in a hot
+// function, a dynamic (non-literal) key, and a string key outside of
+// any hot path.
+namespace fx
+{
+
+class Pump
+{
+  public:
+    // spburst-lint: hot
+    void tick() { stats_.add(hTicks_, 1.0); }
+
+    void finalize(const char *name)
+    {
+        stats_.set("pump.final", 1.0); // cold: report assembly
+        stats_.set(name, 0.0);         // dynamic key, nothing to intern
+    }
+
+  private:
+    StatSet stats_;
+    StatHandle hTicks_ = stats_.intern("pump.ticks");
+};
+
+} // namespace fx

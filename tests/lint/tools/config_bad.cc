@@ -1,0 +1,17 @@
+// Fixture: config-key-coverage — '--frobnicate=' is parsed but
+// neither annotated config(key)/config(host-only) nor listed in a
+// file-level allowlist; '--seed=' is covered and must stay silent.
+namespace fx
+{
+
+inline void
+parse(const std::string &arg, Options &o)
+{
+    if (arg.rfind("--seed=", 0) == 0) { // spburst-lint: config(key)
+        o.seed = 1;
+    } else if (arg.rfind("--frobnicate=", 0) == 0) {
+        o.frobnicate = true;
+    }
+}
+
+} // namespace fx

@@ -1,0 +1,29 @@
+// Fixture: config-key-coverage negatives — every parsed option is
+// covered: by a trailing config(key), a trailing config(host-only),
+// or the file-level allowlist below (split across lines to exercise
+// the multi-line list parser).
+
+/* spburst-lint: config-host-only(out,
+       list-workloads, help)
+   -- fixture: host-side output and discovery options. */
+
+namespace fx
+{
+
+inline void
+parse(const std::string &arg, Options &o)
+{
+    if (arg.rfind("--seed=", 0) == 0) { // spburst-lint: config(key)
+        o.seed = 1;
+    } else if (arg == "--verbose") { // spburst-lint: config(host-only)
+        o.verbose = true;
+    } else if (arg.rfind("--out=", 0) == 0) {
+        o.out = arg;
+    } else if (arg == "--list-workloads") {
+        o.list = true;
+    } else if (arg == "--help") {
+        o.help = true;
+    }
+}
+
+} // namespace fx

@@ -15,6 +15,11 @@
 # Environment:
 #   SPBURST_LINT_SARIF  if set, spburst_lint also writes a SARIF 2.1.0
 #                       log to this path (CI uploads it as an artifact)
+#   SPBURST_LINT_CACHE  incremental cache path (default:
+#                       <build-dir>/spburst-lint.cache; set empty to
+#                       disable). An unchanged tree replays findings
+#                       without re-analyzing; CI persists the file
+#                       across runs with actions/cache.
 #   GITHUB_ACTIONS      when "true", spburst_lint emits ::error
 #                       annotations so findings land on the PR diff
 set -euo pipefail
@@ -32,7 +37,11 @@ fi
 
 # --- Gate 1: spburst_lint -------------------------------------------------
 cmake --build "${build_dir}" --target spburst_lint
-lint_args=("--compdb=${build_dir}" "--root=${repo_root}")
+lint_args=("--compdb=${build_dir}" "--root=${repo_root}" "--jobs=0")
+cache="${SPBURST_LINT_CACHE-"${build_dir}/spburst-lint.cache"}"
+if [[ -n "${cache}" ]]; then
+    lint_args+=("--cache=${cache}")
+fi
 if [[ -n "${SPBURST_LINT_SARIF:-}" ]]; then
     lint_args+=("--sarif=${SPBURST_LINT_SARIF}")
 fi
@@ -40,6 +49,8 @@ if [[ "${GITHUB_ACTIONS:-}" == "true" ]]; then
     lint_args+=("--github")
 fi
 echo "lint.sh: spburst_lint ${lint_args[*]}"
+# The analyzer prints its own wall-clock trailer ("N files, M findings
+# in T ms"), with "(cache hit)" on a warm replay.
 "${build_dir}/tools/spburst_lint" "${lint_args[@]}"
 
 # --- Gate 2: clang-tidy ---------------------------------------------------

@@ -1,0 +1,76 @@
+#!/usr/bin/env bash
+# Fast pre-commit gate: run spburst_lint over only the files changed
+# relative to the merge base with main (plus anything staged or
+# unstaged). Seconds instead of a whole-tree pass; tools/lint.sh
+# remains the authoritative gate CI runs.
+#
+# Usage: tools/precommit.sh [build-dir] [base-ref]
+#   build-dir  where spburst_lint is (or will be) built
+#              (default: <repo>/build)
+#   base-ref   diff base (default: merge-base with main, falling back
+#              to HEAD when main is absent)
+#
+# Notes:
+#   - Explicit-file-list mode sees only the changed files, so this
+#     script restricts itself to the rules that are sound on a
+#     partial view. Rules whose evidence is project-wide (stat-name
+#     producers, reserve()/deque declarations for hot-alloc, and the
+#     suppressions those findings consume) would over-report here and
+#     only run in the full-tree gate. The partial-view rules may
+#     still under-report (e.g. a hot annotation living in an
+#     unchanged header) — never over-report.
+#   - Deliberately NO --cache: the incremental cache records which
+#     file set each result was computed against, and feeding it a
+#     partial set would poison the whole-tree cache lint.sh maintains.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${1:-"${repo_root}/build"}"
+base_ref="${2:-}"
+
+cd "${repo_root}"
+
+if [[ -z "${base_ref}" ]]; then
+    base_ref="$(git merge-base HEAD main 2>/dev/null || echo HEAD)"
+fi
+
+# Changed first-party sources: committed-vs-base, staged, and unstaged,
+# deduplicated, existing files only (deletions lint nothing).
+mapfile -t changed < <(
+    {
+        git diff --name-only "${base_ref}" -- 'src/*' 'bench/*' 'tools/*'
+        git diff --name-only --cached -- 'src/*' 'bench/*' 'tools/*'
+        git diff --name-only -- 'src/*' 'bench/*' 'tools/*'
+    } | grep -E '\.(cc|hh)$' | sort -u
+)
+
+files=()
+for f in "${changed[@]:-}"; do
+    [[ -n "${f}" && -f "${f}" ]] && files+=("${f}")
+done
+
+if [[ ${#files[@]} -eq 0 ]]; then
+    echo "precommit.sh: no changed .cc/.hh files vs ${base_ref}; nothing to lint"
+    exit 0
+fi
+
+if [[ -f "${build_dir}/CMakeCache.txt" ]]; then
+    cmake --build "${build_dir}" --target spburst_lint
+fi
+if [[ ! -x "${build_dir}/tools/spburst_lint" ]]; then
+    echo "precommit.sh: ${build_dir}/tools/spburst_lint not built." >&2
+    echo "  Configure first: cmake -S '${repo_root}' -B '${build_dir}'" >&2
+    exit 2
+fi
+
+# Rules that are sound when only a subset of the tree is visible.
+partial_view_rules="nondeterminism,unordered-iteration,check-side-effect"
+partial_view_rules+=",callback-capture,callback-inline-size"
+partial_view_rules+=",snapshot-coverage,codec-symmetry,stat-hot-path"
+partial_view_rules+=",config-key-coverage"
+
+echo "precommit.sh: spburst_lint over ${#files[@]} changed file(s)"
+"${build_dir}/tools/spburst_lint" --root="${repo_root}" \
+    --rule="${partial_view_rules}" --no-unused-suppressions \
+    "${files[@]}"
+echo "precommit.sh: clean"

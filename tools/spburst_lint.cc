@@ -17,12 +17,26 @@
  *   --github        also print GitHub Actions ::error annotations
  *   --no-unused-suppressions
  *                   don't report stale allow(...) comments
+ *   --jobs=<n>      worker threads (0 = all hardware threads;
+ *                   default 0; output is identical at any setting)
+ *   --cache=<path>  incremental result cache keyed on file content
+ *                   hashes: an unchanged tree replays findings
+ *                   without re-analyzing
+ *   --fix           apply the mechanical fixes attached to findings
+ *                   (reserve insertion, interned-handle hoist)
  *   --list-rules    print the rule catalogue and exit
  *
  * Exit codes: 0 clean, 1 findings, 2 usage/read error.
  */
 
+/* spburst-lint: config-host-only(compdb, tree, root, rule, sarif,
+       github, no-unused-suppressions, jobs, cache, fix, list-rules)
+   -- the linter configures analysis, never simulation: nothing here
+   can affect simulated results, so no option folds into configKey. */
+
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -44,7 +58,8 @@ usage()
         "files...]\n"
         "                    [--root=DIR] [--rule=id,...] "
         "[--sarif=PATH]\n"
-        "                    [--github] [--no-unused-suppressions] "
+        "                    [--github] [--no-unused-suppressions]\n"
+        "                    [--jobs=N] [--cache=PATH] [--fix] "
         "[--list-rules]\n");
     return 2;
 }
@@ -75,7 +90,9 @@ main(int argc, char **argv)
 
     std::string compdb, tree, root, sarifPath;
     bool github = false;
+    bool fix = false;
     Options options;
+    options.jobs = 0; // all hardware threads; identical output anyway
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -96,6 +113,13 @@ main(int argc, char **argv)
             github = true;
         } else if (arg == "--no-unused-suppressions") {
             options.unusedSuppressions = false;
+        } else if (arg.rfind("--jobs=", 0) == 0) {
+            options.jobs = static_cast<unsigned>(
+                std::strtoul(value("--jobs=").c_str(), nullptr, 10));
+        } else if (arg.rfind("--cache=", 0) == 0) {
+            options.cachePath = value("--cache=");
+        } else if (arg == "--fix") {
+            fix = true;
         } else if (arg == "--list-rules") {
             for (const Rule *rule : allRules()) {
                 const RuleInfo info = rule->info();
@@ -143,9 +167,23 @@ main(int argc, char **argv)
         return usage();
     }
 
+    const auto t0 = std::chrono::steady_clock::now();
     const RunResult result = runLint(options);
+    const auto elapsedMs =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count();
     for (const std::string &error : result.errors)
         std::fprintf(stderr, "spburst_lint: %s\n", error.c_str());
+
+    if (fix) {
+        std::vector<std::string> fixLog;
+        const std::size_t applied = applyFixes(result, root, fixLog);
+        for (const std::string &line : fixLog)
+            std::fprintf(stderr, "spburst_lint: %s\n", line.c_str());
+        std::fprintf(stderr, "spburst_lint: %zu fix edit%s applied\n",
+                     applied, applied == 1 ? "" : "s");
+    }
 
     std::fputs(renderText(result).c_str(), stdout);
     if (github)
@@ -161,9 +199,11 @@ main(int argc, char **argv)
     }
 
     std::fprintf(stderr,
-                 "spburst_lint: %zu files, %zu finding%s%s\n",
+                 "spburst_lint: %zu files, %zu finding%s in %lld ms%s%s\n",
                  result.filesAnalyzed, result.findings.size(),
                  result.findings.size() == 1 ? "" : "s",
+                 static_cast<long long>(elapsedMs),
+                 result.fromCache ? " (cache hit)" : "",
                  result.errors.empty() ? "" : " (with read errors)");
     if (!result.errors.empty())
         return 2;

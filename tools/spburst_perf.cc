@@ -15,6 +15,12 @@
  */
 
 #include <chrono>
+/* spburst-lint: config-host-only(scheduler, no-fast-forward, check,
+       out, help)
+   -- this tool measures host wall-clock, not simulated results; the
+   scheduler / fast-forward knobs exist precisely to compare host
+   implementations on identical simulated work. */
+
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -116,18 +122,18 @@ parse(int argc, char **argv)
                                                   : nullptr;
         };
         const char *v = nullptr;
-        if ((v = value("--workload=")) != nullptr) {
+        if ((v = value("--workload=")) != nullptr) { // spburst-lint: config(key)
             o.suite = v;
             o.suiteExplicit = true;
-        } else if ((v = value("--trace=")) != nullptr) {
+        } else if ((v = value("--trace=")) != nullptr) { // spburst-lint: config(key)
             o.traces.push_back(std::string("trace:") + v);
-        } else if ((v = value("--uops=")) != nullptr) {
+        } else if ((v = value("--uops=")) != nullptr) { // spburst-lint: config(key)
             o.uops = std::strtoull(v, nullptr, 10);
-        } else if ((v = value("--seed=")) != nullptr) {
+        } else if ((v = value("--seed=")) != nullptr) { // spburst-lint: config(key)
             o.seed = std::strtoull(v, nullptr, 10);
-        } else if ((v = value("--sample=")) != nullptr) {
+        } else if ((v = value("--sample=")) != nullptr) { // spburst-lint: config(key)
             o.sample = sample::SampleSpec::parse(v);
-        } else if (arg == "--spb") {
+        } else if (arg == "--spb") { // spburst-lint: config(key)
             o.spb = true;
         } else if ((v = value("--scheduler=")) != nullptr) {
             if (std::strcmp(v, "calendar") == 0)

@@ -16,6 +16,13 @@
  * files with `sort`.
  */
 
+/* spburst-lint: config-host-only(check, jobs, out, resume, timeout-s,
+       retries, dry-run, no-summary, quiet, help)
+   -- assertion level, host parallelism, result sinks and sweep
+   scheduling (resume/timeout/retry) never change per-job simulated
+   results: every job is keyed and seeded independently of the host
+   schedule. */
+
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -217,30 +224,30 @@ parse(int argc, char **argv)
                                                   : nullptr;
         };
         const char *v = nullptr;
-        if ((v = value("--workload=")) != nullptr) {
+        if ((v = value("--workload=")) != nullptr) { // spburst-lint: config(key)
             o.workloads = expandWorkloads(v);
-        } else if ((v = value("--trace=")) != nullptr) {
+        } else if ((v = value("--trace=")) != nullptr) { // spburst-lint: config(key)
             o.traces.push_back(std::string("trace:") + v);
-        } else if ((v = value("--sb=")) != nullptr) {
+        } else if ((v = value("--sb=")) != nullptr) { // spburst-lint: config(key)
             o.sbs = splitUnsigned(v);
-        } else if ((v = value("--strategy=")) != nullptr) {
+        } else if ((v = value("--strategy=")) != nullptr) { // spburst-lint: config(key)
             o.strategies = splitList(v);
-        } else if ((v = value("--spb-n=")) != nullptr) {
+        } else if ((v = value("--spb-n=")) != nullptr) { // spburst-lint: config(key)
             o.spbNs = splitUnsigned(v);
-        } else if ((v = value("--l1pf=")) != nullptr) {
+        } else if ((v = value("--l1pf=")) != nullptr) { // spburst-lint: config(key)
             o.l1pfs = splitList(v);
-        } else if ((v = value("--core=")) != nullptr) {
+        } else if ((v = value("--core=")) != nullptr) { // spburst-lint: config(key)
             o.cores = splitList(v);
-        } else if ((v = value("--sim-threads=")) != nullptr) {
+        } else if ((v = value("--sim-threads=")) != nullptr) { // spburst-lint: config(key)
             o.simThreads =
                 static_cast<int>(std::strtol(v, nullptr, 10));
-        } else if ((v = value("--uops=")) != nullptr) {
+        } else if ((v = value("--uops=")) != nullptr) { // spburst-lint: config(key)
             o.uops = std::strtoull(v, nullptr, 10);
-        } else if ((v = value("--seed=")) != nullptr) {
+        } else if ((v = value("--seed=")) != nullptr) { // spburst-lint: config(key)
             o.seed = std::strtoull(v, nullptr, 10);
-        } else if ((v = value("--sample=")) != nullptr) {
+        } else if ((v = value("--sample=")) != nullptr) { // spburst-lint: config(key)
             o.sample = sample::SampleSpec::parse(v);
-        } else if (arg == "--per-job-seeds") {
+        } else if (arg == "--per-job-seeds") { // spburst-lint: config(key)
             o.perJobSeeds = true;
         } else if ((v = value("--check=")) != nullptr) {
             check::setLevel(check::parseLevel(v));
