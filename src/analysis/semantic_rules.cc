@@ -511,7 +511,11 @@ class HotAllocRule final : public Rule
                      isPunct(toks[i - 1], "->")) &&
                     toks[i - 2].kind == TokKind::Ident) {
                     const std::string recv(toks[i - 2].text);
-                    if (isReserved(project, file, fn, recv))
+                    const bool memberAccess =
+                        i >= 4 && (isPunct(toks[i - 3], ".") ||
+                                   isPunct(toks[i - 3], "->"));
+                    if (isReserved(project, file, fn, recv,
+                                   memberAccess))
                         continue;
                     Finding f;
                     f.ruleId = std::string(info().id);
@@ -533,17 +537,20 @@ class HotAllocRule final : public Rule
     }
 
   private:
-    /** Members (trailing underscore) count as reserved when any file
-     *  reserves them; locals must be reserved inside this body. */
+    /** Members count as reserved when any file reserves them — both
+     *  trailing-underscore names and fields reached through an object
+     *  (`entry->targets.push_back`, @p memberAccess); locals must be
+     *  reserved inside this body. */
     static bool
     isReserved(const Project &project, const FileContext &file,
-               const FunctionDecl &fn, const std::string &recv)
+               const FunctionDecl &fn, const std::string &recv,
+               bool memberAccess)
     {
         // Deques allocate in chunks and never relocate: reserve()
         // does not exist for them and growth is already amortised.
         if (project.decls.dequeNames.count(recv) != 0)
             return true;
-        if (!recv.empty() && recv.back() == '_')
+        if (memberAccess || (!recv.empty() && recv.back() == '_'))
             return project.decls.reservedNames.count(recv) != 0;
         const std::vector<Token> &toks = file.lex.tokens;
         for (std::size_t i = fn.bodyBegin;

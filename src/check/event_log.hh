@@ -46,6 +46,8 @@ struct MemEvent
 class EventLog
 {
   public:
+    EventLog() { events_.reserve(1024); }
+
     void record(const MemEvent &e) { events_.push_back(e); }
 
     const std::vector<MemEvent> &events() const { return events_; }

@@ -1,6 +1,7 @@
 #include "common/event_queue.hh"
 
 #include <algorithm>
+#include <bit>
 
 namespace spburst
 {
@@ -115,8 +116,9 @@ EventQueue::scheduleCalendar(Cycle when, Callback cb)
     n->when = when;
     n->id = id;
     n->cb = std::move(cb);
-    appendNode(buckets_[static_cast<std::size_t>(when) & (kBuckets - 1)],
-               n);
+    const std::size_t b = static_cast<std::size_t>(when) & (kBuckets - 1);
+    appendNode(buckets_[b], n);
+    occupied_[b >> 6] |= std::uint64_t{1} << (b & 63);
 }
 
 void
@@ -151,10 +153,12 @@ EventQueue::processCycle(Cycle c)
     // Detach this cycle's bucket chain (all nodes in a live bucket
     // share one `when`, because live events span < kBuckets cycles).
     Node *chain = nullptr;
-    Bucket &b = buckets_[static_cast<std::size_t>(c) & (kBuckets - 1)];
+    const std::size_t bi = static_cast<std::size_t>(c) & (kBuckets - 1);
+    Bucket &b = buckets_[bi];
     if (b.head != nullptr && b.head->when == c) {
         chain = b.head;
         b.head = b.tail = nullptr;
+        occupied_[bi >> 6] &= ~(std::uint64_t{1} << (bi & 63));
     }
 
     // Pull this cycle's overflow events; heap pops yield ascending id
@@ -198,22 +202,63 @@ EventQueue::processCycle(Cycle c)
     draining_ = false;
 }
 
+/**
+ * Earliest cycle with an occupied wheel bucket, from the occupancy
+ * bitmap alone. Wheel distance d of bit position p from the start slot
+ * s = (cursor_+1) & mask is (p - s) mod kBuckets; the first set bit in
+ * that rotated order maps to cycle cursor_+1+d.
+ */
+Cycle
+EventQueue::nextBucketDue() const
+{
+    constexpr std::size_t kWords = kBuckets / 64;
+    const std::size_t s =
+        static_cast<std::size_t>(cursor_ + 1) & (kBuckets - 1);
+    const std::size_t w0 = s >> 6;
+    const unsigned off = static_cast<unsigned>(s & 63);
+    const std::uint64_t first = occupied_[w0] >> off;
+    if (first != 0)
+        return cursor_ + 1 + static_cast<Cycle>(std::countr_zero(first));
+    for (std::size_t k = 1; k < kWords; ++k) {
+        const std::uint64_t m = occupied_[(w0 + k) & (kWords - 1)];
+        if (m != 0)
+            return cursor_ + 1 +
+                   static_cast<Cycle>(64 * k - off +
+                                      std::countr_zero(m));
+    }
+    if (off != 0) {
+        const std::uint64_t wrap =
+            occupied_[w0] & ((std::uint64_t{1} << off) - 1);
+        if (wrap != 0)
+            return cursor_ + 1 +
+                   static_cast<Cycle>(kBuckets - off +
+                                      std::countr_zero(wrap));
+    }
+    return kNeverCycle;
+}
+
 void
 EventQueue::runUntilCalendar(Cycle now)
 {
     drainOverdue();
     while (cursor_ < now) {
-        const Cycle c = cursor_ + 1;
-        const Bucket &b =
-            buckets_[static_cast<std::size_t>(c) & (kBuckets - 1)];
-        const bool bucketDue = b.head != nullptr && b.head->when == c;
-        const bool overflowDue =
-            !overflow_.empty() && overflow_.front().when <= c;
-        if (!bucketDue && !overflowDue) {
-            cursor_ = c; // silent cycle: two pointer checks
-            continue;
+        // Jump straight to the next cycle that has work: the bitmap
+        // gives the earliest occupied bucket, the overflow heap its
+        // front (always > cursor_ here — processCycle pulls everything
+        // due). Events scheduled by the callbacks land either in the
+        // in-flight due list (same cycle), the wheel/overflow (future),
+        // or overdue_ (drained inside processCycle), so recomputing
+        // per iteration sees every new arrival.
+        Cycle next = nextBucketDue();
+        if (!overflow_.empty() && overflow_.front().when < next)
+            next = overflow_.front().when;
+        if (next > now) {
+            cursor_ = now; // silent span: no wheel probes at all
+            break;
         }
-        processCycle(c);
+        if (next <= cursor_)
+            next = cursor_ + 1; // defensive: keep cursor_ monotone
+        processCycle(next);
     }
     if (size_ == 0) {
         cachedNext_ = kNeverCycle;
@@ -230,9 +275,9 @@ EventQueue::scanNextDue() const
             best = e.when;
     if (!overflow_.empty() && overflow_.front().when < best)
         best = overflow_.front().when;
-    for (const Bucket &b : buckets_)
-        if (b.head != nullptr && b.head->when < best)
-            best = b.head->when;
+    const Cycle bucket = nextBucketDue();
+    if (bucket < best)
+        best = bucket;
     return best;
 }
 

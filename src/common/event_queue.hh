@@ -148,6 +148,7 @@ class EventQueue
     void freeNode(Node *n);
     static void appendNode(Bucket &b, Node *n);
     Cycle scanNextDue() const;
+    Cycle nextBucketDue() const;
 
     // ---- legacy binary heap ----
 
@@ -168,6 +169,14 @@ class EventQueue
 
     // Calendar state.
     std::array<Bucket, kBuckets> buckets_;
+    /** Bucket-occupancy bitmap (bit b set iff buckets_[b] is
+     *  non-empty): silent spans are skipped with a four-word scan
+     *  instead of one wheel probe per cycle, and nextEventCycle
+     *  recomputes in O(words) instead of O(kBuckets). Every node in a
+     *  live bucket shares one `when` (live events span < kBuckets
+     *  cycles), so the first occupied bucket at wheel distance d from
+     *  cursor_+1 is due exactly at cursor_+1+d. */
+    std::array<std::uint64_t, kBuckets / 64> occupied_{};
     std::vector<FlatEvent> overflow_;      //!< min-heap on (when, id)
     std::vector<FlatEvent> overdue_;       //!< scheduled at <= cursor_
     std::vector<std::unique_ptr<Node[]>> chunks_; //!< node pool backing

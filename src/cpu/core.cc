@@ -91,6 +91,8 @@ Core::Core(const CoreConfig &config, int core_id, SimClock *clock,
 {
     SPB_ASSERT(clock != nullptr && trace != nullptr,
                "core needs a clock and a trace");
+    rob_.reset(p_.robSize);
+    fetchPipe_.reset(p_.fetchBufferUops);
     const StorePrefetchPolicy policy =
         config_.idealSb ? StorePrefetchPolicy::AtCommit : config_.policy;
     sb_.setPrefetchAtCommit(policy == StorePrefetchPolicy::AtCommit);
@@ -110,10 +112,14 @@ Core::tick()
     // completed-unrecovered mispredicted branch never survives a tick
     // (the recovery scan runs in the same tick that completes it), so
     // completeAndRecover has nothing to do once execPending_ is 0 —
-    // memory completions mark entries completed directly.
-    if (execPending_ != 0)
+    // memory completions mark entries completed directly. The
+    // nextTimerCycle_ lower bound additionally skips the scan while
+    // every pending timer is still in the future (branches only
+    // complete by timer, so no recovery can be missed either).
+    if (execPending_ != 0 && clock_->now >= nextTimerCycle_)
         completeAndRecover();
-    if (!rob_.empty() && rob_.front().completed)
+    if (!rob_.empty() &&
+        (rob_.flags(0) & robflags::kCompleted) != 0)
         commitStage();
     issueStage();
     if (!fetchPipe_.empty())
@@ -135,7 +141,7 @@ Core::quiescent() const
         (wrongPathMode_ || fetchBudget_ != 0))
         return false;
     // Commit would make progress.
-    if (!rob_.empty() && rob_.front().completed)
+    if (!rob_.empty() && (rob_.flags(0) & robflags::kCompleted) != 0)
         return false;
     // Dispatch would make progress — either the head is still
     // traversing the front end (it matures at a known future cycle) or
@@ -155,9 +161,12 @@ Core::quiescent() const
     // checks above; completions that could wake these entries arrive
     // only via memory events once execPending_ is 0).
     if (iqCount_ != 0) {
-        for (const auto &e : rob_)
-            if (e.inIq && sourcesReady(e))
+        const std::size_t n = rob_.size();
+        for (std::size_t i = 0; i < n; ++i) {
+            if ((rob_.flags(i) & robflags::kInIq) != 0 &&
+                sourcesReady(i))
                 return false;
+        }
     }
     return true;
 }
@@ -174,10 +183,14 @@ Core::skipQuiescentCycles(Cycle n)
         // become true mid-skip, at minIssuedAt + hitLatency + 1.
         if (memPendingCount_ != 0) {
             Cycle min_issued = kNeverCycle;
-            for (const auto &e : rob_) {
-                if (e.memPending && !e.wrongPath &&
-                    e.issuedAt < min_issued) {
-                    min_issued = e.issuedAt;
+            const std::size_t sz = rob_.size();
+            for (std::size_t i = 0; i < sz; ++i) {
+                constexpr std::uint8_t want = robflags::kMemPending;
+                constexpr std::uint8_t care =
+                    robflags::kMemPending | robflags::kWrongPath;
+                if ((rob_.flags(i) & care) == want &&
+                    rob_.issuedAt(i) < min_issued) {
+                    min_issued = rob_.issuedAt(i);
                 }
             }
             if (min_issued != kNeverCycle) {
@@ -225,83 +238,79 @@ Core::restoreWarmState(const TlbSnapshot &tlb,
         spb_->restoreDetectorState(*detector);
 }
 
-Core::RobEntry *
-Core::findBySeq(SeqNum seq)
-{
-    if (rob_.empty() || seq < rob_.front().seq || seq > rob_.back().seq)
-        return nullptr;
-    RobEntry &e = rob_[seq - rob_.front().seq];
-    SPB_ASSERT(e.seq == seq, "ROB lost seq contiguity");
-    return &e;
-}
-
-bool
-Core::producerDone(SeqNum seq) const
-{
-    if (seq == kInvalidSeqNum)
-        return true;
-    if (rob_.empty() || seq < rob_.front().seq)
-        return true; // already committed (or squashed)
-    if (seq > rob_.back().seq)
-        return true; // never dispatched (squashed before entering)
-    const RobEntry &e = rob_[seq - rob_.front().seq];
-    SPB_ASSERT(e.seq == seq, "ROB lost seq contiguity");
-    return e.completed;
-}
-
-bool
-Core::sourcesReady(const RobEntry &e) const
-{
-    return producerDone(e.src1) && producerDone(e.src2);
-}
-
 void
 Core::completeAndRecover()
 {
     const Cycle now = clock_->now;
-    for (auto &e : rob_) {
-        if (e.issued && !e.completed && !e.memPending &&
-            e.readyCycle <= now) {
-            e.completed = true;
-            --execPending_;
+    const std::size_t n = rob_.size();
+    Cycle next = kNeverCycle;
+    std::size_t recover = RobRing::npos;
+    // One fused pass: retire due timers, remember the earliest pending
+    // one, and pick the oldest resolved, unrecovered mispredicted
+    // branch. Each entry's recovery predicate only depends on its own
+    // (post-completion) state, so fusing the two historical loops
+    // cannot change which branch recovers.
+    for (std::size_t i = 0; i < n; ++i) {
+        std::uint8_t f = rob_.flags(i);
+        constexpr std::uint8_t timerCare = robflags::kIssued |
+                                           robflags::kCompleted |
+                                           robflags::kMemPending;
+        if ((f & timerCare) == robflags::kIssued) {
+            const Cycle ready = rob_.readyCycle(i);
+            if (ready <= now) {
+                f |= robflags::kCompleted;
+                rob_.flags(i) = f;
+                --execPending_;
+            } else if (ready < next) {
+                next = ready;
+            }
+        }
+        constexpr std::uint8_t recoverCare = robflags::kCompleted |
+                                             robflags::kWrongPath |
+                                             robflags::kRecovered;
+        if (recover == RobRing::npos &&
+            (f & recoverCare) == robflags::kCompleted) {
+            const MicroOp &op = rob_.op(i);
+            if (op.cls == OpClass::Branch && op.mispredicted)
+                recover = i;
         }
     }
+    nextTimerCycle_ = next;
     // Mispredict recovery: the oldest resolved, unrecovered branch
     // squashes everything younger and redirects the front end.
-    for (auto &e : rob_) {
-        if (e.op.cls == OpClass::Branch && e.op.mispredicted &&
-            !e.wrongPath && e.completed && !e.recovered) {
-            e.recovered = true;
-            ++stats_.mispredicts;
-            squashAfter(e.seq);
-            break;
-        }
+    if (recover != RobRing::npos) {
+        rob_.flags(recover) |= robflags::kRecovered;
+        ++stats_.mispredicts;
+        squashAfter(rob_.seqAt(recover));
     }
 }
 
 void
 Core::squashAfter(SeqNum branch_seq)
 {
-    while (!rob_.empty() && rob_.back().seq > branch_seq) {
-        RobEntry &e = rob_.back();
-        if (e.inIq)
+    while (!rob_.empty() && rob_.backSeq() > branch_seq) {
+        const std::size_t i = rob_.size() - 1;
+        const std::uint8_t f = rob_.flags(i);
+        if (f & robflags::kInIq)
             --iqCount_;
-        if (e.issued && !e.completed) {
-            if (e.memPending)
+        if ((f & (robflags::kIssued | robflags::kCompleted)) ==
+            robflags::kIssued) {
+            if (f & robflags::kMemPending)
                 --memPendingCount_;
             else
                 --execPending_;
         }
-        if (e.op.cls == OpClass::Load)
+        const MicroOp &op = rob_.op(i);
+        if (op.cls == OpClass::Load)
             --lqCount_;
-        if (e.op.hasDest) {
-            if (isFloatOp(e.op.cls))
+        if (op.hasDest) {
+            if (isFloatOp(op.cls))
                 ++fpRegsFree_;
             else
                 ++intRegsFree_;
         }
         ++stats_.squashedUops;
-        rob_.pop_back();
+        rob_.popBack();
     }
     sb_.squashFrom(branch_seq + 1);
     fetchPipe_.clear();
@@ -317,18 +326,21 @@ Core::commitStage()
 {
     unsigned n = 0;
     while (n < p_.commitWidth && !rob_.empty()) {
-        RobEntry &e = rob_.front();
-        if (!e.completed)
+        const std::uint8_t f = rob_.flags(0);
+        if (!(f & robflags::kCompleted))
             break;
-        SPB_ASSERT(!e.wrongPath, "wrong-path uop reached commit");
-        SPBURST_CHECK(Pipeline, commitOrder_.observe(e.seq),
+        const SeqNum seq = rob_.frontSeq();
+        SPB_ASSERT(!(f & robflags::kWrongPath),
+                   "wrong-path uop reached commit");
+        SPBURST_CHECK(Pipeline, commitOrder_.observe(seq),
                       "ROB committed %llu after %llu (out of order)",
-                      static_cast<unsigned long long>(e.seq),
+                      static_cast<unsigned long long>(seq),
                       static_cast<unsigned long long>(
                           commitOrder_.last()));
-        switch (e.op.cls) {
+        const MicroOp &op = rob_.op(0);
+        switch (op.cls) {
           case OpClass::Store:
-            sb_.markSenior(e.seq);
+            sb_.markSenior(seq);
             ++stats_.committedStores;
             break;
           case OpClass::Load:
@@ -341,78 +353,87 @@ Core::commitStage()
           default:
             break;
         }
-        if (e.op.hasDest) {
-            if (isFloatOp(e.op.cls))
+        if (op.hasDest) {
+            if (isFloatOp(op.cls))
                 ++fpRegsFree_;
             else
                 ++intRegsFree_;
         }
         ++stats_.committedUops;
-        rob_.pop_front();
+        rob_.popFront();
         ++n;
     }
 }
 
 void
-Core::startLoad(RobEntry &e)
+Core::startLoad(std::size_t i)
 {
     const Cycle now = clock_->now;
+    const MicroOp &op = rob_.op(i);
+    const SeqNum seq = rob_.seqAt(i);
     // Address generation includes translation: a DTLB miss delays the
     // access by the page-walk latency.
-    const Cycle walk = dtlb_.access(e.op.addr);
-    if (sb_.forwards(e.seq, e.op.addr, e.op.size) != kInvalidSeqNum) {
-        e.readyCycle = now + walk + kL1HitLatency; // forward ~ L1 hit
+    const Cycle walk = dtlb_.access(op.addr);
+    if (sb_.forwards(seq, op.addr, op.size) != kInvalidSeqNum) {
+        rob_.readyCycle(i) = now + walk + kL1HitLatency; // fwd ~ L1 hit
         return;
     }
     if (!l1d_) {
         ++stats_.loadsToL1;
-        e.readyCycle = now + walk + kL1HitLatency; // detached-mode tests
+        rob_.readyCycle(i) = now + walk + kL1HitLatency; // detached mode
         return;
     }
-    e.memPending = true;
+    rob_.flags(i) |= robflags::kMemPending;
     ++memPendingCount_;
+    const std::uint64_t token = rob_.token(i);
     if (walk == 0) {
-        issueLoadToL1(e.seq, e.token);
+        issueLoadToL1(seq, token);
         return;
     }
-    clock_->events.schedule(now + walk,
-                            [this, seq = e.seq, token = e.token] {
-                                issueLoadToL1(seq, token);
-                            });
+    clock_->events.schedule(now + walk, [this, seq, token] {
+        issueLoadToL1(seq, token);
+    });
 }
 
 void
 Core::issueLoadToL1(SeqNum seq, std::uint64_t token)
 {
-    RobEntry *e = findBySeq(seq);
-    if (!e || e->token != token || !e->memPending)
+    const std::size_t i = rob_.indexOf(seq);
+    if (i == RobRing::npos || rob_.token(i) != token ||
+        !(rob_.flags(i) & robflags::kMemPending))
         return; // squashed while the page walk was in flight
     ++stats_.loadsToL1;
-    if (e->wrongPath)
+    const bool wrong_path = (rob_.flags(i) & robflags::kWrongPath) != 0;
+    if (wrong_path)
         ++stats_.wrongPathLoadsIssued;
+    const MicroOp &op = rob_.op(i);
     MemRequest req;
     req.cmd = MemCmd::ReadReq;
-    req.blockAddr = blockAlign(e->op.addr);
+    req.blockAddr = blockAlign(op.addr);
     req.core = coreId_;
-    req.region = e->op.region;
-    req.wrongPath = e->wrongPath;
+    req.region = op.region;
+    req.wrongPath = wrong_path;
     l1d_->issueLoad(req, [this, seq, token] {
-        RobEntry *entry = findBySeq(seq);
-        if (!entry || entry->token != token || !entry->memPending)
+        const std::size_t j = rob_.indexOf(seq);
+        if (j == RobRing::npos || rob_.token(j) != token ||
+            !(rob_.flags(j) & robflags::kMemPending))
             return; // squashed (and possibly re-used) in the meantime
-        entry->memPending = false;
+        std::uint8_t &f = rob_.flags(j);
+        f = static_cast<std::uint8_t>(
+            (f & ~robflags::kMemPending) | robflags::kCompleted);
         --memPendingCount_;
-        entry->completed = true;
-        entry->readyCycle = clock_->now;
+        rob_.readyCycle(j) = clock_->now;
     });
 }
 
 void
-Core::execStore(RobEntry &e)
+Core::execStore(std::size_t i)
 {
-    sb_.setAddress(e.seq, e.op.addr, e.op.size);
+    const MicroOp &op = rob_.op(i);
+    const SeqNum seq = rob_.seqAt(i);
+    sb_.setAddress(seq, op.addr, op.size);
     // Stores translate at address generation too.
-    e.readyCycle = clock_->now + p_.aguLat + dtlb_.access(e.op.addr);
+    rob_.readyCycle(i) = clock_->now + p_.aguLat + dtlb_.access(op.addr);
     const StorePrefetchPolicy policy =
         config_.idealSb ? StorePrefetchPolicy::AtCommit : config_.policy;
     if (policy == StorePrefetchPolicy::AtExecute && l1d_) {
@@ -420,9 +441,9 @@ Core::execStore(RobEntry &e)
         // known — wrong-path stores prefetch too (the policy's cost).
         MemRequest pf;
         pf.cmd = MemCmd::StorePF;
-        pf.blockAddr = blockAlign(e.op.addr);
+        pf.blockAddr = blockAlign(op.addr);
         pf.core = coreId_;
-        pf.region = e.op.region;
+        pf.region = op.region;
         l1d_->issueStorePrefetch(pf);
     }
 }
@@ -436,12 +457,13 @@ Core::issueStage()
 
     // Nothing is waiting to issue; skip the ROB scan entirely.
     if (iqCount_ != 0) {
-        for (auto &e : rob_) {
+        const std::size_t n = rob_.size();
+        for (std::size_t i = 0; i < n; ++i) {
             if (issued >= p_.issueWidth)
                 break;
-            if (!e.inIq || !sourcesReady(e))
+            if (!(rob_.flags(i) & robflags::kInIq) || !sourcesReady(i))
                 continue;
-            const OpClass cls = e.op.cls;
+            const OpClass cls = rob_.op(i).cls;
             if (isMemOp(cls)) {
                 if (mem_used >= p_.memPorts)
                     continue;
@@ -454,39 +476,46 @@ Core::issueStage()
                     continue;
             }
 
-            e.inIq = false;
+            rob_.flags(i) = static_cast<std::uint8_t>(
+                (rob_.flags(i) & ~robflags::kInIq) | robflags::kIssued);
             --iqCount_;
-            e.issued = true;
-            e.issuedAt = now;
+            rob_.issuedAt(i) = now;
             ++issued;
             ++stats_.issuedUops;
 
             if (cls == OpClass::Load) {
                 ++mem_used;
-                startLoad(e);
+                startLoad(i);
             } else if (cls == OpClass::Store) {
                 ++mem_used;
-                execStore(e);
+                execStore(i);
             } else if (isFloatOp(cls)) {
                 ++fp_used;
-                e.readyCycle = now + p_.opLatency(cls);
+                rob_.readyCycle(i) = now + p_.opLatency(cls);
             } else {
                 ++int_used;
-                e.readyCycle = now + p_.opLatency(cls);
+                rob_.readyCycle(i) = now + p_.opLatency(cls);
             }
             // Everything but a load that went to memory completes by
-            // timer.
-            if (!e.memPending)
+            // timer; track the earliest such timer for the scan gate.
+            if (!(rob_.flags(i) & robflags::kMemPending)) {
                 ++execPending_;
+                if (rob_.readyCycle(i) < nextTimerCycle_)
+                    nextTimerCycle_ = rob_.readyCycle(i);
+            }
         }
     }
 
     if (issued == 0 && !rob_.empty()) {
         ++stats_.noIssueCycles;
         if (memPendingCount_ != 0) {
-            for (const auto &e : rob_) {
-                if (e.memPending && !e.wrongPath &&
-                    now > e.issuedAt + kL1HitLatency) {
+            const std::size_t n = rob_.size();
+            for (std::size_t i = 0; i < n; ++i) {
+                constexpr std::uint8_t want = robflags::kMemPending;
+                constexpr std::uint8_t care =
+                    robflags::kMemPending | robflags::kWrongPath;
+                if ((rob_.flags(i) & care) == want &&
+                    now > rob_.issuedAt(i) + kL1HitLatency) {
                     ++stats_.execStallL1dPending;
                     break;
                 }
@@ -536,31 +565,30 @@ Core::dispatchStage()
             break;
         }
 
-        RobEntry e;
-        e.op = f.op;
-        e.wrongPath = f.wrongPath;
-        e.seq = nextSeq_++;
-        e.token = nextToken_++;
-        auto to_seq = [&](std::uint8_t dist) {
-            return dist == 0 || e.seq <= dist ? kInvalidSeqNum
-                                              : e.seq - dist;
+        const SeqNum seq = nextSeq_++;
+        const std::size_t i = rob_.pushBack(seq, nextToken_++);
+        rob_.op(i) = f.op;
+        rob_.flags(i) = static_cast<std::uint8_t>(
+            robflags::kInIq |
+            (f.wrongPath ? robflags::kWrongPath : 0));
+        auto to_seq = [seq](std::uint8_t dist) {
+            return dist == 0 || seq <= dist ? kInvalidSeqNum
+                                            : seq - dist;
         };
-        e.src1 = to_seq(f.op.srcDist1);
-        e.src2 = to_seq(f.op.srcDist2);
-        e.inIq = true;
+        rob_.src1(i) = to_seq(f.op.srcDist1);
+        rob_.src2(i) = to_seq(f.op.srcDist2);
         ++iqCount_;
         if (f.op.cls == OpClass::Load)
             ++lqCount_;
         if (f.op.cls == OpClass::Store)
-            sb_.allocate(e.seq, f.op.region, f.wrongPath);
+            sb_.allocate(seq, f.op.region, f.wrongPath);
         if (f.op.hasDest) {
             if (isFloatOp(f.op.cls))
                 --fpRegsFree_;
             else
                 --intRegsFree_;
         }
-        rob_.push_back(std::move(e));
-        fetchPipe_.pop_front();
+        fetchPipe_.popFront();
         ++dispatched;
     }
 }
@@ -615,7 +643,7 @@ Core::fetchStage()
                 wrongPathMode_ = true;
         }
         ++stats_.fetchedUops;
-        fetchPipe_.push_back(std::move(f));
+        fetchPipe_.pushBack(std::move(f));
     }
 }
 

@@ -18,7 +18,6 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <limits>
 #include <memory>
 
@@ -28,6 +27,7 @@
 #include "common/stats.hh"
 #include "core/spb.hh"
 #include "cpu/params.hh"
+#include "cpu/pipeline_structs.hh"
 #include "cpu/store_buffer.hh"
 #include "cpu/tlb.hh"
 #include "trace/source.hh"
@@ -189,45 +189,33 @@ class Core
     unsigned effectiveSbSize() const { return sb_.capacity(); }
 
   private:
-    struct RobEntry
-    {
-        MicroOp op;
-        SeqNum seq = kInvalidSeqNum;
-        SeqNum src1 = kInvalidSeqNum;
-        SeqNum src2 = kInvalidSeqNum;
-        bool wrongPath = false;
-        bool inIq = false;
-        bool issued = false;
-        bool completed = false;
-        bool memPending = false;
-        Cycle readyCycle = kNeverCycle;
-        Cycle issuedAt = 0;
-        bool recovered = false; //!< mispredict recovery already done
-        /** Unique lifetime token: sequence numbers are reused after a
-         *  squash, so memory callbacks match on (seq, token). */
-        std::uint64_t token = 0;
-    };
-
-    struct FetchedUop
-    {
-        MicroOp op;
-        Cycle fetchCycle = 0;
-        bool wrongPath = false;
-    };
-
     void commitStage();
     void completeAndRecover();
     void issueStage();
     void dispatchStage();
     void fetchStage();
 
-    RobEntry *findBySeq(SeqNum seq);
-    bool producerDone(SeqNum seq) const;
-    bool sourcesReady(const RobEntry &e) const;
+    /** True when producer @p seq has left the ROB or completed.
+     *  kInvalidSeqNum (no dependence) maps to "done" via the same
+     *  unsigned wrap that rejects committed/squashed seqs. */
+    bool
+    producerDone(SeqNum seq) const
+    {
+        const std::size_t i = rob_.indexOf(seq);
+        return i == RobRing::npos ||
+               (rob_.flags(i) & robflags::kCompleted) != 0;
+    }
+
+    bool
+    sourcesReady(std::size_t i) const
+    {
+        return producerDone(rob_.src1(i)) && producerDone(rob_.src2(i));
+    }
+
     void squashAfter(SeqNum branch_seq);
-    void startLoad(RobEntry &e);
+    void startLoad(std::size_t i);
     void issueLoadToL1(SeqNum seq, std::uint64_t token);
-    void execStore(RobEntry &e);
+    void execStore(std::size_t i);
     MicroOp synthesizeWrongPath();
     StallResource dispatchBlocker(const FetchedUop &f) const;
 
@@ -239,8 +227,8 @@ class Core
     TraceSource *trace_;
     Rng rng_;
 
-    std::deque<FetchedUop> fetchPipe_;
-    std::deque<RobEntry> rob_;
+    FetchRing fetchPipe_;
+    RobRing rob_;
     StoreBuffer sb_;
     Tlb dtlb_;
     std::unique_ptr<SpbEngine> spb_;
@@ -252,6 +240,10 @@ class Core
     /** Issued, not completed, not waiting on memory: these complete by
      *  timer (readyCycle), so the core is never quiescent while > 0. */
     unsigned execPending_ = 0;
+    /** Lower bound on the earliest pending timer completion; gates the
+     *  completion scan (squash can leave it stale-low, which only costs
+     *  one empty scan that recomputes it). */
+    Cycle nextTimerCycle_ = kNeverCycle;
     /** ROB entries with a load in flight to the L1D (wrong path
      *  included); gates the exec-stall statistic scan. */
     unsigned memPendingCount_ = 0;

@@ -43,6 +43,8 @@ SmtCore::SmtCore(const CoreConfig &config, int threads, SimClock *clock,
         auto th = std::make_unique<Thread>(
             sbPerThread_, l1d_, /*core_id=*/0, p_.tlb,
             0x5b5bull ^ (static_cast<std::uint64_t>(tid) << 32));
+        th->rob.reset(robPerThread_);
+        th->fetchPipe.reset(p_.fetchBufferUops);
         th->trace = traces[tid];
         th->tid = tid;
         th->intRegsFree = std::max(8u, p_.intRegs / t);
@@ -87,7 +89,11 @@ SmtCore::tick()
 {
     for (auto &t : ctx_) {
         ++t->stats.cycles;
-        completeAndRecover(*t);
+        // Timer completions (and hence new recovery candidates) only
+        // exist once the earliest pending timer is due; memory
+        // completions mark entries completed directly.
+        if (clock_->now >= t->nextTimerCycle)
+            completeAndRecover(*t);
     }
     commitStage();
     issueStage();
@@ -98,76 +104,69 @@ SmtCore::tick()
     rotate_ = (rotate_ + 1) % static_cast<int>(ctx_.size());
 }
 
-SmtCore::RobEntry *
-SmtCore::findBySeq(Thread &t, SeqNum seq)
-{
-    if (t.rob.empty() || seq < t.rob.front().seq ||
-        seq > t.rob.back().seq)
-        return nullptr;
-    RobEntry &e = t.rob[seq - t.rob.front().seq];
-    SPB_ASSERT(e.seq == seq, "SMT ROB lost seq contiguity");
-    return &e;
-}
-
-bool
-SmtCore::producerDone(const Thread &t, SeqNum seq) const
-{
-    if (seq == kInvalidSeqNum)
-        return true;
-    if (t.rob.empty() || seq < t.rob.front().seq)
-        return true;
-    if (seq > t.rob.back().seq)
-        return true;
-    const RobEntry &e = t.rob[seq - t.rob.front().seq];
-    return e.completed;
-}
-
-bool
-SmtCore::sourcesReady(const Thread &t, const RobEntry &e) const
-{
-    return producerDone(t, e.src1) && producerDone(t, e.src2);
-}
-
 void
 SmtCore::completeAndRecover(Thread &t)
 {
     const Cycle now = clock_->now;
-    for (auto &e : t.rob) {
-        if (e.issued && !e.completed && !e.memPending &&
-            e.readyCycle <= now) {
-            e.completed = true;
+    const std::size_t n = t.rob.size();
+    Cycle next = kNeverCycle;
+    std::size_t recover = RobRing::npos;
+    // One fused pass (see Core::completeAndRecover): retire due
+    // timers, track the earliest pending one, pick the oldest
+    // resolved unrecovered branch.
+    for (std::size_t i = 0; i < n; ++i) {
+        std::uint8_t f = t.rob.flags(i);
+        constexpr std::uint8_t timerCare = robflags::kIssued |
+                                           robflags::kCompleted |
+                                           robflags::kMemPending;
+        if ((f & timerCare) == robflags::kIssued) {
+            const Cycle ready = t.rob.readyCycle(i);
+            if (ready <= now) {
+                f |= robflags::kCompleted;
+                t.rob.flags(i) = f;
+            } else if (ready < next) {
+                next = ready;
+            }
+        }
+        constexpr std::uint8_t recoverCare = robflags::kCompleted |
+                                             robflags::kWrongPath |
+                                             robflags::kRecovered;
+        if (recover == RobRing::npos &&
+            (f & recoverCare) == robflags::kCompleted) {
+            const MicroOp &op = t.rob.op(i);
+            if (op.cls == OpClass::Branch && op.mispredicted)
+                recover = i;
         }
     }
-    for (auto &e : t.rob) {
-        if (e.op.cls == OpClass::Branch && e.op.mispredicted &&
-            !e.wrongPath && e.completed && !e.recovered) {
-            e.recovered = true;
-            ++t.stats.mispredicts;
-            squashAfter(t, e.seq);
-            break;
-        }
+    t.nextTimerCycle = next;
+    if (recover != RobRing::npos) {
+        t.rob.flags(recover) |= robflags::kRecovered;
+        ++t.stats.mispredicts;
+        squashAfter(t, t.rob.seqAt(recover));
     }
 }
 
 void
 SmtCore::squashAfter(Thread &t, SeqNum branch_seq)
 {
-    while (!t.rob.empty() && t.rob.back().seq > branch_seq) {
-        RobEntry &e = t.rob.back();
-        if (e.inIq) {
+    while (!t.rob.empty() && t.rob.backSeq() > branch_seq) {
+        const std::size_t i = t.rob.size() - 1;
+        const std::uint8_t f = t.rob.flags(i);
+        if (f & robflags::kInIq) {
             --t.iqCount;
             --iqInUse_;
         }
-        if (e.op.cls == OpClass::Load)
+        const MicroOp &op = t.rob.op(i);
+        if (op.cls == OpClass::Load)
             --t.lqCount;
-        if (e.op.hasDest) {
-            if (isFloatOp(e.op.cls))
+        if (op.hasDest) {
+            if (isFloatOp(op.cls))
                 ++t.fpRegsFree;
             else
                 ++t.intRegsFree;
         }
         ++t.stats.squashedUops;
-        t.rob.pop_back();
+        t.rob.popBack();
     }
     t.sb.squashFrom(branch_seq + 1);
     t.fetchPipe.clear();
@@ -186,19 +185,22 @@ SmtCore::commitStage()
         progress = false;
         for (int k = 0; k < nt && budget > 0; ++k) {
             Thread &t = *ctx_[(rotate_ + k) % nt];
-            if (t.rob.empty() || !t.rob.front().completed)
+            if (t.rob.empty() ||
+                !(t.rob.flags(0) & robflags::kCompleted))
                 continue;
-            RobEntry &e = t.rob.front();
-            SPB_ASSERT(!e.wrongPath, "wrong-path uop reached commit");
-            SPBURST_CHECK(Pipeline, t.commitOrder.observe(e.seq),
+            const SeqNum seq = t.rob.frontSeq();
+            SPB_ASSERT(!(t.rob.flags(0) & robflags::kWrongPath),
+                       "wrong-path uop reached commit");
+            SPBURST_CHECK(Pipeline, t.commitOrder.observe(seq),
                           "SMT ROB committed %llu after %llu (out of "
                           "order)",
-                          static_cast<unsigned long long>(e.seq),
+                          static_cast<unsigned long long>(seq),
                           static_cast<unsigned long long>(
                               t.commitOrder.last()));
-            switch (e.op.cls) {
+            const MicroOp &op = t.rob.op(0);
+            switch (op.cls) {
               case OpClass::Store:
-                t.sb.markSenior(e.seq);
+                t.sb.markSenior(seq);
                 ++t.stats.committedStores;
                 break;
               case OpClass::Load:
@@ -211,14 +213,14 @@ SmtCore::commitStage()
               default:
                 break;
             }
-            if (e.op.hasDest) {
-                if (isFloatOp(e.op.cls))
+            if (op.hasDest) {
+                if (isFloatOp(op.cls))
                     ++t.fpRegsFree;
                 else
                     ++t.intRegsFree;
             }
             ++t.stats.committedUops;
-            t.rob.pop_front();
+            t.rob.popFront();
             --budget;
             progress = true;
         }
@@ -226,91 +228,102 @@ SmtCore::commitStage()
 }
 
 void
-SmtCore::startLoad(Thread &t, RobEntry &e)
+SmtCore::startLoad(Thread &t, std::size_t i)
 {
     const Cycle now = clock_->now;
-    const Cycle walk = t.dtlb.access(e.op.addr);
-    const SeqNum fwd = t.sb.forwards(e.seq, e.op.addr, e.op.size);
+    const MicroOp &op = t.rob.op(i);
+    const SeqNum seq = t.rob.seqAt(i);
+    const Cycle walk = t.dtlb.access(op.addr);
+    const SeqNum fwd = t.sb.forwards(seq, op.addr, op.size);
     if (fwd != kInvalidSeqNum) {
-        e.readyCycle = now + walk + kL1HitLatency;
-        recordLoadObserved(t, e, e.readyCycle, fwd);
+        t.rob.readyCycle(i) = now + walk + kL1HitLatency;
+        recordLoadObserved(t, i, t.rob.readyCycle(i), fwd);
         return;
     }
     if (!l1d_) {
         ++t.stats.loadsToL1;
-        e.readyCycle = now + walk + kL1HitLatency;
-        recordLoadObserved(t, e, e.readyCycle, kInvalidSeqNum);
+        t.rob.readyCycle(i) = now + walk + kL1HitLatency;
+        recordLoadObserved(t, i, t.rob.readyCycle(i), kInvalidSeqNum);
         return;
     }
-    e.memPending = true;
+    t.rob.flags(i) |= robflags::kMemPending;
     const int tid = t.tid;
+    const std::uint64_t token = t.rob.token(i);
     if (walk == 0) {
-        issueLoadToL1(tid, e.seq, e.token);
+        issueLoadToL1(tid, seq, token);
         return;
     }
-    clock_->events.schedule(now + walk,
-                            [this, tid, seq = e.seq, token = e.token] {
-                                issueLoadToL1(tid, seq, token);
-                            });
+    clock_->events.schedule(now + walk, [this, tid, seq, token] {
+        issueLoadToL1(tid, seq, token);
+    });
 }
 
 void
 SmtCore::issueLoadToL1(int tid, SeqNum seq, std::uint64_t token)
 {
     Thread &t = *ctx_[tid];
-    RobEntry *e = findBySeq(t, seq);
-    if (!e || e->token != token || !e->memPending)
+    const std::size_t i = t.rob.indexOf(seq);
+    if (i == RobRing::npos || t.rob.token(i) != token ||
+        !(t.rob.flags(i) & robflags::kMemPending))
         return;
     ++t.stats.loadsToL1;
-    if (e->wrongPath)
+    const bool wrong_path =
+        (t.rob.flags(i) & robflags::kWrongPath) != 0;
+    if (wrong_path)
         ++t.stats.wrongPathLoadsIssued;
+    const MicroOp &op = t.rob.op(i);
     MemRequest req;
     req.cmd = MemCmd::ReadReq;
-    req.blockAddr = blockAlign(e->op.addr);
+    req.blockAddr = blockAlign(op.addr);
     req.core = 0;
-    req.region = e->op.region;
-    req.wrongPath = e->wrongPath;
+    req.region = op.region;
+    req.wrongPath = wrong_path;
     l1d_->issueLoad(req, [this, tid, seq, token] {
         Thread &th = *ctx_[tid];
-        RobEntry *entry = findBySeq(th, seq);
-        if (!entry || entry->token != token || !entry->memPending)
+        const std::size_t j = th.rob.indexOf(seq);
+        if (j == RobRing::npos || th.rob.token(j) != token ||
+            !(th.rob.flags(j) & robflags::kMemPending))
             return;
-        entry->memPending = false;
-        entry->completed = true;
-        entry->readyCycle = clock_->now;
-        recordLoadObserved(th, *entry, clock_->now, kInvalidSeqNum);
+        std::uint8_t &f = th.rob.flags(j);
+        f = static_cast<std::uint8_t>(
+            (f & ~robflags::kMemPending) | robflags::kCompleted);
+        th.rob.readyCycle(j) = clock_->now;
+        recordLoadObserved(th, j, clock_->now, kInvalidSeqNum);
     });
 }
 
 void
-SmtCore::execStore(Thread &t, RobEntry &e)
+SmtCore::execStore(Thread &t, std::size_t i)
 {
-    t.sb.setAddress(e.seq, e.op.addr, e.op.size);
-    e.readyCycle = clock_->now + p_.aguLat + t.dtlb.access(e.op.addr);
+    const MicroOp &op = t.rob.op(i);
+    const SeqNum seq = t.rob.seqAt(i);
+    t.sb.setAddress(seq, op.addr, op.size);
+    t.rob.readyCycle(i) =
+        clock_->now + p_.aguLat + t.dtlb.access(op.addr);
     const StorePrefetchPolicy policy =
         config_.idealSb ? StorePrefetchPolicy::AtCommit : config_.policy;
     if (policy == StorePrefetchPolicy::AtExecute && l1d_) {
         MemRequest pf;
         pf.cmd = MemCmd::StorePF;
-        pf.blockAddr = blockAlign(e.op.addr);
+        pf.blockAddr = blockAlign(op.addr);
         pf.core = 0;
-        pf.region = e.op.region;
+        pf.region = op.region;
         l1d_->issueStorePrefetch(pf);
     }
 }
 
 void
-SmtCore::recordLoadObserved(const Thread &t, const RobEntry &e,
+SmtCore::recordLoadObserved(const Thread &t, std::size_t i,
                             Cycle cycle, SeqNum forwardedFrom)
 {
-    if (!eventLog_ || e.wrongPath)
+    if (!eventLog_ || (t.rob.flags(i) & robflags::kWrongPath))
         return;
     check::MemEvent ev;
     ev.kind = check::MemEvent::Kind::LoadObserved;
     ev.thread = t.tid;
-    ev.seq = e.seq;
-    ev.addr = e.op.addr;
-    ev.size = e.op.size;
+    ev.seq = t.rob.seqAt(i);
+    ev.addr = t.rob.op(i).addr;
+    ev.size = t.rob.op(i).size;
     ev.cycle = cycle;
     ev.forwardedFrom = forwardedFrom;
     eventLog_->record(ev);
@@ -331,10 +344,12 @@ SmtCore::issueStage()
         progress = false;
         for (int k = 0; k < nt && issued < p_.issueWidth; ++k) {
             Thread &t = *ctx_[(rotate_ + k) % nt];
-            for (auto &e : t.rob) {
-                if (!e.inIq || !sourcesReady(t, e))
+            const std::size_t n = t.rob.size();
+            for (std::size_t i = 0; i < n; ++i) {
+                if (!(t.rob.flags(i) & robflags::kInIq) ||
+                    !sourcesReady(t, i))
                     continue;
-                const OpClass cls = e.op.cls;
+                const OpClass cls = t.rob.op(i).cls;
                 if (isMemOp(cls)) {
                     if (mem_used >= p_.memPorts)
                         continue; // maybe an ALU op is ready instead
@@ -347,26 +362,30 @@ SmtCore::issueStage()
                         continue;
                 }
 
-                e.inIq = false;
+                t.rob.flags(i) = static_cast<std::uint8_t>(
+                    (t.rob.flags(i) & ~robflags::kInIq) |
+                    robflags::kIssued);
                 --t.iqCount;
                 --iqInUse_;
-                e.issued = true;
-                e.issuedAt = now;
+                t.rob.issuedAt(i) = now;
                 ++issued;
                 ++t.stats.issuedUops;
                 if (cls == OpClass::Load) {
                     ++mem_used;
-                    startLoad(t, e);
+                    startLoad(t, i);
                 } else if (cls == OpClass::Store) {
                     ++mem_used;
-                    execStore(t, e);
+                    execStore(t, i);
                 } else if (isFloatOp(cls)) {
                     ++fp_used;
-                    e.readyCycle = now + p_.opLatency(cls);
+                    t.rob.readyCycle(i) = now + p_.opLatency(cls);
                 } else {
                     ++int_used;
-                    e.readyCycle = now + p_.opLatency(cls);
+                    t.rob.readyCycle(i) = now + p_.opLatency(cls);
                 }
+                if (!(t.rob.flags(i) & robflags::kMemPending) &&
+                    t.rob.readyCycle(i) < t.nextTimerCycle)
+                    t.nextTimerCycle = t.rob.readyCycle(i);
                 progress = true;
                 break; // one issue per thread per round
             }
@@ -379,9 +398,13 @@ SmtCore::issueStage()
             if (t.rob.empty())
                 continue;
             ++t.stats.noIssueCycles;
-            for (const auto &e : t.rob) {
-                if (e.memPending && !e.wrongPath &&
-                    now > e.issuedAt + kL1HitLatency) {
+            const std::size_t n = t.rob.size();
+            for (std::size_t i = 0; i < n; ++i) {
+                constexpr std::uint8_t want = robflags::kMemPending;
+                constexpr std::uint8_t care =
+                    robflags::kMemPending | robflags::kWrongPath;
+                if ((t.rob.flags(i) & care) == want &&
+                    now > t.rob.issuedAt(i) + kL1HitLatency) {
                     ++t.stats.execStallL1dPending;
                     break;
                 }
@@ -442,32 +465,31 @@ SmtCore::dispatchStage()
                 stalled[tid] = true;
                 continue;
             }
-            RobEntry e;
-            e.op = f.op;
-            e.wrongPath = f.wrongPath;
-            e.seq = t.nextSeq++;
-            e.token = t.nextToken++;
-            auto to_seq = [&](std::uint8_t dist) {
-                return dist == 0 || e.seq <= dist ? kInvalidSeqNum
-                                                  : e.seq - dist;
+            const SeqNum seq = t.nextSeq++;
+            const std::size_t ri = t.rob.pushBack(seq, t.nextToken++);
+            t.rob.op(ri) = f.op;
+            t.rob.flags(ri) = static_cast<std::uint8_t>(
+                robflags::kInIq |
+                (f.wrongPath ? robflags::kWrongPath : 0));
+            auto to_seq = [seq](std::uint8_t dist) {
+                return dist == 0 || seq <= dist ? kInvalidSeqNum
+                                                : seq - dist;
             };
-            e.src1 = to_seq(f.op.srcDist1);
-            e.src2 = to_seq(f.op.srcDist2);
-            e.inIq = true;
+            t.rob.src1(ri) = to_seq(f.op.srcDist1);
+            t.rob.src2(ri) = to_seq(f.op.srcDist2);
             ++t.iqCount;
             ++iqInUse_;
             if (f.op.cls == OpClass::Load)
                 ++t.lqCount;
             if (f.op.cls == OpClass::Store)
-                t.sb.allocate(e.seq, f.op.region, f.wrongPath);
+                t.sb.allocate(seq, f.op.region, f.wrongPath);
             if (f.op.hasDest) {
                 if (isFloatOp(f.op.cls))
                     --t.fpRegsFree;
                 else
                     --t.intRegsFree;
             }
-            t.rob.push_back(std::move(e));
-            t.fetchPipe.pop_front();
+            t.fetchPipe.popFront();
             --budget;
             progress = true;
         }
@@ -526,7 +548,7 @@ SmtCore::fetchStage()
                     t.wrongPathMode = true;
             }
             ++t.stats.fetchedUops;
-            t.fetchPipe.push_back(std::move(f));
+            t.fetchPipe.pushBack(std::move(f));
             --budget;
             progress = true;
         }

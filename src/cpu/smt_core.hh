@@ -22,7 +22,6 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <memory>
 #include <vector>
 
@@ -96,30 +95,6 @@ class SmtCore
     void setEventLog(check::EventLog *log);
 
   private:
-    struct RobEntry
-    {
-        MicroOp op;
-        SeqNum seq = kInvalidSeqNum;
-        SeqNum src1 = kInvalidSeqNum;
-        SeqNum src2 = kInvalidSeqNum;
-        bool wrongPath = false;
-        bool inIq = false;
-        bool issued = false;
-        bool completed = false;
-        bool memPending = false;
-        Cycle readyCycle = kNeverCycle;
-        Cycle issuedAt = 0;
-        bool recovered = false;
-        std::uint64_t token = 0;
-    };
-
-    struct FetchedUop
-    {
-        MicroOp op;
-        Cycle fetchCycle = 0;
-        bool wrongPath = false;
-    };
-
     /** One hardware thread's private state. */
     struct Thread
     {
@@ -130,8 +105,8 @@ class SmtCore
         {
         }
 
-        std::deque<FetchedUop> fetchPipe;
-        std::deque<RobEntry> rob;
+        FetchRing fetchPipe;
+        RobRing rob;
         StoreBuffer sb;
         Tlb dtlb;
         std::unique_ptr<SpbEngine> spb;
@@ -143,6 +118,9 @@ class SmtCore
         unsigned lqCount = 0;
         unsigned intRegsFree = 0;
         unsigned fpRegsFree = 0;
+        /** Lower bound on this thread's earliest pending timer
+         *  completion; gates the completion scan. */
+        Cycle nextTimerCycle = kNeverCycle;
         bool wrongPathMode = false;
         Addr lastDataAddr = 0x10000000;
         int tid = 0; //!< this thread's index within the core
@@ -157,14 +135,26 @@ class SmtCore
     void dispatchStage();
     void fetchStage();
 
-    RobEntry *findBySeq(Thread &t, SeqNum seq);
-    bool producerDone(const Thread &t, SeqNum seq) const;
-    bool sourcesReady(const Thread &t, const RobEntry &e) const;
+    static bool
+    producerDone(const Thread &t, SeqNum seq)
+    {
+        const std::size_t i = t.rob.indexOf(seq);
+        return i == RobRing::npos ||
+               (t.rob.flags(i) & robflags::kCompleted) != 0;
+    }
+
+    static bool
+    sourcesReady(const Thread &t, std::size_t i)
+    {
+        return producerDone(t, t.rob.src1(i)) &&
+               producerDone(t, t.rob.src2(i));
+    }
+
     void squashAfter(Thread &t, SeqNum branch_seq);
-    void startLoad(Thread &t, RobEntry &e);
+    void startLoad(Thread &t, std::size_t i);
     void issueLoadToL1(int tid, SeqNum seq, std::uint64_t token);
-    void execStore(Thread &t, RobEntry &e);
-    void recordLoadObserved(const Thread &t, const RobEntry &e,
+    void execStore(Thread &t, std::size_t i);
+    void recordLoadObserved(const Thread &t, std::size_t i,
                             Cycle cycle, SeqNum forwardedFrom);
     MicroOp synthesizeWrongPath(Thread &t);
     StallResource dispatchBlocker(const Thread &t,

@@ -20,7 +20,6 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 
 #include "check/event_log.hh"
@@ -29,6 +28,7 @@
 #include "common/clock.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
+#include "cpu/pipeline_structs.hh"
 #include "trace/uop.hh"
 
 namespace spburst
@@ -107,6 +107,7 @@ class StoreBuffer
     void squashFrom(SeqNum seq);
 
     /** Advance one cycle: drain the head if possible. */
+    // spburst-lint: hot
     void tick(Cycle now);
 
     /** True when tick() would be a pure stat update: nothing to drain
@@ -115,7 +116,7 @@ class StoreBuffer
     quiescent() const
     {
         return drainInFlight_ || entries_.empty() ||
-               !entries_.front().senior;
+               !(entries_.flags(0) & sbflags::kSenior);
     }
 
     /** Account @p n skipped quiescent cycles (occupancy integral and
@@ -135,6 +136,7 @@ class StoreBuffer
      * blocks forwarding from anything older (the load would otherwise
      * mix stale bytes with pending ones).
      */
+    // spburst-lint: hot
     SeqNum forwards(SeqNum load_seq, Addr addr, unsigned size);
 
     /** Region of the head entry (stall attribution, Fig. 3). */
@@ -146,19 +148,6 @@ class StoreBuffer
     const StoreBufferStats &stats() const { return stats_; }
 
   private:
-    struct Entry
-    {
-        SeqNum seq = kInvalidSeqNum;
-        Addr addr = kInvalidAddr;
-        unsigned size = 0;
-        Region region = Region::App;
-        bool senior = false;
-        bool addressKnown = false;
-        bool wrongPath = false; //!< speculative past an unresolved branch
-    };
-
-    Entry *findBySeq(SeqNum seq);
-
     /** Pop the drained head: shadow/event-log bookkeeping + stats. */
     void finishDrain();
 
@@ -168,7 +157,7 @@ class StoreBuffer
     SpbEngine *spb_ = nullptr;
     bool prefetchAtCommit_ = false;
     bool coalescing_ = false;
-    std::deque<Entry> entries_; // program order; senior prefix drains
+    SbRing entries_; // program order; senior prefix drains
     bool drainInFlight_ = false;
     std::uint64_t drainToken_ = 0; //!< guards stale drain callbacks
     StoreBufferStats stats_;

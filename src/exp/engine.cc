@@ -2,8 +2,10 @@
 
 #include <atomic>
 #include <chrono>
+#include <fstream>
 #include <mutex>
 #include <set>
+#include <sys/wait.h>
 #include <unistd.h>
 #include <unordered_map>
 
@@ -152,6 +154,102 @@ attemptJob(const SystemConfig &config, double timeout_seconds)
     return system.run([deadline] { return Clock::now() >= deadline; });
 }
 
+std::string
+shardPath(const std::string &base, unsigned shard)
+{
+    return base + ".shard" + std::to_string(shard);
+}
+
+/**
+ * Fork one child per shard, deal the pending jobs round-robin (in job
+ * order, so the assignment is independent of any host schedule), merge
+ * the children's private JSONL files into the parent sink verbatim,
+ * and reconstruct the outcomes from the merged records.
+ */
+void
+runSharded(const std::vector<Job> &jobs,
+           const std::vector<std::size_t> &pending,
+           const EngineOptions &options, ExperimentReport &report)
+{
+    const unsigned shards = static_cast<unsigned>(
+        std::min<std::size_t>(options.shards, pending.size()));
+    std::string base = options.jsonlPath;
+    if (base.empty())
+        base = "/tmp/spburst-exp-" + std::to_string(getpid());
+
+    std::vector<pid_t> pids(shards, -1);
+    for (unsigned s = 0; s < shards; ++s) {
+        const pid_t pid = fork();
+        if (pid < 0)
+            SPB_FATAL("fork failed for shard %u", s);
+        if (pid == 0) {
+            // Child: run this shard's slice against a private sink.
+            // _exit skips parent-side cleanup; the sink flushes per
+            // line, so nothing is buffered when we get here.
+            std::vector<Job> slice;
+            for (std::size_t p = s; p < pending.size(); p += shards)
+                slice.push_back(jobs[pending[p]]);
+            EngineOptions child = options;
+            child.shards = 1;
+            child.resume = false;
+            child.jsonlPath = shardPath(base, s);
+            child.progress = false;
+            const ExperimentReport r = runJobs(slice, child);
+            std::fflush(nullptr);
+            _exit(r.failed() == 0 ? 0 : 1);
+        }
+        pids[s] = pid;
+    }
+    for (unsigned s = 0; s < shards; ++s) {
+        int status = 0;
+        if (waitpid(pids[s], &status, 0) < 0)
+            SPB_FATAL("waitpid failed for shard %u", s);
+        // A non-zero exit only means some jobs failed; the per-job
+        // detail comes from which records are missing below.
+    }
+
+    // Harvest every shard file: parsed stats for the report, raw lines
+    // for byte-identical pass-through into the main sink.
+    std::unordered_map<std::string, StatSet> stats;
+    std::unordered_map<std::string, std::string> lines;
+    for (unsigned s = 0; s < shards; ++s) {
+        const std::string path = shardPath(base, s);
+        std::vector<JsonlRecord> records = parseJsonlFile(path);
+        std::vector<std::string> raw;
+        std::ifstream in(path);
+        for (std::string line; std::getline(in, line);)
+            if (!line.empty())
+                raw.push_back(std::move(line));
+        // parseJsonlFile skips malformed lines, so records and raw can
+        // only disagree after a torn write; map conservatively by
+        // matching counts.
+        if (records.size() == raw.size()) {
+            for (std::size_t i = 0; i < records.size(); ++i)
+                lines.emplace(records[i].job, std::move(raw[i]));
+        }
+        for (JsonlRecord &rec : records)
+            stats.emplace(std::move(rec.job), std::move(rec.stats));
+        std::remove(path.c_str());
+    }
+
+    JsonlSink sink(options.jsonlPath, options.resume);
+    for (const std::size_t j : pending) {
+        JobOutcome &out = report.outcomes[j];
+        const auto it = stats.find(out.key);
+        if (it == stats.end()) {
+            out.status = JobStatus::Failed;
+            out.error = "shard produced no result (child failed)";
+            continue;
+        }
+        out.status = JobStatus::Completed;
+        out.stats = std::move(it->second);
+        out.attempts = 1;
+        const auto line = lines.find(out.key);
+        if (line != lines.end())
+            sink.write(line->second);
+    }
+}
+
 } // namespace
 
 const JobOutcome *
@@ -213,10 +311,16 @@ runJobs(const std::vector<Job> &jobs, const EngineOptions &options)
         }
     }
 
+    const auto start = Clock::now();
+    if (options.shards > 1 && !pending.empty()) {
+        runSharded(jobs, pending, options, report);
+        report.wallSeconds = secondsSince(start);
+        return report;
+    }
+
     JsonlSink sink(options.jsonlPath, options.resume);
     ProgressLine progress(options.progress, jobs.size(),
                           jobs.size() - pending.size());
-    const auto start = Clock::now();
 
     parallelFor(options.hostThreads, pending.size(),
                 [&](std::size_t p) {

@@ -58,6 +58,19 @@ struct EngineOptions
 {
     /** Host threads; 0 = all hardware threads, 1 = run inline. */
     unsigned hostThreads = 0;
+    /**
+     * Fork-based process sharding; 1 = run everything in this process.
+     * With N > 1 the pending jobs are dealt round-robin (in job order)
+     * to N forked children, each running its slice on its own
+     * hostThreads pool and checkpointing to a private
+     * `<jsonlPath>.shard<k>` file. The parent waits, merges the shard
+     * files into jsonlPath verbatim (lines are byte-identical to an
+     * unsharded run; order is job order) and deletes them. In the
+     * parent's outcomes, `result` is not populated (it lives in the
+     * shard process); `stats` is. A job missing from its shard's file
+     * (child crash) is reported Failed.
+     */
+    unsigned shards = 1;
     /** JSONL checkpoint/result file; empty = no sink. */
     std::string jsonlPath;
     /** Skip jobs already present in the sink (implies append mode). */

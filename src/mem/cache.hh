@@ -69,10 +69,12 @@ class SetAssocCache
 
     /** Find the frame holding @p block_addr, or nullptr. Does NOT touch
      *  LRU state; call touch() on a real access. */
+    // spburst-lint: hot
     CacheBlk *find(Addr block_addr);
     const CacheBlk *find(Addr block_addr) const;
 
     /** Promote a block to MRU. */
+    // spburst-lint: hot
     void touch(CacheBlk &blk);
 
     /**
@@ -83,6 +85,7 @@ class SetAssocCache
     CacheBlk &victim(Addr block_addr);
 
     /** Install @p block_addr into @p frame with the given state. */
+    // spburst-lint: hot
     void fill(CacheBlk &frame, Addr block_addr, CohState state);
 
     /** Invalidate a block if present; returns true if it was dirty. */

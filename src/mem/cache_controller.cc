@@ -145,7 +145,6 @@ CacheController::request(const MemRequest &req_in, FillCallback done)
         count_miss();
         if (wants_own)
             entry->ownershipRequested = true;
-        // spburst-lint: allow(hot-alloc) -- slot-recycled vector: MshrFile keeps target capacity across misses
         entry->targets.push_back(std::move(target));
         return;
     }
@@ -167,7 +166,6 @@ CacheController::request(const MemRequest &req_in, FillCallback done)
     MshrEntry *entry = mshr_.allocate(req.blockAddr, req.cmd, clock_->now);
     entry->extraLatency = extra;
     entry->sharedGrant = hub_grant;
-    // spburst-lint: allow(hot-alloc) -- slot-recycled vector: MshrFile keeps target capacity across misses
     entry->targets.push_back(std::move(target));
     forwardMiss(req);
 }
@@ -254,7 +252,6 @@ CacheController::handleFill(Addr block_addr, bool ownership)
                params_.name.c_str());
     for (MshrTarget &t : targets) {
         if (t.needsOwnership) {
-            // spburst-lint: allow(hot-alloc) -- slot-recycled vector: MshrFile keeps target capacity across misses
             up->targets.push_back(std::move(t));
         } else {
             CacheBlk *blk = tags_.find(block_addr);
@@ -576,7 +573,6 @@ CacheController::tryIssuePrefetch(const MemRequest &req)
             t.needsOwnership = true;
             t.isPrefetch = true;
             t.queuedAt = clock_->now;
-            // spburst-lint: allow(hot-alloc) -- slot-recycled vector: MshrFile keeps target capacity across misses
             e->targets.push_back(std::move(t));
         }
         ++stats_.pfDiscarded;
@@ -597,7 +593,6 @@ CacheController::tryIssuePrefetch(const MemRequest &req)
     t.needsOwnership = wantsOwnership(req.cmd);
     t.isPrefetch = true;
     t.queuedAt = clock_->now;
-    // spburst-lint: allow(hot-alloc) -- slot-recycled vector: MshrFile keeps target capacity across misses
     entry->targets.push_back(std::move(t));
     ++stats_.pfIssued;
     if (is_spb)

@@ -107,6 +107,7 @@ class CacheController : public MemLevel
                     MemLevel *below, int core, bool is_l1d);
 
     // MemLevel interface (called by the level above).
+    // spburst-lint: hot
     void request(const MemRequest &req, FillCallback done) override;
     void writeback(Addr block_addr, int core) override;
 

@@ -53,6 +53,7 @@ class DirectoryController : public CoherenceHub
     /** Register one core's private hierarchy (in core-id order). */
     void addCore(const CorePorts &ports);
 
+    // spburst-lint: hot
     Cycle resolve(const MemRequest &req, bool &grant_ownership) override;
     void evicted(Addr block_addr) override;
 

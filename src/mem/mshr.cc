@@ -5,10 +5,24 @@
 namespace spburst
 {
 
+namespace
+{
+
+/** Initial per-slot target capacity: one drain + a handful of merged
+ *  loads/prefetches covers nearly every miss. */
+constexpr std::size_t kTargetsReserve = 8;
+
+} // namespace
+
 MshrFile::MshrFile(std::size_t capacity) : capacity_(capacity)
 {
     SPB_ASSERT(capacity > 0, "MSHR file needs at least one entry");
     slots_.resize(capacity_);
+    // Pre-size every slot's target list: merges past this are rare
+    // (same-block requests piling on one miss), so steady-state
+    // allocate/merge/deallocate never touch the heap.
+    for (MshrEntry &slot : slots_)
+        slot.targets.reserve(kTargetsReserve);
     freeSlots_.reserve(capacity_);
     for (std::size_t i = capacity_; i-- > 0;)
         freeSlots_.push_back(static_cast<std::uint32_t>(i));

@@ -64,15 +64,18 @@ class MshrFile
     explicit MshrFile(std::size_t capacity);
 
     /** Entry for @p block_addr if a miss is outstanding, else nullptr. */
+    // spburst-lint: hot
     MshrEntry *find(Addr block_addr);
 
     /**
      * Allocate an entry for a new miss.
      * @return the new entry, or nullptr if the file is full.
      */
+    // spburst-lint: hot
     MshrEntry *allocate(Addr block_addr, MemCmd cmd, Cycle now);
 
     /** Release the entry for @p block_addr (must exist). */
+    // spburst-lint: hot
     void deallocate(Addr block_addr);
 
     bool full() const { return index_.size() >= capacity_; }

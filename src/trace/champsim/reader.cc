@@ -13,6 +13,7 @@
 #endif
 
 #include "common/logging.hh"
+#include "trace/champsim/trace_cache.hh"
 
 namespace spburst::champsim
 {
@@ -198,7 +199,7 @@ class PipeSource final : public ByteSource
 } // namespace
 
 std::unique_ptr<ByteSource>
-openByteSource(const std::string &path)
+openLiveByteSource(const std::string &path)
 {
     if (endsWith(path, ".xz"))
         return std::make_unique<PipeSource>("xz", path);
@@ -210,6 +211,18 @@ openByteSource(const std::string &path)
 #endif
     }
     return std::make_unique<PlainSource>(path);
+}
+
+std::unique_ptr<ByteSource>
+openByteSource(const std::string &path)
+{
+    // Compressed traces first consult the decoded-record cache (a
+    // no-op unless a cache directory is configured); plain files are
+    // already raw records and stream straight from disk.
+    if (endsWith(path, ".xz") || endsWith(path, ".gz"))
+        if (auto cached = openCachedTrace(path))
+            return cached;
+    return openLiveByteSource(path);
 }
 
 Decoder::Decoder(std::string path) : path_(std::move(path))

@@ -8,7 +8,10 @@
  * it, and `.xz` (or `.gz` without zlib) through a decompressor child
  * process (`xz -dc` / `gzip -dc`) feeding a pipe — the standard
  * ChampSim arrangement, which never materialises the multi-GB
- * uncompressed trace on disk. Rewinding (the replay loop, resumed
+ * uncompressed trace on disk. When a decoded-trace cache directory is
+ * configured (trace_cache.hh), compressed traces decompress once into
+ * it and every later open mmaps the cached records read-only instead
+ * of re-running the decompressor. Rewinding (the replay loop, resumed
  * experiment jobs) reopens the stream from the start; every System
  * owns its sources, so concurrent experiment jobs each hold their own
  * file handles and never share read positions.
@@ -46,10 +49,19 @@ class ByteSource
 
 /**
  * Open @p path as a byte stream, picking the decoder from the file
- * extension (.gz / .xz / anything else = plain). Fatal if the file
- * does not exist or the required decompressor is unavailable.
+ * extension (.gz / .xz / anything else = plain). Compressed traces are
+ * served from the decoded-record cache (trace_cache.hh) when one is
+ * configured and usable, live-decompressed otherwise. Fatal if the
+ * file does not exist or the required decompressor is unavailable.
  */
 std::unique_ptr<ByteSource> openByteSource(const std::string &path);
+
+/**
+ * openByteSource() without the cache lookup: always decodes from the
+ * file itself. The cache builder uses this to fill entries; tests use
+ * it as the ground truth cached reads must match.
+ */
+std::unique_ptr<ByteSource> openLiveByteSource(const std::string &path);
 
 /**
  * Buffered record decoder over a ByteSource: yields Records until end

@@ -1,0 +1,292 @@
+#include "trace/champsim/trace_cache.hh"
+
+#include <atomic>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "trace/champsim/format.hh"
+
+namespace spburst::champsim
+{
+
+namespace
+{
+
+constexpr char kMagic[8] = {'S', 'P', 'B', 'T', 'R', 'C', 'C', 'H'};
+constexpr std::uint32_t kCacheVersion = 1;
+
+/**
+ * Fixed 64-byte entry header. Everything a reader needs to trust the
+ * payload: the format version, the record geometry, and the identity
+ * (hash + size) of the compressed source it was decoded from.
+ */
+struct CacheHeader
+{
+    char magic[8];
+    std::uint32_t version;
+    std::uint32_t recordBytes;
+    std::uint64_t records;
+    std::uint64_t sourceHash;
+    std::uint64_t sourceBytes;
+    std::uint8_t pad[24];
+};
+static_assert(sizeof(CacheHeader) == 64, "header must stay one record");
+
+std::string &
+cacheDirStorage()
+{
+    static std::string dir = [] {
+        // spburst-lint: allow(nondeterminism) -- host-side cache location only: cached and live reads are byte-identical, so the env var changes wall-clock, never results
+        const char *env = std::getenv("SPBURST_TRACE_CACHE");
+        return std::string(env != nullptr ? env : "");
+    }();
+    return dir;
+}
+
+/** FNV-1a 64 over the whole file; false if it cannot be read. */
+bool
+hashFile(const std::string &path, std::uint64_t &hash,
+         std::uint64_t &bytes)
+{
+    std::FILE *file = std::fopen(path.c_str(), "rb");
+    if (file == nullptr)
+        return false;
+    std::uint64_t h = 14695981039346656037ULL;
+    std::uint64_t total = 0;
+    unsigned char buf[1u << 16];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), file)) > 0) {
+        for (std::size_t i = 0; i < n; ++i) {
+            h ^= buf[i];
+            h *= 1099511628211ULL;
+        }
+        total += n;
+    }
+    const bool ok = std::ferror(file) == 0;
+    std::fclose(file);
+    if (!ok)
+        return false;
+    hash = h;
+    bytes = total;
+    return true;
+}
+
+/** mkdir -p; true if @p dir exists (as a directory) afterwards. */
+bool
+makeDirs(const std::string &dir)
+{
+    std::string prefix;
+    std::size_t pos = 0;
+    while (pos <= dir.size()) {
+        const std::size_t slash = dir.find('/', pos);
+        const std::size_t end = slash == std::string::npos ? dir.size()
+                                                          : slash;
+        prefix.assign(dir, 0, end);
+        pos = end + 1;
+        if (prefix.empty())
+            continue; // leading '/' of an absolute path
+        if (mkdir(prefix.c_str(), 0777) != 0 && errno != EEXIST)
+            return false;
+    }
+    struct stat st;
+    return stat(dir.c_str(), &st) == 0 && S_ISDIR(st.st_mode);
+}
+
+std::string
+entryPath(const std::string &dir, std::uint64_t hash)
+{
+    char hex[17];
+    std::snprintf(hex, sizeof(hex), "%016llx",
+                  static_cast<unsigned long long>(hash));
+    return dir + "/" + hex + ".spbtrc";
+}
+
+/** Read-only mmap of a validated cache entry's record payload. */
+class MmapSource final : public ByteSource
+{
+  public:
+    MmapSource(void *map, std::size_t map_len)
+        : map_(map), mapLen_(map_len),
+          data_(static_cast<const unsigned char *>(map) +
+                sizeof(CacheHeader)),
+          len_(map_len - sizeof(CacheHeader))
+    {
+    }
+
+    ~MmapSource() override { munmap(map_, mapLen_); }
+
+    std::size_t
+    read(void *buf, std::size_t n) override
+    {
+        const std::size_t take = n < len_ - pos_ ? n : len_ - pos_;
+        std::memcpy(buf, data_ + pos_, take);
+        pos_ += take;
+        return take;
+    }
+
+  private:
+    void *map_;
+    std::size_t mapLen_;
+    const unsigned char *data_;
+    std::size_t len_;
+    std::size_t pos_ = 0;
+};
+
+/**
+ * mmap @p cache_path and validate it against the source identity.
+ * nullptr on any mismatch — missing file, foreign magic, version or
+ * geometry change, wrong source, or a payload length that disagrees
+ * with the header's record count (torn or truncated entry).
+ */
+std::unique_ptr<ByteSource>
+mapCacheEntry(const std::string &cache_path, std::uint64_t source_hash,
+              std::uint64_t source_bytes)
+{
+    const int fd = open(cache_path.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd < 0)
+        return nullptr;
+    struct stat st;
+    if (fstat(fd, &st) != 0 ||
+        static_cast<std::uint64_t>(st.st_size) < sizeof(CacheHeader)) {
+        close(fd);
+        return nullptr;
+    }
+    const std::size_t len = static_cast<std::size_t>(st.st_size);
+    void *map = mmap(nullptr, len, PROT_READ, MAP_PRIVATE, fd, 0);
+    close(fd); // the mapping keeps the pages
+    if (map == MAP_FAILED)
+        return nullptr;
+    madvise(map, len, MADV_SEQUENTIAL);
+
+    CacheHeader hdr;
+    std::memcpy(&hdr, map, sizeof(hdr));
+    const bool valid =
+        std::memcmp(hdr.magic, kMagic, sizeof(kMagic)) == 0 &&
+        hdr.version == kCacheVersion &&
+        hdr.recordBytes == kRecordBytes &&
+        hdr.sourceHash == source_hash &&
+        hdr.sourceBytes == source_bytes &&
+        len == sizeof(CacheHeader) + hdr.records * kRecordBytes;
+    if (!valid) {
+        munmap(map, len);
+        return nullptr;
+    }
+    return std::make_unique<MmapSource>(map, len);
+}
+
+/**
+ * Decompress @p trace_path once into @p cache_path: stream through a
+ * private tmp file, then atomically rename it into place. false on any
+ * failure (the tmp file is removed); a decompressed size that is not a
+ * whole number of records is a failure by design, so live decode keeps
+ * owning the truncated-trace diagnostic.
+ */
+bool
+buildCacheEntry(const std::string &trace_path,
+                const std::string &cache_path, std::uint64_t source_hash,
+                std::uint64_t source_bytes)
+{
+    static std::atomic<unsigned> seq{0};
+    const std::string tmp = cache_path + ".tmp." +
+                            std::to_string(getpid()) + "." +
+                            std::to_string(seq.fetch_add(1));
+    std::FILE *out = std::fopen(tmp.c_str(), "wb");
+    if (out == nullptr)
+        return false;
+
+    CacheHeader hdr = {};
+    bool ok = std::fwrite(&hdr, 1, sizeof(hdr), out) == sizeof(hdr);
+
+    std::uint64_t payload = 0;
+    if (ok) {
+        std::unique_ptr<ByteSource> src =
+            openLiveByteSource(trace_path);
+        unsigned char buf[1u << 16];
+        std::size_t n;
+        while ((n = src->read(buf, sizeof(buf))) > 0) {
+            if (std::fwrite(buf, 1, n, out) != n) {
+                ok = false;
+                break;
+            }
+            payload += n;
+        }
+    }
+    ok = ok && payload % kRecordBytes == 0;
+
+    if (ok) {
+        std::memcpy(hdr.magic, kMagic, sizeof(kMagic));
+        hdr.version = kCacheVersion;
+        hdr.recordBytes = kRecordBytes;
+        hdr.records = payload / kRecordBytes;
+        hdr.sourceHash = source_hash;
+        hdr.sourceBytes = source_bytes;
+        ok = std::fseek(out, 0, SEEK_SET) == 0 &&
+             std::fwrite(&hdr, 1, sizeof(hdr), out) == sizeof(hdr) &&
+             std::fflush(out) == 0 && fsync(fileno(out)) == 0;
+    }
+    std::fclose(out);
+    ok = ok && std::rename(tmp.c_str(), cache_path.c_str()) == 0;
+    if (!ok)
+        std::remove(tmp.c_str());
+    return ok;
+}
+
+} // namespace
+
+void
+setTraceCacheDir(std::string dir)
+{
+    cacheDirStorage() = std::move(dir);
+}
+
+const std::string &
+traceCacheDir()
+{
+    return cacheDirStorage();
+}
+
+std::string
+traceCachePathFor(const std::string &path)
+{
+    const std::string &dir = cacheDirStorage();
+    if (dir.empty())
+        return "";
+    std::uint64_t hash = 0, bytes = 0;
+    if (!hashFile(path, hash, bytes))
+        return "";
+    return entryPath(dir, hash);
+}
+
+std::unique_ptr<ByteSource>
+openCachedTrace(const std::string &path)
+{
+    const std::string &dir = cacheDirStorage();
+    if (dir.empty())
+        return nullptr;
+    std::uint64_t hash = 0, bytes = 0;
+    if (!hashFile(path, hash, bytes))
+        return nullptr; // let live decode report the real error
+    const std::string entry = entryPath(dir, hash);
+
+    if (auto src = mapCacheEntry(entry, hash, bytes))
+        return src;
+
+    // Miss, or an entry that failed validation (corrupt tail, older
+    // version): rebuild from the source. Racing builders each rename a
+    // complete private file into place, so this never exposes a
+    // partial entry to other readers.
+    if (!makeDirs(dir))
+        return nullptr;
+    if (!buildCacheEntry(path, entry, hash, bytes))
+        return nullptr;
+    return mapCacheEntry(entry, hash, bytes);
+}
+
+} // namespace spburst::champsim

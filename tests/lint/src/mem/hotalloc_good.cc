@@ -29,3 +29,31 @@ class Pipe
 };
 
 } // namespace fx
+
+// A field reached through an object pointer counts as reserved when
+// any file reserves it (slot-recycled MSHR-target pattern).
+namespace fx2
+{
+
+struct Entry
+{
+    std::vector<int> targets;
+};
+
+class File
+{
+  public:
+    File()
+    {
+        for (Entry &slot : slots_)
+            slot.targets.reserve(8);
+    }
+
+    // spburst-lint: hot
+    void merge(Entry *entry, int t) { entry->targets.push_back(t); }
+
+  private:
+    std::vector<Entry> slots_;
+};
+
+} // namespace fx2

@@ -16,6 +16,8 @@
 #include <string>
 #include <vector>
 
+#include <unistd.h>
+
 #include "common/logging.hh"
 #include "exp/engine.hh"
 #include "sim/system.hh"
@@ -23,6 +25,7 @@
 #include "trace/champsim/format.hh"
 #include "trace/champsim/reader.hh"
 #include "trace/champsim/source.hh"
+#include "trace/champsim/trace_cache.hh"
 
 namespace spburst
 {
@@ -239,6 +242,138 @@ TEST(ChampsimDecoder, XzFixtureMatchesPlainFixture)
         ++n;
     }
     EXPECT_FALSE(xz.next(b)) << "xz stream longer than plain";
+}
+
+// ---------------------------------------------------------------------
+// Decoded-trace cache
+// ---------------------------------------------------------------------
+
+std::vector<std::uint64_t>
+decodeAllIps(const std::string &path)
+{
+    Decoder dec(path);
+    Record r;
+    std::vector<std::uint64_t> ips;
+    while (dec.next(r))
+        ips.push_back(r.ip);
+    return ips;
+}
+
+std::string
+readAllBytes(champsim::ByteSource &src)
+{
+    std::string all;
+    char buf[1 << 16];
+    std::size_t n;
+    while ((n = src.read(buf, sizeof(buf))) > 0)
+        all.append(buf, n);
+    return all;
+}
+
+/**
+ * Each test gets a private cache directory over the .xz fixture, with
+ * the live-decoded record stream captured first as ground truth.
+ * Caching is switched off again (and the entry removed) afterwards so
+ * the other tests keep exercising the live readers.
+ */
+class ChampsimTraceCache : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        dir_ = tmpPath(std::string("trace_cache_") +
+                       ::testing::UnitTest::GetInstance()
+                           ->current_test_info()
+                           ->name());
+        xz_ = fixturePath("fixture.champsim.xz");
+        champsim::setTraceCacheDir("");
+        truth_ = decodeAllIps(xz_);
+        champsim::setTraceCacheDir(dir_);
+        entry_ = champsim::traceCachePathFor(xz_);
+        ASSERT_FALSE(entry_.empty());
+    }
+
+    void
+    TearDown() override
+    {
+        champsim::setTraceCacheDir("");
+        std::remove(entry_.c_str());
+        rmdir(dir_.c_str());
+    }
+
+    std::string dir_, xz_, entry_;
+    std::vector<std::uint64_t> truth_;
+};
+
+TEST_F(ChampsimTraceCache, CachedReplayIsByteIdenticalToFreshDecode)
+{
+    EXPECT_GT(truth_.size(), 2000u);
+    // The first open decompresses into the cache and serves from it...
+    EXPECT_EQ(decodeAllIps(xz_), truth_);
+    std::FILE *f = std::fopen(entry_.c_str(), "rb");
+    ASSERT_NE(f, nullptr) << "first open must publish " << entry_;
+    std::fclose(f);
+    // ...and a pure hit replays identically, byte for byte.
+    EXPECT_EQ(decodeAllIps(xz_), truth_);
+    const auto cached = champsim::openByteSource(xz_);
+    const auto live = champsim::openLiveByteSource(xz_);
+    EXPECT_EQ(readAllBytes(*cached), readAllBytes(*live));
+}
+
+TEST_F(ChampsimTraceCache, ReadsComeFromTheMappedEntry)
+{
+    ASSERT_EQ(decodeAllIps(xz_), truth_); // builds the entry
+    // Flip one payload byte (record 0's ip) without changing the
+    // length: validation still passes, so the decoder must see the
+    // altered value — proof the bytes come from the cache, not xz.
+    std::FILE *f = std::fopen(entry_.c_str(), "rb+");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(std::fseek(f, 64, SEEK_SET), 0);
+    const int c = std::fgetc(f);
+    ASSERT_NE(c, EOF);
+    std::fseek(f, 64, SEEK_SET);
+    std::fputc(c ^ 0xff, f);
+    std::fclose(f);
+
+    const auto ips = decodeAllIps(xz_);
+    ASSERT_EQ(ips.size(), truth_.size());
+    EXPECT_NE(ips[0], truth_[0]);
+    EXPECT_EQ(ips[1], truth_[1]);
+}
+
+TEST_F(ChampsimTraceCache, VersionMismatchNeverCorruptsReplay)
+{
+    ASSERT_EQ(decodeAllIps(xz_), truth_);
+    // Stamp a future format version into the header.
+    std::FILE *f = std::fopen(entry_.c_str(), "rb+");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(std::fseek(f, 8, SEEK_SET), 0);
+    const std::uint32_t bogus = 0xfffffffe;
+    std::fwrite(&bogus, sizeof(bogus), 1, f);
+    std::fclose(f);
+
+    EXPECT_EQ(decodeAllIps(xz_), truth_)
+        << "a version-mismatched entry must be rebuilt or bypassed";
+}
+
+TEST_F(ChampsimTraceCache, TruncatedEntryFallsBackToLiveDecode)
+{
+    ASSERT_EQ(decodeAllIps(xz_), truth_);
+    // Chop the entry mid-record: the length check must reject it.
+    ASSERT_EQ(truncate(entry_.c_str(), 64 + 32), 0);
+    EXPECT_EQ(decodeAllIps(xz_), truth_);
+}
+
+TEST_F(ChampsimTraceCache, UnusableCacheDirectoryDecodesLive)
+{
+    const std::string blocker = tmpPath("trace_cache_blocker");
+    std::FILE *f = std::fopen(blocker.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fclose(f);
+    champsim::setTraceCacheDir(blocker); // a file, not a directory
+    EXPECT_EQ(decodeAllIps(xz_), truth_);
+    std::remove(blocker.c_str());
 }
 
 // ---------------------------------------------------------------------
@@ -661,6 +796,40 @@ TEST(ChampsimDeterminism, IdenticalStatsAcrossJobsSchedulerFastForward)
     EXPECT_EQ(base, statFingerprint(runFixtureJobs(
                         1, SchedulerKind::Calendar, false)))
         << "fast-forward must not change simulated results";
+}
+
+TEST(ChampsimDeterminism, TraceCacheDoesNotChangeStats)
+{
+    const std::string xz = fixturePath("fixture.champsim.xz");
+    auto run = [&] {
+        std::vector<exp::Job> jobs;
+        for (const char *strategy : {"at-commit", "spb"}) {
+            SystemConfig cfg = fixtureConfig(strategy);
+            cfg.workload = "trace:" + xz;
+            cfg.maxUopsPerCore = 10'000;
+            jobs.push_back(exp::Job{exp::configKey(cfg), std::move(cfg)});
+        }
+        exp::EngineOptions opts;
+        opts.hostThreads = 2;
+        return statFingerprint(exp::runJobs(jobs, opts));
+    };
+
+    champsim::setTraceCacheDir("");
+    const std::string live = run();
+    EXPECT_FALSE(live.empty());
+
+    const std::string dir = tmpPath("trace_cache_engine");
+    champsim::setTraceCacheDir(dir);
+    const std::string building = run(); // first run fills the cache
+    const std::string hitting = run();  // second run is pure hits
+    const std::string entry = champsim::traceCachePathFor(xz);
+    champsim::setTraceCacheDir("");
+
+    EXPECT_EQ(building, live)
+        << "cache-building replay must match live decode";
+    EXPECT_EQ(hitting, live) << "cache-hit replay must match live decode";
+    std::remove(entry.c_str());
+    rmdir(dir.c_str());
 }
 
 TEST(ChampsimDeterminism, ConfigKeyKeepsFullTracePath)

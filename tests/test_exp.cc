@@ -189,6 +189,42 @@ TEST(Engine, ResultsAreIdenticalForAnyThreadCount)
     }
 }
 
+TEST(Engine, ShardedRunsProduceByteIdenticalSortedResults)
+{
+    const auto jobs = smallSpec().expand();
+
+    std::vector<std::string> reference;
+    for (unsigned shards : {1u, 3u, 4u}) {
+        const std::string path =
+            tmpPath("shards_" + std::to_string(shards) + ".jsonl");
+        std::remove(path.c_str());
+        exp::EngineOptions options;
+        options.hostThreads = 2;
+        options.shards = shards;
+        options.jsonlPath = path;
+        const auto report = exp::runJobs(jobs, options);
+        EXPECT_EQ(report.completed(), jobs.size());
+        for (std::size_t i = 0; i < jobs.size(); ++i) {
+            EXPECT_EQ(report.outcomes[i].key, jobs[i].key);
+            EXPECT_TRUE(report.outcomes[i].stats.has("cycles"))
+                << jobs[i].key;
+        }
+
+        const auto lines = sortedLines(path);
+        ASSERT_EQ(lines.size(), jobs.size());
+        if (reference.empty())
+            reference = lines;
+        else
+            EXPECT_EQ(lines, reference) << "shards=" << shards;
+        // No shard file may survive the merge.
+        for (unsigned s = 0; s < shards; ++s) {
+            std::ifstream leftover(path + ".shard" + std::to_string(s));
+            EXPECT_FALSE(leftover.good()) << "shard " << s;
+        }
+        std::remove(path.c_str());
+    }
+}
+
 TEST(Engine, ResumeSkipsDoneJobsAndReproducesTheFullFile)
 {
     const auto jobs = smallSpec().expand();

@@ -14,6 +14,7 @@
 
 #include <gtest/gtest.h>
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <sstream>
@@ -113,6 +114,54 @@ TEST(CalendarQueue, NextEventCycleTracksScheduleAndConsumption)
     q.runUntil(1000);
     EXPECT_EQ(q.nextEventCycle(), kNeverCycle);
     EXPECT_EQ(q.executedEvents(), 2u);
+}
+
+TEST(CalendarQueue, OccupancyBitmapSkipsSilentSpans)
+{
+    // One event per occupancy word of the wheel (bits 0..63, 64..127,
+    // 128..191, 192..255): the silent-span skip must land on each in
+    // order, across several wheel turns, with cascaded rescheduling
+    // from inside a drained cycle.
+    EventQueue q(SchedulerKind::Calendar);
+    std::vector<Cycle> order;
+    std::vector<Cycle> targets;
+    for (Cycle base : {Cycle{0}, Cycle{256}, Cycle{512}})
+        for (Cycle slot : {Cycle{3}, Cycle{77}, Cycle{140}, Cycle{201}})
+            targets.push_back(base + slot);
+    // Schedule the first; each event schedules its successor (always
+    // within the 255-cycle horizon of its own cycle or handled by a
+    // later wheel turn via intermediate hops).
+    std::function<void(std::size_t)> arm = [&](std::size_t k) {
+        order.push_back(targets[k]);
+        if (k + 1 < targets.size()) {
+            // Hop in <=200-cycle steps so every reschedule stays
+            // within the wheel span.
+            Cycle next = targets[k + 1];
+            q.schedule(next, [&arm, k] { arm(k + 1); });
+        }
+    };
+    q.schedule(targets[0], [&arm] { arm(0); });
+    q.runUntil(1000);
+    EXPECT_EQ(order, targets);
+    EXPECT_TRUE(q.empty());
+    EXPECT_EQ(q.nextEventCycle(), kNeverCycle);
+}
+
+TEST(CalendarQueue, NextEventCycleAcrossWheelWrapBoundary)
+{
+    // The bitmap scan starts mid-word when (cursor+1) % 256 != 0 and
+    // must wrap: park the cursor just short of a boundary, then
+    // schedule behind and ahead of the start slot.
+    EventQueue q(SchedulerKind::Calendar);
+    q.runUntil(200); // start slot 201: bits 201..255, then 0..200
+    q.schedule(450, [] {}); // bucket 194 < start slot: wrap partial word
+    EXPECT_EQ(q.nextEventCycle(), 450u);
+    q.schedule(210, [] {}); // bucket 210 >= start slot: first word
+    EXPECT_EQ(q.nextEventCycle(), 210u);
+    q.runUntil(210);
+    EXPECT_EQ(q.nextEventCycle(), 450u);
+    q.runUntil(460);
+    EXPECT_TRUE(q.empty());
 }
 
 TEST(Scheduler, ScheduledDuringDrainKeepsFifo)

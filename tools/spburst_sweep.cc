@@ -16,12 +16,12 @@
  * files with `sort`.
  */
 
-/* spburst-lint: config-host-only(check, jobs, out, resume, timeout-s,
-       retries, dry-run, no-summary, quiet, help)
-   -- assertion level, host parallelism, result sinks and sweep
-   scheduling (resume/timeout/retry) never change per-job simulated
-   results: every job is keyed and seeded independently of the host
-   schedule. */
+/* spburst-lint: config-host-only(check, jobs, shards, out, resume,
+       timeout-s, retries, dry-run, no-summary, quiet, help)
+   -- assertion level, host parallelism and process sharding, result
+   sinks and sweep scheduling (resume/timeout/retry) never change
+   per-job simulated results: every job is keyed and seeded
+   independently of the host schedule. */
 
 #include <cstdio>
 #include <cstring>
@@ -60,6 +60,7 @@ struct Options
     bool perJobSeeds = false;
 
     unsigned jobs = 0;
+    unsigned shards = 1;
     std::string out;
     bool resume = false;
     double timeoutS = 0.0;
@@ -96,6 +97,10 @@ usage()
         "  --check=off|fast|full  invariant checking level (default fast)\n"
         "engine:\n"
         "  --jobs=N               host threads (0 = all hardware; default)\n"
+        "  --shards=N             fork N worker processes; each runs a\n"
+        "                         round-robin slice of the grid with its\n"
+        "                         own --jobs pool and the parent merges\n"
+        "                         the per-shard JSONL files (default 1)\n"
         "  --out=FILE             JSONL result sink (checkpointed)\n"
         "  --resume               skip jobs already present in --out\n"
         "  --timeout-s=S          per-attempt wall-clock timeout\n"
@@ -254,6 +259,11 @@ parse(int argc, char **argv)
         } else if ((v = value("--jobs=")) != nullptr) {
             o.jobs = static_cast<unsigned>(
                 std::strtoul(v, nullptr, 10));
+        } else if ((v = value("--shards=")) != nullptr) {
+            o.shards = static_cast<unsigned>(
+                std::strtoul(v, nullptr, 10));
+            if (o.shards == 0)
+                o.shards = 1;
         } else if ((v = value("--out=")) != nullptr) {
             o.out = v;
         } else if (arg == "--resume") {
@@ -334,6 +344,7 @@ main(int argc, char **argv)
 
     exp::EngineOptions engine;
     engine.hostThreads = o.jobs;
+    engine.shards = o.shards;
     engine.jsonlPath = o.out;
     engine.resume = o.resume;
     engine.timeoutSeconds = o.timeoutS;
