@@ -1,0 +1,516 @@
+#include "analysis/cfg.hh"
+
+#include <algorithm>
+
+#include "analysis/util.hh"
+
+namespace spburst::lint
+{
+
+namespace
+{
+
+/** Statement keywords that can never start a declaration. */
+bool
+isStmtKeyword(std::string_view w)
+{
+    return w == "if" || w == "else" || w == "for" || w == "while" ||
+           w == "do" || w == "switch" || w == "case" ||
+           w == "default" || w == "return" || w == "break" ||
+           w == "continue" || w == "goto" || w == "using" ||
+           w == "delete" || w == "new" || w == "throw" ||
+           w == "try" || w == "catch" || w == "typedef" ||
+           w == "public" || w == "private" || w == "protected";
+}
+
+/** Sentinel successor fixed up to the synthetic exit block at the end
+ *  of the build. */
+constexpr std::size_t kExit = static_cast<std::size_t>(-1);
+
+class Builder
+{
+  public:
+    Builder(const std::vector<Token> &toks, std::size_t bodyBegin,
+            std::size_t bodyEnd)
+        : toks_(toks), bodyBegin_(bodyBegin), bodyEnd_(bodyEnd)
+    {
+    }
+
+    Cfg
+    build()
+    {
+        cfg_.blocks.emplace_back(); // entry
+        cur_ = 0;
+        CfgScope top;
+        top.openTok = bodyBegin_;
+        top.closeTok = bodyEnd_;
+        top.parent = 0;
+        cfg_.scopes.push_back(top);
+        parseList(bodyBegin_ + 1, bodyEnd_);
+        // Append the exit block and retarget the return edges.
+        const std::size_t exit = cfg_.blocks.size();
+        cfg_.blocks.emplace_back();
+        edge(cur_, exit);
+        for (CfgBlock &b : cfg_.blocks) {
+            for (std::size_t &s : b.succs)
+                if (s == kExit)
+                    s = exit;
+            std::sort(b.succs.begin(), b.succs.end());
+            b.succs.erase(
+                std::unique(b.succs.begin(), b.succs.end()),
+                b.succs.end());
+        }
+        scanLocals();
+        return std::move(cfg_);
+    }
+
+  private:
+    std::size_t
+    newBlock()
+    {
+        cfg_.blocks.emplace_back();
+        return cfg_.blocks.size() - 1;
+    }
+
+    void
+    edge(std::size_t from, std::size_t to)
+    {
+        cfg_.blocks[from].succs.push_back(to);
+    }
+
+    void
+    stmt(std::size_t first, std::size_t last)
+    {
+        if (last > first)
+            cfg_.blocks[cur_].stmts.push_back({first, last});
+    }
+
+    void
+    openScope(std::size_t open, std::size_t close,
+              std::size_t parentOpen)
+    {
+        CfgScope s;
+        s.openTok = open;
+        s.closeTok = close;
+        s.parent = 0;
+        // Innermost already-recorded scope containing `open`; scopes
+        // are pushed outermost-first, so scan backwards.
+        for (std::size_t i = cfg_.scopes.size(); i-- > 0;) {
+            if (cfg_.scopes[i].openTok <= parentOpen &&
+                cfg_.scopes[i].closeTok >= close) {
+                s.parent = i;
+                break;
+            }
+        }
+        cfg_.scopes.push_back(s);
+    }
+
+    void
+    parseList(std::size_t i, std::size_t end)
+    {
+        while (i < end && i < toks_.size())
+            i = parseStmt(i, end);
+    }
+
+    /** Skip one statement's tokens (no control-flow interpretation):
+     *  to the ';' at depth 0, stepping over balanced (), [], {}.
+     *  Nested braces (lambda bodies, brace-inits) still open scopes.
+     */
+    std::size_t
+    skipPlain(std::size_t i, std::size_t end)
+    {
+        std::size_t j = i;
+        while (j < end) {
+            const Token &t = toks_[j];
+            if (isPunct(t, "(") || isPunct(t, "[") || isPunct(t, "{")) {
+                const std::size_t close = matchClose(toks_, j);
+                if (close >= toks_.size() || close >= end)
+                    return end;
+                if (isPunct(t, "{"))
+                    openScope(j, close, j);
+                j = close + 1;
+                continue;
+            }
+            if (isPunct(t, ";"))
+                return j + 1;
+            ++j;
+        }
+        return end;
+    }
+
+    std::size_t
+    parseStmt(std::size_t i, std::size_t end)
+    {
+        const Token &t = toks_[i];
+        if (isPunct(t, ";"))
+            return i + 1;
+        if (isPunct(t, "{")) {
+            const std::size_t close = matchClose(toks_, i);
+            if (close >= toks_.size() || close > end)
+                return end;
+            openScope(i, close, i);
+            parseList(i + 1, close);
+            return close + 1;
+        }
+        if (isIdent(t, "if"))
+            return parseIf(i, end);
+        if (isIdent(t, "while"))
+            return parseWhile(i, end);
+        if (isIdent(t, "for"))
+            return parseFor(i, end);
+        if (isIdent(t, "do"))
+            return parseDo(i, end);
+        if (isIdent(t, "switch"))
+            return parseSwitch(i, end);
+        if (isIdent(t, "return")) {
+            const std::size_t next = skipPlain(i, end);
+            stmt(i, next);
+            edge(cur_, kExit);
+            cur_ = newBlock(); // anything after is unreachable
+            return next;
+        }
+        if (isIdent(t, "break") || isIdent(t, "continue")) {
+            const auto &stack =
+                isIdent(t, "break") ? breakTo_ : continueTo_;
+            if (!stack.empty())
+                edge(cur_, stack.back());
+            cur_ = newBlock();
+            return skipPlain(i, end);
+        }
+        if (isIdent(t, "case") || isIdent(t, "default")) {
+            // Stray label outside our switch parser: skip to ':'.
+            std::size_t j = i + 1;
+            while (j < end && !isPunct(toks_[j], ":"))
+                ++j;
+            return j < end ? j + 1 : end;
+        }
+        const std::size_t next = skipPlain(i, end);
+        stmt(i, next);
+        return next;
+    }
+
+    /** Token just past a control keyword's '(...)' condition, with the
+     *  condition recorded as a statement of the current block. */
+    std::size_t
+    parseCond(std::size_t kw, std::size_t end)
+    {
+        std::size_t j = kw + 1;
+        if (j >= end || !isPunct(toks_[j], "("))
+            return end;
+        const std::size_t close = matchClose(toks_, j);
+        if (close >= toks_.size() || close >= end)
+            return end;
+        stmt(j + 1, close);
+        return close + 1;
+    }
+
+    std::size_t
+    parseIf(std::size_t i, std::size_t end)
+    {
+        // `if constexpr (...)` reads the same as plain `if` here.
+        std::size_t kw = i;
+        if (kw + 1 < end && isIdent(toks_[kw + 1], "constexpr"))
+            ++kw;
+        std::size_t j = parseCond(kw, end);
+        if (j >= end)
+            return end;
+        const std::size_t condBlock = cur_;
+        const std::size_t thenEntry = newBlock();
+        edge(condBlock, thenEntry);
+        cur_ = thenEntry;
+        j = parseStmt(j, end);
+        const std::size_t thenExit = cur_;
+        if (j < end && isIdent(toks_[j], "else")) {
+            const std::size_t elseEntry = newBlock();
+            edge(condBlock, elseEntry);
+            cur_ = elseEntry;
+            j = parseStmt(j + 1, end);
+            const std::size_t elseExit = cur_;
+            const std::size_t join = newBlock();
+            edge(thenExit, join);
+            edge(elseExit, join);
+            cur_ = join;
+            return j;
+        }
+        const std::size_t join = newBlock();
+        edge(condBlock, join);
+        edge(thenExit, join);
+        cur_ = join;
+        return j;
+    }
+
+    std::size_t
+    parseWhile(std::size_t i, std::size_t end)
+    {
+        const std::size_t header = newBlock();
+        edge(cur_, header);
+        cur_ = header;
+        std::size_t j = parseCond(i, end);
+        if (j >= end)
+            return end;
+        const std::size_t bodyEntry = newBlock();
+        const std::size_t join = newBlock();
+        edge(header, bodyEntry);
+        edge(header, join);
+        breakTo_.push_back(join);
+        continueTo_.push_back(header);
+        cur_ = bodyEntry;
+        j = parseStmt(j, end);
+        edge(cur_, header); // back edge
+        breakTo_.pop_back();
+        continueTo_.pop_back();
+        cur_ = join;
+        return j;
+    }
+
+    std::size_t
+    parseFor(std::size_t i, std::size_t end)
+    {
+        // The whole header (init; cond; step  |  decl : range) becomes
+        // one statement of the loop-header block: good enough for a
+        // union-based taint walk.
+        std::size_t j = i + 1;
+        if (j >= end || !isPunct(toks_[j], "("))
+            return end;
+        const std::size_t close = matchClose(toks_, j);
+        if (close >= toks_.size() || close >= end)
+            return end;
+        const std::size_t header = newBlock();
+        edge(cur_, header);
+        cur_ = header;
+        stmt(j + 1, close);
+        const std::size_t bodyEntry = newBlock();
+        const std::size_t join = newBlock();
+        edge(header, bodyEntry);
+        edge(header, join);
+        breakTo_.push_back(join);
+        continueTo_.push_back(header);
+        cur_ = bodyEntry;
+        j = parseStmt(close + 1, end);
+        edge(cur_, header);
+        breakTo_.pop_back();
+        continueTo_.pop_back();
+        cur_ = join;
+        return j;
+    }
+
+    std::size_t
+    parseDo(std::size_t i, std::size_t end)
+    {
+        const std::size_t bodyEntry = newBlock();
+        edge(cur_, bodyEntry);
+        const std::size_t join = newBlock();
+        breakTo_.push_back(join);
+        continueTo_.push_back(bodyEntry);
+        cur_ = bodyEntry;
+        std::size_t j = parseStmt(i + 1, end);
+        breakTo_.pop_back();
+        continueTo_.pop_back();
+        if (j < end && isIdent(toks_[j], "while"))
+            j = parseCond(j, end);
+        edge(cur_, bodyEntry); // back edge
+        edge(cur_, join);
+        if (j < end && isPunct(toks_[j], ";"))
+            ++j;
+        cur_ = join;
+        return j;
+    }
+
+    std::size_t
+    parseSwitch(std::size_t i, std::size_t end)
+    {
+        std::size_t j = parseCond(i, end);
+        if (j >= end || !isPunct(toks_[j], "{"))
+            return j >= end ? end : parseStmt(j, end);
+        const std::size_t condBlock = cur_;
+        const std::size_t close = matchClose(toks_, j);
+        if (close >= toks_.size() || close > end)
+            return end;
+        openScope(j, close, j);
+        const std::size_t join = newBlock();
+        breakTo_.push_back(join);
+        // Each case label starts a block fed by the condition and by
+        // fall-through from the previous case.
+        cur_ = newBlock();
+        edge(condBlock, cur_);
+        std::size_t k = j + 1;
+        while (k < close) {
+            if (isIdent(toks_[k], "case") ||
+                isIdent(toks_[k], "default")) {
+                const std::size_t caseBlock = newBlock();
+                edge(condBlock, caseBlock);
+                edge(cur_, caseBlock); // fall-through
+                cur_ = caseBlock;
+                while (k < close && !isPunct(toks_[k], ":"))
+                    ++k;
+                ++k;
+                continue;
+            }
+            k = parseStmt(k, close);
+        }
+        edge(cur_, join); // implicit fall-out of the last case
+        edge(condBlock, join); // no matching case
+        breakTo_.pop_back();
+        cur_ = join;
+        return close + 1;
+    }
+
+    // -----------------------------------------------------------------
+    // Local-variable sweep (scope-aware, declaration heuristics)
+    // -----------------------------------------------------------------
+
+    bool
+    isTypeIsh(const Token &t) const
+    {
+        return t.kind == TokKind::Ident && !isStmtKeyword(t.text) &&
+               t.text != "sizeof";
+    }
+
+    /** Try to match a declaration starting at @p s; on success record
+     *  the local and return true. Accepted shape: [static] [const*]
+     *  Type[::T][<...>] [*&]* name ( '=' | ';' | '{' ). */
+    bool
+    matchDecl(std::size_t s, std::size_t end)
+    {
+        std::size_t j = s;
+        bool isStatic = false;
+        while (j < end &&
+               (isIdent(toks_[j], "static") ||
+                isIdent(toks_[j], "const") ||
+                isIdent(toks_[j], "constexpr"))) {
+            if (isIdent(toks_[j], "static"))
+                isStatic = true;
+            ++j;
+        }
+        if (j >= end || !isTypeIsh(toks_[j]))
+            return false;
+        ++j;
+        // Qualified / templated type name.
+        while (j < end) {
+            if (isPunct(toks_[j], "::") && j + 1 < end &&
+                toks_[j + 1].kind == TokKind::Ident) {
+                j += 2;
+                continue;
+            }
+            if (isPunct(toks_[j], "<")) {
+                const std::size_t past = matchTemplateClose(toks_, j);
+                if (past >= toks_.size() || past > end)
+                    return false;
+                j = past;
+                continue;
+            }
+            break;
+        }
+        while (j < end &&
+               (isPunct(toks_[j], "*") || isPunct(toks_[j], "&") ||
+                isPunct(toks_[j], "&&") || isIdent(toks_[j], "const")))
+            ++j;
+        if (j >= end || toks_[j].kind != TokKind::Ident ||
+            isStmtKeyword(toks_[j].text))
+            return false;
+        const std::size_t nameTok = j;
+        if (j + 1 >= end ||
+            !(isPunct(toks_[j + 1], "=") || isPunct(toks_[j + 1], ";") ||
+              isPunct(toks_[j + 1], "{") || isPunct(toks_[j + 1], ":")))
+            return false;
+        CfgLocal local;
+        local.name = std::string(toks_[nameTok].text);
+        local.declTok = nameTok;
+        local.scope = cfg_.scopeAt(nameTok);
+        local.isStatic = isStatic;
+        cfg_.locals.push_back(std::move(local));
+        return true;
+    }
+
+    void
+    scanLocals()
+    {
+        for (std::size_t i = bodyBegin_ + 1; i < bodyEnd_; ++i) {
+            const Token &prev = toks_[i - 1];
+            // Statement starts, plus `for (` headers (both the classic
+            // init and the range-for declarator match here: the
+            // range-for name is followed by ':').
+            const bool stmtStart = isPunct(prev, ";") ||
+                                   isPunct(prev, "{") ||
+                                   isPunct(prev, "}");
+            const bool forInit =
+                isPunct(prev, "(") && i >= 2 && isIdent(toks_[i - 2], "for");
+            if (stmtStart || forInit)
+                matchDecl(i, bodyEnd_);
+        }
+    }
+
+    const std::vector<Token> &toks_;
+    std::size_t bodyBegin_;
+    std::size_t bodyEnd_;
+    Cfg cfg_;
+    std::size_t cur_ = 0;
+    std::vector<std::size_t> breakTo_;
+    std::vector<std::size_t> continueTo_;
+};
+
+} // namespace
+
+std::size_t
+Cfg::scopeAt(std::size_t tok) const
+{
+    std::size_t best = 0;
+    for (std::size_t i = 0; i < scopes.size(); ++i) {
+        if (scopes[i].openTok <= tok && tok <= scopes[i].closeTok &&
+            scopes[i].openTok >= scopes[best].openTok)
+            best = i;
+    }
+    return best;
+}
+
+std::size_t
+Cfg::localAt(const std::string &name, std::size_t tok) const
+{
+    std::size_t best = locals.size();
+    for (std::size_t i = 0; i < locals.size(); ++i) {
+        if (locals[i].name != name || locals[i].declTok > tok)
+            continue;
+        const CfgScope &s = scopes[locals[i].scope];
+        if (s.openTok <= tok && tok <= s.closeTok &&
+            (best == locals.size() ||
+             locals[i].declTok > locals[best].declTok))
+            best = i;
+    }
+    return best;
+}
+
+std::vector<std::size_t>
+Cfg::rpo() const
+{
+    std::vector<std::size_t> order;
+    std::vector<char> seen(blocks.size(), 0);
+    // Iterative DFS with explicit post-order.
+    std::vector<std::pair<std::size_t, std::size_t>> stack;
+    stack.emplace_back(0, 0);
+    seen[0] = 1;
+    while (!stack.empty()) {
+        auto &[b, next] = stack.back();
+        if (next < blocks[b].succs.size()) {
+            const std::size_t s = blocks[b].succs[next++];
+            if (!seen[s]) {
+                seen[s] = 1;
+                stack.emplace_back(s, 0);
+            }
+            continue;
+        }
+        order.push_back(b);
+        stack.pop_back();
+    }
+    std::reverse(order.begin(), order.end());
+    return order;
+}
+
+Cfg
+buildCfg(const std::vector<Token> &toks, std::size_t bodyBegin,
+         std::size_t bodyEnd)
+{
+    Builder b(toks, bodyBegin, bodyEnd);
+    return b.build();
+}
+
+} // namespace spburst::lint

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Intraprocedural control-flow graph over the spburst-lint token
+ * stream.
+ *
+ * The builder turns one function body (a token range from the
+ * DeclIndex) into basic blocks connected by branch, loop, early-return
+ * and fall-through edges, plus a lexical scope tree with the local
+ * variables each scope declares. The dataflow layer (dataflow.cc) runs
+ * its taint transfer functions over the blocks in reverse-post-order;
+ * the callback-lifetime rule uses the scope tree to name the line where
+ * a captured local dies. Everything is heuristic but deterministic: the
+ * same tokens always produce the same graph, independent of --jobs.
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "analysis/lexer.hh"
+
+namespace spburst::lint
+{
+
+/** One statement: a token range [first, last) at brace depth of its
+ *  enclosing block. Control-flow heads (if/while/for/switch) carry only
+ *  their condition tokens; the controlled statements live in successor
+ *  blocks. */
+struct CfgStmt
+{
+    std::size_t first = 0;
+    std::size_t last = 0;
+};
+
+/** A maximal straight-line run of statements. Block 0 is the entry;
+ *  the last block is the synthetic exit every return edge targets. */
+struct CfgBlock
+{
+    std::vector<CfgStmt> stmts;
+    std::vector<std::size_t> succs; //!< ascending, deduplicated
+};
+
+/** One local variable declaration inside the function body. */
+struct CfgLocal
+{
+    std::string name;
+    std::size_t declTok = 0; //!< token index of the name
+    std::size_t scope = 0;   //!< owning scope (index into Cfg::scopes)
+    bool isStatic = false;   //!< `static` locals outlive the frame
+};
+
+/** One lexical scope: the function body is scope 0; every nested `{`
+ *  (including control-statement bodies and lambda bodies) opens a
+ *  child. */
+struct CfgScope
+{
+    std::size_t openTok = 0;  //!< '{' token index
+    std::size_t closeTok = 0; //!< matching '}' token index
+    std::size_t parent = 0;   //!< 0 is its own parent
+};
+
+struct Cfg
+{
+    std::vector<CfgBlock> blocks;
+    std::vector<CfgScope> scopes;
+    std::vector<CfgLocal> locals;
+
+    /** Innermost scope whose token range contains @p tok. */
+    std::size_t scopeAt(std::size_t tok) const;
+    /** Index into locals of the innermost declaration of @p name
+     *  visible at token @p tok, or locals.size() when none. */
+    std::size_t localAt(const std::string &name, std::size_t tok) const;
+    /** Blocks in reverse post-order from the entry (deterministic). */
+    std::vector<std::size_t> rpo() const;
+};
+
+/** Build the CFG for the body tokens (bodyBegin = '{', bodyEnd = the
+ *  matching '}'). Lambda bodies are kept inside the statement that
+ *  contains them — a lambda is data here, not control flow — but still
+ *  open scopes so their locals are scoped correctly. */
+Cfg buildCfg(const std::vector<Token> &toks, std::size_t bodyBegin,
+             std::size_t bodyEnd);
+
+} // namespace spburst::lint

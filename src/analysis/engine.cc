@@ -81,7 +81,7 @@ escapeGithub(const std::string &s)
 
 /** Bump when rule semantics or the cache format change: a stale epoch
  *  must read as a miss, never as yesterday's findings. */
-constexpr int kCacheEpoch = 2;
+constexpr int kCacheEpoch = 3;
 
 std::uint64_t
 fnv1a(std::string_view s, std::uint64_t h = 1469598103934665603ull)
@@ -177,18 +177,24 @@ splitTabs(const std::string &line)
     }
 }
 
+/** Load the v2 cache. The findings section replays only on a
+ *  whole-run key match (returned); the per-file summary section is
+ *  harvested into @p summaries regardless of the key, because a single
+ *  changed file invalidates the findings but leaves every other
+ *  file's local summary reusable. */
 bool
 loadCache(const std::string &path, const std::string &key,
-          RunResult &result)
+          RunResult &result, SummaryCache &summaries)
 {
     std::ifstream in(path);
     if (!in)
         return false;
     std::string line;
-    if (!std::getline(in, line) || line != "spburst-lint-cache v1")
+    if (!std::getline(in, line) || line != "spburst-lint-cache v2")
         return false;
-    if (!std::getline(in, line) || line != "key " + key)
+    if (!std::getline(in, line) || line.rfind("key ", 0) != 0)
         return false;
+    const bool keyMatch = line == "key " + key;
     std::vector<Finding> findings;
     while (std::getline(in, line)) {
         if (line.empty())
@@ -203,6 +209,13 @@ loadCache(const std::string &path, const std::string &key,
             fd.message = unescapeField(f[5]);
             fd.fixDescription = unescapeField(f[6]);
             findings.push_back(std::move(fd));
+        } else if (f[0] == "flow" && f.size() >= 4 &&
+                   !findings.empty()) {
+            FlowStep s;
+            s.file = unescapeField(f[1]);
+            s.line = std::atoi(f[2].c_str());
+            s.note = unescapeField(f[3]);
+            findings.back().flow.push_back(std::move(s));
         } else if (f[0] == "edit" && f.size() >= 4 &&
                    !findings.empty()) {
             FixEdit e;
@@ -212,32 +225,69 @@ loadCache(const std::string &path, const std::string &key,
                 std::strtoull(f[2].c_str(), nullptr, 10));
             e.text = unescapeField(f[3]);
             findings.back().fixEdits.push_back(std::move(e));
-        } else if (f[0] != "end") {
+        } else if (f[0] == "end") {
+            break;
+        } else {
             return false; // unknown record: treat as corrupt
         }
     }
-    result.findings = std::move(findings);
-    return true;
+    // A key match replays the stored findings directly — the summary
+    // section is only needed on a partial miss, so skip parsing it on
+    // the fully-warm path.
+    if (keyMatch) {
+        result.findings = std::move(findings);
+        return true;
+    }
+    // Optional summary section, usable only at the current format
+    // version (a version bump reads as a clean miss).
+    if (std::getline(in, line) &&
+        line == "summaries v" + std::to_string(kSummaryVersion)) {
+        while (std::getline(in, line)) {
+            if (line.empty())
+                continue;
+            const auto f = splitTabs(line);
+            if (f[0] == "summary" && f.size() >= 4) {
+                SummaryCacheEntry e;
+                e.hash = f[2];
+                e.blob = unescapeField(f[3]);
+                summaries[unescapeField(f[1])] = std::move(e);
+            } else {
+                break; // "end" or junk: summaries are best-effort
+            }
+        }
+    }
+    return false; // findings not reusable (summaries may be)
 }
 
 void
 saveCache(const std::string &path, const std::string &key,
-          const RunResult &result)
+          const RunResult &result, const SummaryCache &summaries)
 {
     std::ofstream out(path, std::ios::trunc);
     if (!out)
         return; // cache is an optimization: failure to persist is fine
-    out << "spburst-lint-cache v1\n"
+    out << "spburst-lint-cache v2\n"
         << "key " << key << '\n';
     for (const Finding &f : result.findings) {
         out << "finding\t" << escapeField(f.ruleId) << '\t'
             << escapeField(f.file) << '\t' << f.line << '\t' << f.col
             << '\t' << escapeField(f.message) << '\t'
             << escapeField(f.fixDescription) << '\n';
+        for (const FlowStep &s : f.flow)
+            out << "flow\t" << escapeField(s.file) << '\t' << s.line
+                << '\t' << escapeField(s.note) << '\n';
         for (const FixEdit &e : f.fixEdits)
             out << "edit\t" << e.offset << '\t' << e.length << '\t'
                 << escapeField(e.text) << '\n';
     }
+    out << "end\n";
+    // Per-file dataflow summaries: only files present in this run are
+    // written, so entries for deleted files are pruned here rather
+    // than lingering until the next epoch bump.
+    out << "summaries v" << kSummaryVersion << '\n';
+    for (const auto &[rel, entry] : summaries)
+        out << "summary\t" << escapeField(rel) << '\t' << entry.hash
+            << '\t' << escapeField(entry.blob) << '\n';
     out << "end\n";
 }
 
@@ -274,6 +324,7 @@ runLint(const Options &options)
     result.filesAnalyzed = live.size();
 
     std::string key;
+    SummaryCache cachedSummaries;
     if (!options.cachePath.empty() && result.errors.empty()) {
         for (const std::size_t i : live) {
             auto probe = makeFile(options.files[i], options.root, "");
@@ -284,7 +335,8 @@ runLint(const Options &options)
         for (const std::size_t i : live)
             liveSources.push_back(sources[i]);
         key = cacheKey(options, rels, liveSources);
-        if (loadCache(options.cachePath, key, result)) {
+        if (loadCache(options.cachePath, key, result,
+                      cachedSummaries)) {
             result.fromCache = true;
             return result;
         }
@@ -301,7 +353,15 @@ runLint(const Options &options)
         for (auto &slot : slots)
             project.files.push_back(std::move(slot));
     }
-    buildIndices(project);
+    SummaryCache freshSummaries;
+    buildIndices(project,
+                 cachedSummaries.empty() ? nullptr : &cachedSummaries,
+                 options.jobs,
+                 options.cachePath.empty() ? nullptr : &freshSummaries);
+    if (project.flow) {
+        result.summariesReused = project.flow->summariesReused;
+        result.summariesTotal = project.flow->summariesTotal;
+    }
 
     const std::set<std::string> only(options.onlyRules.begin(),
                                      options.onlyRules.end());
@@ -369,7 +429,7 @@ runLint(const Options &options)
     std::sort(result.findings.begin(), result.findings.end(),
               findingLess);
     if (!options.cachePath.empty() && result.errors.empty())
-        saveCache(options.cachePath, key, result);
+        saveCache(options.cachePath, key, result, freshSummaries);
     return result;
 }
 
@@ -501,6 +561,24 @@ renderSarif(const RunResult &result)
                 << "                }\n"
                 << "              ]\n"
                 << "            }\n"
+                << "          ],\n";
+        }
+        if (!f.flow.empty()) {
+            out << "          \"codeFlows\": [\n"
+                << "            { \"threadFlows\": [ { \"locations\": "
+                   "[\n";
+            for (std::size_t k = 0; k < f.flow.size(); ++k) {
+                const FlowStep &s = f.flow[k];
+                out << "              { \"location\": { "
+                       "\"physicalLocation\": { \"artifactLocation\": "
+                       "{ \"uri\": \""
+                    << escapeJson(s.file)
+                    << "\" }, \"region\": { \"startLine\": " << s.line
+                    << " } }, \"message\": { \"text\": \""
+                    << escapeJson(s.note) << "\" } } }"
+                    << (k + 1 < f.flow.size() ? "," : "") << "\n";
+            }
+            out << "            ] } ] }\n"
                 << "          ],\n";
         }
         out << "          \"locations\": [\n"

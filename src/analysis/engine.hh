@@ -48,6 +48,10 @@ struct RunResult
     std::vector<std::string> errors; //!< unreadable files etc.
     std::size_t filesAnalyzed = 0;
     bool fromCache = false; //!< findings replayed from cachePath
+    /** Per-file dataflow summaries reused from the cache vs total
+     *  (0/0 on a full-warm replay, which never touches summaries). */
+    std::size_t summariesReused = 0;
+    std::size_t summariesTotal = 0;
 };
 
 /** Run the analysis. */

@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/dataflow.hh"
 #include "analysis/model.hh"
 
 namespace spburst::lint
@@ -29,7 +30,16 @@ std::unique_ptr<FileContext> makeFile(const std::string &path,
                                       const std::string &root,
                                       std::string source);
 
-/** Build the TypeIndex and StatIndex over @p project.files. */
+/** Build the TypeIndex, StatIndex, DeclIndex, and FlowIndex over
+ *  @p project.files (serial, no summary cache). */
 void buildIndices(Project &project);
+
+/** As above, but reuse cached per-file dataflow summaries from
+ *  @p summaryCache (may be null) and extract missing ones with
+ *  @p jobs workers. When @p freshSummaries is non-null it receives the
+ *  serialized summaries of every file in this run, ready to persist —
+ *  entries for files no longer in the run are pruned by construction. */
+void buildIndices(Project &project, const SummaryCache *summaryCache,
+                  unsigned jobs, SummaryCache *freshSummaries);
 
 } // namespace spburst::lint

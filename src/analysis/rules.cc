@@ -765,6 +765,8 @@ allRules()
         std::vector<const Rule *> v = {&r1, &r2, &r3, &r4, &r5, &r6};
         for (const Rule *r : semanticRules())
             v.push_back(r);
+        for (const Rule *r : flowRules())
+            v.push_back(r);
         return v;
     }();
     return rules;

@@ -103,6 +103,7 @@ Core::Core(const CoreConfig &config, int core_id, SimClock *clock,
     }
 }
 
+// spburst-lint: ff(tick)
 void
 Core::tick()
 {
@@ -171,6 +172,7 @@ Core::quiescent() const
     return true;
 }
 
+// spburst-lint: ff(skip)
 void
 Core::skipQuiescentCycles(Cycle n)
 {
@@ -280,6 +282,7 @@ Core::completeAndRecover()
     // squashes everything younger and redirects the front end.
     if (recover != RobRing::npos) {
         rob_.flags(recover) |= robflags::kRecovered;
+        // spburst-lint: ff-exempt -- event-count stat: a quiescent cycle completes no branch, so no mispredict can accrue while skipping
         ++stats_.mispredicts;
         squashAfter(rob_.seqAt(recover));
     }
@@ -309,6 +312,7 @@ Core::squashAfter(SeqNum branch_seq)
             else
                 ++intRegsFree_;
         }
+        // spburst-lint: ff-exempt -- event-count stat: squashes only follow branch completions, which a quiescent cycle has none of
         ++stats_.squashedUops;
         rob_.popBack();
     }
@@ -341,13 +345,16 @@ Core::commitStage()
         switch (op.cls) {
           case OpClass::Store:
             sb_.markSenior(seq);
+            // spburst-lint: ff-exempt -- event-count stat: a quiescent cycle commits nothing
             ++stats_.committedStores;
             break;
           case OpClass::Load:
             --lqCount_;
+            // spburst-lint: ff-exempt -- event-count stat: a quiescent cycle commits nothing
             ++stats_.committedLoads;
             break;
           case OpClass::Branch:
+            // spburst-lint: ff-exempt -- event-count stat: a quiescent cycle commits nothing
             ++stats_.committedBranches;
             break;
           default:
@@ -359,6 +366,7 @@ Core::commitStage()
             else
                 ++intRegsFree_;
         }
+        // spburst-lint: ff-exempt -- event-count stat: a quiescent cycle commits nothing
         ++stats_.committedUops;
         rob_.popFront();
         ++n;
@@ -379,6 +387,7 @@ Core::startLoad(std::size_t i)
         return;
     }
     if (!l1d_) {
+        // spburst-lint: ff-exempt -- event-count stat: a quiescent cycle issues no loads
         ++stats_.loadsToL1;
         rob_.readyCycle(i) = now + walk + kL1HitLatency; // detached mode
         return;
@@ -405,6 +414,7 @@ Core::issueLoadToL1(SeqNum seq, std::uint64_t token)
     ++stats_.loadsToL1;
     const bool wrong_path = (rob_.flags(i) & robflags::kWrongPath) != 0;
     if (wrong_path)
+        // spburst-lint: ff-exempt -- event-count stat: a quiescent cycle issues no loads
         ++stats_.wrongPathLoadsIssued;
     const MicroOp &op = rob_.op(i);
     MemRequest req;
@@ -481,6 +491,7 @@ Core::issueStage()
             --iqCount_;
             rob_.issuedAt(i) = now;
             ++issued;
+            // spburst-lint: ff-exempt -- event-count stat: a quiescent cycle issues nothing (noIssueCycles is accrued instead)
             ++stats_.issuedUops;
 
             if (cls == OpClass::Load) {
@@ -630,6 +641,7 @@ Core::fetchStage()
         f.wrongPath = wrongPathMode_;
         if (wrongPathMode_) {
             f.op = synthesizeWrongPath();
+            // spburst-lint: ff-exempt -- event-count stat: a quiescent cycle fetches nothing
             ++stats_.wrongPathFetched;
         } else {
             if (fetchBudget_ == 0)
@@ -642,6 +654,7 @@ Core::fetchStage()
             if (f.op.cls == OpClass::Branch && f.op.mispredicted)
                 wrongPathMode_ = true;
         }
+        // spburst-lint: ff-exempt -- event-count stat: a quiescent cycle fetches nothing
         ++stats_.fetchedUops;
         fetchPipe_.pushBack(std::move(f));
     }

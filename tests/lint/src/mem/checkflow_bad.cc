@@ -1,0 +1,35 @@
+// Fixture: check-purity-flow must flag a call inside SPBURST_CHECK
+// whose callee mutates member state — directly or one level deeper.
+namespace fx
+{
+
+class DrainOrder
+{
+  public:
+    void audit(unsigned long seq)
+    {
+        SPBURST_CHECK(Sb, observeBurst(seq) != 0,
+                      "drain order must advance");
+    }
+
+    void auditDeep(unsigned long seq)
+    {
+        SPBURST_CHECK(Sb, peekBurst(seq) != 0, "burst must exist");
+    }
+
+  private:
+    unsigned long observeBurst(unsigned long seq)
+    {
+        last_ = seq;
+        return last_;
+    }
+
+    unsigned long peekBurst(unsigned long seq)
+    {
+        return observeBurst(seq);
+    }
+
+    unsigned long last_ = 0;
+};
+
+} // namespace fx

@@ -1,0 +1,29 @@
+// Fixture: read-only helpers inside SPBURST_CHECK are fine —
+// check-purity-flow must stay silent.
+namespace fx
+{
+
+class DrainAudit
+{
+  public:
+    void audit(unsigned long seq)
+    {
+        SPBURST_CHECK(Sb, lastBurst() <= seq, "drain order monotone");
+        SPBURST_CHECK(Sb, depthOf(seq) != 0, "burst must exist");
+    }
+
+  private:
+    unsigned long lastBurst() const
+    {
+        return last_;
+    }
+
+    unsigned long depthOf(unsigned long seq) const
+    {
+        return seq - last_;
+    }
+
+    unsigned long last_ = 0;
+};
+
+} // namespace fx

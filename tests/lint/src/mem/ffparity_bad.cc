@@ -1,0 +1,51 @@
+// Fixture: ff-stat-parity must flag a stat written under the ff(tick)
+// tree but missing from the ff(skip) path, and an ff(tick) root whose
+// class has no ff(skip) counterpart at all.
+namespace fx
+{
+
+struct BurstStats
+{
+    unsigned long busyCycles = 0;
+    unsigned long drained = 0;
+};
+
+class BurstUnit
+{
+  public:
+    // spburst-lint: ff(tick)
+    void tick()
+    {
+        ++stats_.busyCycles;
+        finishDrain();
+    }
+
+    // spburst-lint: ff(skip)
+    void skipCycles(unsigned long n)
+    {
+        stats_.busyCycles += n;
+    }
+
+  private:
+    void finishDrain()
+    {
+        ++stats_.drained;
+    }
+
+    BurstStats stats_;
+};
+
+class LoneTicker
+{
+  public:
+    // spburst-lint: ff(tick)
+    void tick()
+    {
+        ++cycles_;
+    }
+
+  private:
+    unsigned long cycles_ = 0;
+};
+
+} // namespace fx

@@ -1,0 +1,35 @@
+// Fixture: callback-lifetime must flag value captures of a pointer to
+// a stack local, an iterator into a stack-local container, and an
+// init-capture of a local's address in scheduled callbacks.
+namespace fx
+{
+
+struct EventQueue
+{
+    template <typename F> void schedule(unsigned long when, F cb);
+};
+
+inline void
+drainLater(EventQueue &eq)
+{
+    int pending = 3;
+    int *p = &pending;
+    eq.schedule(4, [p] { --*p; });
+}
+
+inline void
+walkLater(EventQueue &eq)
+{
+    std::vector<int> batch;
+    auto it = batch.begin();
+    eq.schedule(2, [it] { (void)it; });
+}
+
+inline void
+captureLater(EventQueue &eq)
+{
+    long credit = 8;
+    eq.schedule(1, [q = &credit] { (void)q; });
+}
+
+} // namespace fx

@@ -1,0 +1,37 @@
+// Fixture: capturing values, static locals, or iterators into
+// long-lived members is safe — callback-lifetime must stay silent.
+namespace fx
+{
+
+struct EventQueue
+{
+    template <typename F> void schedule(unsigned long when, F cb);
+};
+
+class Drainer
+{
+  public:
+    void drainLater(EventQueue &eq)
+    {
+        int pending = 3;
+        eq.schedule(4, [pending] { (void)pending; });
+    }
+
+    void pokeLater(EventQueue &eq)
+    {
+        static int generation = 0;
+        int *g = &generation;
+        eq.schedule(2, [g] { ++*g; });
+    }
+
+    void walkLater(EventQueue &eq)
+    {
+        auto it = batch_.begin();
+        eq.schedule(1, [it] { (void)it; });
+    }
+
+  private:
+    std::vector<int> batch_;
+};
+
+} // namespace fx

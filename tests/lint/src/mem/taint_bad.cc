@@ -1,0 +1,41 @@
+// Fixture: nondeterminism-taint must track a host-pointer value
+// through an assignment and one call level into a StatSet write, and
+// flag a direct pointer-hash sink.
+namespace fx
+{
+
+struct StatSet
+{
+    void set(const char *key, double v);
+};
+
+class BurstTracker
+{
+  public:
+    unsigned long fold(const void *p)
+    {
+        return reinterpret_cast<unsigned long>(p);
+    }
+
+    void recordKey(unsigned long k)
+    {
+        sum_.set("burst.key", static_cast<double>(k));
+    }
+
+    void onDrain(const void *req)
+    {
+        unsigned long k = fold(req);
+        recordKey(k);
+    }
+
+    void onHash(const int *slot)
+    {
+        sum_.set("burst.slot",
+                 static_cast<double>(std::hash<const int *>{}(slot)));
+    }
+
+  private:
+    StatSet sum_;
+};
+
+} // namespace fx

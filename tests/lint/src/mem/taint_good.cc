@@ -1,0 +1,35 @@
+// Fixture: values derived from simulated state (sequence numbers,
+// cycle counts) may reach StatSet writes; the same call shape as
+// taint_bad.cc must stay silent when the source is deterministic.
+namespace fx
+{
+
+struct StatSet
+{
+    void set(const char *key, double v);
+};
+
+class BurstMeter
+{
+  public:
+    unsigned long fold(unsigned long seq)
+    {
+        return seq * 2654435761ul;
+    }
+
+    void recordKey(unsigned long k)
+    {
+        sum_.set("burst.key", static_cast<double>(k));
+    }
+
+    void onDrain(unsigned long seq)
+    {
+        unsigned long k = fold(seq);
+        recordKey(k);
+    }
+
+  private:
+    StatSet sum_;
+};
+
+} // namespace fx

@@ -59,7 +59,7 @@ TEST(Lint, FixtureCorpusTripsEveryRuleAtTheExpectedLines)
 {
     const RunResult result = lintFixtures();
     EXPECT_TRUE(result.errors.empty());
-    EXPECT_EQ(result.filesAnalyzed, 24u);
+    EXPECT_EQ(result.filesAnalyzed, 32u);
 
     const std::set<Key> expected = {
         {"nondeterminism", "src/mem/nondet_bad.cc", 11},       // rand
@@ -91,10 +91,19 @@ TEST(Lint, FixtureCorpusTripsEveryRuleAtTheExpectedLines)
         {"hot-alloc", "src/mem/hotalloc_bad.cc", 23},  // new
         {"hot-alloc", "src/mem/hotalloc_bad.cc", 37},  // member field
         {"config-key-coverage", "tools/config_bad.cc", 12},
+        {"nondeterminism-taint", "src/mem/taint_bad.cc", 28},
+        {"nondeterminism-taint", "src/mem/taint_bad.cc", 34},
+        {"callback-lifetime", "src/mem/lifetime_bad.cc", 17},
+        {"callback-lifetime", "src/mem/lifetime_bad.cc", 25},
+        {"callback-lifetime", "src/mem/lifetime_bad.cc", 32},
+        {"ff-stat-parity", "src/mem/ffparity_bad.cc", 32},
+        {"ff-stat-parity", "src/mem/ffparity_bad.cc", 42},
+        {"check-purity-flow", "src/mem/checkflow_bad.cc", 11},
+        {"check-purity-flow", "src/mem/checkflow_bad.cc", 17},
     };
     EXPECT_EQ(keysOf(result), expected);
     // chrono + steady_clock both flag nondet_bad.cc:13.
-    EXPECT_EQ(result.findings.size(), 30u);
+    EXPECT_EQ(result.findings.size(), 39u);
 }
 
 TEST(Lint, GoodFixturesAndExemptDirsStaySilent)
@@ -135,7 +144,7 @@ TEST(Lint, RuleFilterRestrictsToTheRequestedRule)
     }
 }
 
-TEST(Lint, CatalogueHasTheElevenRulesWithUniqueIds)
+TEST(Lint, CatalogueHasTheFifteenRulesWithUniqueIds)
 {
     std::set<std::string> ids;
     for (const Rule *rule : allRules())
@@ -146,6 +155,8 @@ TEST(Lint, CatalogueHasTheElevenRulesWithUniqueIds)
         "callback-inline-size", "stat-name",
         "snapshot-coverage", "codec-symmetry",
         "stat-hot-path", "hot-alloc", "config-key-coverage",
+        "nondeterminism-taint", "callback-lifetime",
+        "ff-stat-parity", "check-purity-flow",
     };
     EXPECT_EQ(ids, expected);
     EXPECT_EQ(allRules().size(), expected.size()); // ids are unique
@@ -290,7 +301,12 @@ TEST(Lint, OutputIsIdenticalAtAnyJobCount)
     serial.jobs = 1;
     Options wide = serial;
     wide.jobs = 8;
-    EXPECT_EQ(renderText(runLint(serial)), renderText(runLint(wide)));
+    const RunResult one = runLint(serial);
+    const RunResult eight = runLint(wide);
+    EXPECT_EQ(renderText(one), renderText(eight));
+    // Summary extraction order must not leak into the dataflow
+    // verdicts or their code-flow witnesses.
+    EXPECT_EQ(renderSarif(one), renderSarif(eight));
 }
 
 namespace fs = std::filesystem;
@@ -432,6 +448,225 @@ TEST(LintSarif, FindingsWithFixesCarryFixObjects)
     EXPECT_NE(sarif.find("\"fixes\": ["), std::string::npos);
     EXPECT_NE(sarif.find("\"insertedContent\""), std::string::npos);
     EXPECT_NE(sarif.find("\"charOffset\""), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Dataflow layer: taint witnesses, summary cache, real-tree mutations
+// ---------------------------------------------------------------------
+
+TEST(LintSarif, DataflowFindingsCarryCodeFlowSteps)
+{
+    const std::string sarif = renderSarif(lintFixtures());
+    EXPECT_TRUE(jsonBalanced(sarif)) << sarif;
+    EXPECT_NE(sarif.find("\"codeFlows\": ["), std::string::npos);
+    EXPECT_NE(sarif.find("\"threadFlows\": ["), std::string::npos);
+    // The parity witness walks tick root -> call chain -> write site.
+    EXPECT_NE(sarif.find("ff(tick) root"), std::string::npos);
+}
+
+/** Copy a file from the real tree into a fresh temp tree and lint just
+ *  that copy; seeded mutations then run against the real sources. */
+std::string
+makeRealTree(const std::string &rel, const std::string &tag)
+{
+    const fs::path root =
+        fs::path(testing::TempDir()) / ("spburst_real_" + tag);
+    fs::remove_all(root);
+    const fs::path dst = root / rel;
+    fs::create_directories(dst.parent_path());
+    fs::copy_file(fs::path(SPBURST_REPO_ROOT) / rel, dst);
+    return root.generic_string();
+}
+
+std::string
+slurp(const std::string &path)
+{
+    std::stringstream buf;
+    buf << std::ifstream(path).rdbuf();
+    return buf.str();
+}
+
+TEST(LintMutation, DroppingAnFfExemptAnnotationIsCaught)
+{
+    const std::string root = makeRealTree("src/cpu/core.cc", "ffpar");
+    const std::string path = root + "/src/cpu/core.cc";
+    EXPECT_TRUE(lintTree(root).findings.empty())
+        << renderText(lintTree(root));
+
+    // Seeded mutation: delete one justified ff-exempt annotation; the
+    // stat under Core::tick loses its skipQuiescentCycles alibi.
+    std::string src = slurp(path);
+    const std::size_t at = src.find("// spburst-lint: ff-exempt");
+    ASSERT_NE(at, std::string::npos);
+    const std::size_t eol = src.find('\n', at);
+    src.erase(at, eol - at + 1);
+    std::ofstream(path, std::ios::trunc) << src;
+
+    const RunResult mutated = lintTree(root);
+    ASSERT_EQ(mutated.findings.size(), 1u) << renderText(mutated);
+    EXPECT_EQ(mutated.findings[0].ruleId, "ff-stat-parity");
+    EXPECT_FALSE(mutated.findings[0].flow.empty());
+}
+
+TEST(LintMutation, SeedingAPointerHashIntoAStatIsCaught)
+{
+    const std::string root = makeRealTree("src/cpu/core.cc", "taint");
+    const std::string path = root + "/src/cpu/core.cc";
+    EXPECT_TRUE(lintTree(root).findings.empty());
+
+    // Seeded mutation: a host pointer folded into a StatSet column.
+    std::ofstream(path, std::ios::app)
+        << "\nStatSet\n"
+           "CoreStats::lintSeedTaint(const void *origin) const\n"
+           "{\n"
+           "    StatSet seeded;\n"
+           "    seeded.set(\"core.origin\",\n"
+           "               static_cast<double>(\n"
+           "                   reinterpret_cast<unsigned long>("
+           "origin)));\n"
+           "    return seeded;\n"
+           "}\n";
+
+    const RunResult mutated = lintTree(root);
+    ASSERT_EQ(mutated.findings.size(), 1u) << renderText(mutated);
+    EXPECT_EQ(mutated.findings[0].ruleId, "nondeterminism-taint");
+    EXPECT_FALSE(mutated.findings[0].flow.empty());
+}
+
+TEST(LintMutation, SeedingADanglingCaptureIsCaught)
+{
+    const std::string root = makeRealTree("src/cpu/core.cc", "dangle");
+    const std::string path = root + "/src/cpu/core.cc";
+    EXPECT_TRUE(lintTree(root).findings.empty());
+
+    // Seeded mutation: a scheduled callback captures the address of a
+    // stack local by value — explicit capture, so the syntactic
+    // callback-capture rule stays quiet and only the CFG-lifetime rule
+    // can see it.
+    std::ofstream(path, std::ios::app)
+        << "\nvoid\n"
+           "Core::lintSeedDangling()\n"
+           "{\n"
+           "    int budget = 0;\n"
+           "    int *p = &budget;\n"
+           "    eventQueue_.schedule(1, [p] { (void)*p; });\n"
+           "}\n";
+
+    const RunResult mutated = lintTree(root);
+    ASSERT_EQ(mutated.findings.size(), 1u) << renderText(mutated);
+    EXPECT_EQ(mutated.findings[0].ruleId, "callback-lifetime");
+}
+
+TEST(LintMutation, SeedingAMutatingHelperIntoACheckIsCaught)
+{
+    const std::string root = makeRealTree("src/cpu/core.cc", "purity");
+    const std::string path = root + "/src/cpu/core.cc";
+    EXPECT_TRUE(lintTree(root).findings.empty());
+
+    // Seeded mutation: SPBURST_CHECK calls a helper that advances
+    // member state — lexically clean, impure one call away.
+    std::ofstream(path, std::ios::app)
+        << "\nunsigned long\n"
+           "Core::lintSeedBump()\n"
+           "{\n"
+           "    lintSeed_ = lintSeed_ + 1;\n"
+           "    return lintSeed_;\n"
+           "}\n"
+           "\n"
+           "void\n"
+           "Core::lintSeedAudit()\n"
+           "{\n"
+           "    SPBURST_CHECK(Core, lintSeedBump() != 0, "
+           "\"seed advances\");\n"
+           "}\n";
+
+    const RunResult mutated = lintTree(root);
+    ASSERT_EQ(mutated.findings.size(), 1u) << renderText(mutated);
+    EXPECT_EQ(mutated.findings[0].ruleId, "check-purity-flow");
+}
+
+TEST(LintCache, SummariesInvalidateAlongCallEdgesAndReuseTheRest)
+{
+    const fs::path root = fs::path(testing::TempDir()) /
+                          "spburst_lint_flowcache";
+    fs::remove_all(root);
+    fs::create_directories(root / "src/mem");
+    // Caller and callee in separate files: the finding lives at the
+    // caller's sink, the taint source at the callee's return.
+    std::ofstream(root / "src/mem/flow_caller.cc")
+        << "namespace fx\n"
+           "{\n"
+           "struct StatSet\n"
+           "{\n"
+           "    void set(const char *key, double v);\n"
+           "};\n"
+           "class FlowCaller\n"
+           "{\n"
+           "  public:\n"
+           "    void onDrain(const void *req)\n"
+           "    {\n"
+           "        sum_.set(\"flow.key\",\n"
+           "                 static_cast<double>(foldOrigin(req)));\n"
+           "    }\n"
+           "\n"
+           "  private:\n"
+           "    unsigned long foldOrigin(const void *p);\n"
+           "    StatSet sum_;\n"
+           "};\n"
+           "} // namespace fx\n";
+    const auto writeCallee = [&](const std::string &body) {
+        std::ofstream(root / "src/mem/flow_callee.cc")
+            << "namespace fx\n"
+               "{\n"
+               "class FlowCaller;\n"
+               "unsigned long\n"
+               "FlowCaller::foldOrigin(const void *p)\n"
+               "{\n" +
+                   body +
+                   "}\n"
+                   "} // namespace fx\n";
+    };
+    writeCallee("    return reinterpret_cast<unsigned long>(p);\n");
+
+    const std::string cache = (root / "lint.cache").generic_string();
+    const RunResult cold = lintTree(root.generic_string(), cache);
+    ASSERT_EQ(cold.findings.size(), 1u) << renderText(cold);
+    EXPECT_EQ(cold.findings[0].ruleId, "nondeterminism-taint");
+    EXPECT_EQ(cold.findings[0].file, "src/mem/flow_caller.cc");
+    EXPECT_EQ(cold.summariesReused, 0u);
+
+    // Fix the callee only: the caller's cached summary is reused, yet
+    // the propagated verdict at the unchanged caller flips to clean.
+    writeCallee("    return 42ul;\n");
+    const RunResult warm = lintTree(root.generic_string(), cache);
+    EXPECT_FALSE(warm.fromCache);
+    EXPECT_TRUE(warm.findings.empty()) << renderText(warm);
+    EXPECT_EQ(warm.summariesReused, 1u);
+    EXPECT_EQ(warm.summariesTotal, 2u);
+}
+
+TEST(LintCache, DeletedFilesDropOutOfTheCacheOnTheNextRun)
+{
+    const std::string root = makeTempTree(
+        {"src/mem/stathot_bad.cc", "src/mem/stathot_good.cc"},
+        "deleted");
+    const std::string cache = root + "/lint.cache";
+
+    const RunResult cold = lintTree(root, cache);
+    EXPECT_EQ(cold.findings.size(), 2u);
+    EXPECT_NE(slurp(cache).find("stathot_bad.cc"), std::string::npos);
+
+    // Delete the offending file: its findings, suppressions, and
+    // summary must all vanish from the next run's saved cache.
+    fs::remove(fs::path(root) / "src/mem/stathot_bad.cc");
+    const RunResult after = lintTree(root, cache);
+    EXPECT_FALSE(after.fromCache); // file list changed the cache key
+    EXPECT_TRUE(after.findings.empty()) << renderText(after);
+    EXPECT_EQ(slurp(cache).find("stathot_bad.cc"), std::string::npos);
+
+    const RunResult replay = lintTree(root, cache);
+    EXPECT_TRUE(replay.fromCache);
+    EXPECT_TRUE(replay.findings.empty());
 }
 
 // ---------------------------------------------------------------------

@@ -64,10 +64,18 @@ if [[ ! -x "${build_dir}/tools/spburst_lint" ]]; then
 fi
 
 # Rules that are sound when only a subset of the tree is visible.
+# Of the dataflow rules, callback-lifetime and check-purity-flow are
+# CFG-local enough to run here (they can only under-report when a
+# callee lives in an unchanged file). nondeterminism-taint and
+# ff-stat-parity are whole-program — taint crosses files through call
+# summaries, and parity compares the tick tree against a skip tree
+# that usually lives elsewhere — so they would both over- and
+# under-report on a partial view and only run in the full-tree gate.
 partial_view_rules="nondeterminism,unordered-iteration,check-side-effect"
 partial_view_rules+=",callback-capture,callback-inline-size"
 partial_view_rules+=",snapshot-coverage,codec-symmetry,stat-hot-path"
 partial_view_rules+=",config-key-coverage"
+partial_view_rules+=",callback-lifetime,check-purity-flow"
 
 echo "precommit.sh: spburst_lint over ${#files[@]} changed file(s)"
 "${build_dir}/tools/spburst_lint" --root="${repo_root}" \

@@ -198,12 +198,19 @@ main(int argc, char **argv)
         out << renderSarif(result);
     }
 
+    std::string summaryNote;
+    if (result.summariesReused != 0) {
+        summaryNote = " (" + std::to_string(result.summariesReused);
+        summaryNote += "/" + std::to_string(result.summariesTotal);
+        summaryNote += " summaries reused)";
+    }
     std::fprintf(stderr,
-                 "spburst_lint: %zu files, %zu finding%s in %lld ms%s%s\n",
+                 "spburst_lint: %zu files, %zu finding%s in %lld ms%s%s%s\n",
                  result.filesAnalyzed, result.findings.size(),
                  result.findings.size() == 1 ? "" : "s",
                  static_cast<long long>(elapsedMs),
                  result.fromCache ? " (cache hit)" : "",
+                 summaryNote.c_str(),
                  result.errors.empty() ? "" : " (with read errors)");
     if (!result.errors.empty())
         return 2;
