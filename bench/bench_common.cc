@@ -25,6 +25,8 @@ BenchOptions::parse(int argc, char **argv, std::uint64_t default_uops)
             o.seed = std::strtoull(arg + 7, nullptr, 10);
         } else if (std::strncmp(arg, "--sample=", 9) == 0) {
             o.sample = sample::SampleSpec::parse(arg + 9);
+        } else if (std::strncmp(arg, "--trace=", 8) == 0) {
+            o.trace = arg + 8;
         } else if (std::strncmp(arg, "--jobs=", 7) == 0) {
             o.jobs = static_cast<unsigned>(
                 std::strtoul(arg + 7, nullptr, 10));
@@ -36,7 +38,7 @@ BenchOptions::parse(int argc, char **argv, std::uint64_t default_uops)
             check::setLevel(check::parseLevel(arg + 8));
         } else if (std::strcmp(arg, "--help") == 0) {
             std::printf("options: --uops=N --seed=N --sample=SPEC "
-                        "--quick --jobs=N --progress "
+                        "--trace=PATH --quick --jobs=N --progress "
                         "--check=off|fast|full\n");
             std::exit(0);
         } else {

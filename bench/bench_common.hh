@@ -34,12 +34,16 @@ struct BenchOptions
      *  (--sample=; disabled by default — figure tables then carry the
      *  sampled estimates' detailed windows only). */
     sample::SampleSpec sample;
+    /** ChampSim trace to replay instead of the synthetic profile suite
+     *  (--trace=PATH; figures that honour it run on the single
+     *  "trace:PATH" workload, optionally sampled via --sample=). */
+    std::string trace;
     unsigned jobs = 0;            //!< host threads for prewarm (0=auto)
     bool progress = false;        //!< live progress line on stderr
 
-    /** Parse --uops=N, --seed=N, --sample=SPEC, --quick (uops=20k),
-     *  --jobs=N, --progress, --check=off|fast|full (sets the global
-     *  simcheck level). Unknown flags are rejected (fatal). */
+    /** Parse --uops=N, --seed=N, --sample=SPEC, --trace=PATH, --quick
+     *  (uops=20k), --jobs=N, --progress, --check=off|fast|full (sets
+     *  the global simcheck level). Unknown flags are rejected (fatal). */
     static BenchOptions parse(int argc, char **argv,
                               std::uint64_t default_uops = 120'000);
 };

@@ -98,10 +98,12 @@ CacheController::request(const MemRequest &req_in, FillCallback done)
     const bool satisfied =
         blk && (!wants_own || hub_ || hasOwnership(blk->state));
 
-    // Non-L1 prefetchers (e.g. the FDP L2 prefetcher) train on the
-    // demand stream arriving from the level above.
+    // Non-L1 prefetchers (e.g. the FDP/BOP/DSPatch L2 prefetchers)
+    // train on the demand stream arriving from the level above, and get
+    // the same useful/late feedback the L1D paths produce.
     if (prefetcher_ && !l1d_ &&
         (req.cmd == MemCmd::ReadReq || req.cmd == MemCmd::WriteOwnReq)) {
+        recordDemandFeedback(req.blockAddr, satisfied ? blk : nullptr);
         notifyPrefetcher(req, satisfied);
     }
 
@@ -311,7 +313,7 @@ CacheController::evictFrame(CacheBlk &frame)
         ++stats_.evictPrefetchedUnused;
         if (l1d_ && isStorePrefetch(frame.fillCmd)) {
             evictedUnusedPf_.insert(frame.tag);
-        } else if (l1d_ && frame.fillCmd == MemCmd::ReadPF && prefetcher_) {
+        } else if (frame.fillCmd == MemCmd::ReadPF && prefetcher_) {
             PrefetchFeedback fb;
             fb.pollutionEvict = true;
             prefetcher_->notifyFeedback(fb);
@@ -386,24 +388,11 @@ CacheController::issueLoad(const MemRequest &req, MemCallback done)
 
     CacheBlk *blk = tags_.find(addr);
     const bool hit = blk != nullptr;
-    if (hit && blk->prefetched && !blk->prefetchUsed) {
-        if (isStorePrefetch(blk->fillCmd)) {
-            ++stats_.loadHitOnStorePf;
-        } else if (prefetcher_) {
-            PrefetchFeedback fb;
-            fb.usefulHit = true;
-            prefetcher_->notifyFeedback(fb);
-        }
+    if (hit && blk->prefetched && !blk->prefetchUsed &&
+        isStorePrefetch(blk->fillCmd)) {
+        ++stats_.loadHitOnStorePf;
     }
-    if (!hit && prefetcher_) {
-        if (MshrEntry *e = mshr_.find(addr);
-            e && e->firstCmd == MemCmd::ReadPF && !e->lateCounted) {
-            e->lateCounted = true;
-            PrefetchFeedback fb;
-            fb.latePrefetch = true;
-            prefetcher_->notifyFeedback(fb);
-        }
-    }
+    recordDemandFeedback(addr, blk);
     notifyPrefetcher(req, hit);
 
     MemRequest r = req;
@@ -435,6 +424,37 @@ CacheController::classifyStoreDemand(Addr block_addr, CacheBlk *blk)
         ++stats_.pfEarly;
 }
 
+/**
+ * Cache-prefetcher (ReadPF) counterpart of classifyStoreDemand, shared
+ * by loads, store drains and the non-L1 demand path: a demand reaching
+ * a prefetched-unused block is a useful hit, a demand merging into an
+ * in-flight ReadPF miss is a late prefetch. Store-prefetch fills
+ * (WritePF/GetPFx) are classified separately and never reported here.
+ */
+void
+CacheController::recordDemandFeedback(Addr block_addr, CacheBlk *blk)
+{
+    if (!prefetcher_)
+        return;
+    if (blk) {
+        if (blk->prefetched && !blk->prefetchUsed &&
+            blk->fillCmd == MemCmd::ReadPF) {
+            blk->prefetchUsed = true;
+            PrefetchFeedback fb;
+            fb.usefulHit = true;
+            prefetcher_->notifyFeedback(fb);
+        }
+        return;
+    }
+    if (MshrEntry *e = mshr_.find(block_addr);
+        e && e->firstCmd == MemCmd::ReadPF && !e->lateCounted) {
+        e->lateCounted = true;
+        PrefetchFeedback fb;
+        fb.latePrefetch = true;
+        prefetcher_->notifyFeedback(fb);
+    }
+}
+
 void
 CacheController::drainStore(const MemRequest &req, MemCallback done)
 {
@@ -443,6 +463,10 @@ CacheController::drainStore(const MemRequest &req, MemCallback done)
     const Addr addr = blockAlign(req.blockAddr);
     CacheBlk *blk = tags_.find(addr);
     classifyStoreDemand(addr, blk);
+    // Stores benefit from (and merge into) cache prefetches just like
+    // loads: a drain hitting a ReadPF-filled block is a useful hit, a
+    // drain merging into an in-flight ReadPF is a late prefetch.
+    recordDemandFeedback(addr, blk);
 
     if (blk && hasOwnership(blk->state)) {
         ++stats_.tagAccesses;

@@ -202,6 +202,7 @@ class CacheController : public MemLevel
     void schedulePump();
     void forwardMiss(const MemRequest &req);
     void classifyStoreDemand(Addr block_addr, CacheBlk *blk);
+    void recordDemandFeedback(Addr block_addr, CacheBlk *blk);
     void notifyPrefetcher(const MemRequest &req, bool hit);
 
     CacheParams params_;

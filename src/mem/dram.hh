@@ -41,6 +41,9 @@ class DramModel
     std::uint64_t reads() const { return reads_; }
     std::uint64_t writes() const { return writes_; }
 
+    /** Timing knobs (bandwidth-aware prefetchers probe these). */
+    const DramParams &params() const { return params_; }
+
     /** Cycles a just-issued read spent queued behind channel traffic
      *  (aggregate, for bandwidth-pressure diagnostics). */
     std::uint64_t queueDelay() const { return queueDelay_; }

@@ -1,14 +1,22 @@
 /**
  * @file
- * Interface the L1D controller uses to drive a cache prefetcher.
+ * Interface a cache controller uses to drive a cache prefetcher.
  * Implementations live in src/prefetch; the mem library depends only on
  * this abstract view.
+ *
+ * Every prefetcher shares one observability contract: the base class
+ * keeps a PrefetcherStats block (issued / useful / late / pollution plus
+ * the demand stream it observed) which the system exports per run as
+ * `pf.<name>.*` StatSet entries. Implementations call the protected
+ * account*() helpers from their notifyAccess/notifyFeedback paths.
  */
 
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
+#include "common/stats.hh"
 #include "common/types.hh"
 #include "mem/request.hh"
 
@@ -23,17 +31,88 @@ struct PrefetchFeedback
     bool pollutionEvict = false; //!< prefetched block evicted unused
 };
 
-/** Abstract L1 cache prefetcher (stream/stride/FDP implementations). */
+/**
+ * Unified prefetcher counters (stride, FDP, BOP, DSPatch all export
+ * the same block). Accuracy and coverage follow the usual definitions:
+ *
+ *  - accuracy  = usefulHits / issued
+ *  - coverage  = usefulHits / (usefulHits + demandMisses), i.e. the
+ *    fraction of would-be misses the prefetcher turned into hits
+ *    (demandMisses counts residual misses, after prefetching).
+ */
+struct PrefetcherStats
+{
+    std::uint64_t issued = 0;         //!< prefetch addresses emitted
+    std::uint64_t usefulHits = 0;     //!< demand hit a prefetched block
+    std::uint64_t late = 0;           //!< demand merged into in-flight PF
+    std::uint64_t pollution = 0;      //!< prefetched block evicted unused
+    std::uint64_t demandAccesses = 0; //!< demand stream observed
+    std::uint64_t demandMisses = 0;   //!< ... the subset that missed
+
+    double accuracy() const
+    {
+        return issued ? static_cast<double>(usefulHits) /
+                            static_cast<double>(issued)
+                      : 0.0;
+    }
+
+    double coverage() const
+    {
+        const std::uint64_t base = usefulHits + demandMisses;
+        return base ? static_cast<double>(usefulHits) /
+                          static_cast<double>(base)
+                    : 0.0;
+    }
+
+    double pollutionRate() const
+    {
+        return issued ? static_cast<double>(pollution) /
+                            static_cast<double>(issued)
+                      : 0.0;
+    }
+
+    /** Accumulate another instance (same-name aggregation across cores). */
+    void accumulate(const PrefetcherStats &other)
+    {
+        issued += other.issued;
+        usefulHits += other.usefulHits;
+        late += other.late;
+        pollution += other.pollution;
+        demandAccesses += other.demandAccesses;
+        demandMisses += other.demandMisses;
+    }
+
+    /** Render as a reportable StatSet (counters + derived rates). */
+    StatSet toStatSet() const
+    {
+        StatSet s;
+        s.set("issued", static_cast<double>(issued));
+        s.set("useful", static_cast<double>(usefulHits));
+        s.set("late", static_cast<double>(late));
+        s.set("pollution", static_cast<double>(pollution));
+        s.set("demandAccesses", static_cast<double>(demandAccesses));
+        s.set("demandMisses", static_cast<double>(demandMisses));
+        s.set("accuracy", accuracy());
+        s.set("coverage", coverage());
+        s.set("pollutionRate", pollutionRate());
+        return s;
+    }
+};
+
+/** Abstract cache prefetcher (stride/FDP/BOP/DSPatch implementations). */
 class PrefetcherIface
 {
   public:
     virtual ~PrefetcherIface() = default;
 
+    /** Short stable name keying the per-run `pf.<name>.*` stats. */
+    virtual const char *name() const = 0;
+
     /**
-     * Observe a demand access at the L1D.
+     * Observe a demand access at the attached cache level.
      *
      * @param req The demand request (loads and store drains).
-     * @param hit Whether it hit in the L1D.
+     * @param hit Whether it hit in the cache.
      * @param[out] out Block addresses the prefetcher wants fetched
      *                 (appended; issued as ReadPF requests).
      */
@@ -43,8 +122,37 @@ class PrefetcherIface
     /** Feedback about prefetch usefulness (FDP throttling input). */
     virtual void notifyFeedback(const PrefetchFeedback &feedback)
     {
-        (void)feedback;
+        accountFeedback(feedback);
     }
+
+    /** Unified counters for `pf.<name>.*` reporting. */
+    const PrefetcherStats &prefetcherStats() const { return pstats_; }
+
+  protected:
+    /** Record the demand stream (call once per notifyAccess). */
+    void accountDemand(bool hit)
+    {
+        ++pstats_.demandAccesses;
+        if (!hit)
+            ++pstats_.demandMisses;
+    }
+
+    /** Record prefetch addresses emitted. */
+    void accountIssued(std::uint64_t count) { pstats_.issued += count; }
+
+    /** Record feedback events; overriders of notifyFeedback call this. */
+    void accountFeedback(const PrefetchFeedback &feedback)
+    {
+        if (feedback.usefulHit)
+            ++pstats_.usefulHits;
+        if (feedback.latePrefetch)
+            ++pstats_.late;
+        if (feedback.pollutionEvict)
+            ++pstats_.pollution;
+    }
+
+  private:
+    PrefetcherStats pstats_;
 };
 
 } // namespace spburst

@@ -7,15 +7,40 @@
 namespace spburst
 {
 
+namespace
+{
+
+/** Blocks-per-page shift: page number of a cache-block number. */
+constexpr unsigned kPageBlockShift = kPageShift - kBlockShift;
+
+/** True when two block numbers sit in the same 4 KiB page. */
+bool
+samePageBlocks(Addr a, Addr b)
+{
+    return (a >> kPageBlockShift) == (b >> kPageBlockShift);
+}
+
+} // namespace
+
 const std::vector<int> &
 BestOffsetPrefetcher::candidateOffsets()
 {
     // Offsets with prime factors {2,3,5} up to 64, as in Michaud's
-    // design (truncated list).
-    static const std::vector<int> offsets{
-        1, 2, 3, 4, 5, 6, 8, 9, 10, 12, 15, 16,
-        18, 20, 24, 25, 27, 30, 32, 36, 40, 45, 48, 64,
-    };
+    // design (truncated list), mirrored to negative offsets so
+    // descending streams can win a round.
+    static const std::vector<int> offsets = [] {
+        const std::vector<int> magnitudes{
+            1, 2, 3, 4, 5, 6, 8, 9, 10, 12, 15, 16,
+            18, 20, 24, 25, 27, 30, 32, 36, 40, 45, 48, 64,
+        };
+        std::vector<int> all;
+        all.reserve(magnitudes.size() * 2);
+        for (int m : magnitudes) {
+            all.push_back(m);
+            all.push_back(-m);
+        }
+        return all;
+    }();
     return offsets;
 }
 
@@ -42,20 +67,20 @@ BestOffsetPrefetcher::wasRecent(Addr block) const
 void
 BestOffsetPrefetcher::endRound()
 {
-    ++stats_.rounds;
+    ++learn_.rounds;
     const auto &offsets = candidateOffsets();
     std::size_t best = 0;
     for (std::size_t i = 1; i < scores_.size(); ++i)
         if (scores_[i] > scores_[best])
             best = i;
-    stats_.lastBestScore = scores_[best];
+    learn_.lastBestScore = scores_[best];
     if (scores_[best] < params_.badScore) {
         currentOffset_ = 0; // not enough regularity: stop prefetching
-        ++stats_.offChanges;
+        ++learn_.offChanges;
     } else {
         currentOffset_ = offsets[best];
     }
-    stats_.lastBestOffset = currentOffset_;
+    learn_.lastBestOffset = currentOffset_;
     std::fill(scores_.begin(), scores_.end(), 0);
     roundAccesses_ = 0;
     testIndex_ = 0;
@@ -65,14 +90,19 @@ void
 BestOffsetPrefetcher::notifyAccess(const MemRequest &req, bool hit,
                                    std::vector<Addr> &out)
 {
-    (void)hit; // BOP trains on the full demand stream at this level
+    accountDemand(hit); // BOP trains on the full demand stream
     const Addr block = blockNumber(req.blockAddr);
     const auto &offsets = candidateOffsets();
 
     // Learning: test the next candidate offset against this access.
+    // The base X - O must sit in X's page; cross-page (or underflowing)
+    // bases never score, per Michaud's page-local design.
     const int test_offset = offsets[testIndex_];
-    if (block >= static_cast<Addr>(test_offset) &&
-        wasRecent(block - static_cast<Addr>(test_offset))) {
+    const std::int64_t base =
+        static_cast<std::int64_t>(block) - test_offset;
+    if (base >= 0 &&
+        samePageBlocks(block, static_cast<Addr>(base)) &&
+        wasRecent(static_cast<Addr>(base))) {
         unsigned &score = scores_[testIndex_];
         if (++score >= params_.scoreMax) {
             endRound();
@@ -84,11 +114,17 @@ BestOffsetPrefetcher::notifyAccess(const MemRequest &req, bool hit,
 
     recordRecent(block);
 
-    // Prefetching with the current winner.
-    if (currentOffset_ > 0) {
-        out.push_back((block + static_cast<Addr>(currentOffset_))
-                      << kBlockShift);
-        ++stats_.issued;
+    // Prefetching with the current winner, clamped to the page: a
+    // target past either page boundary (including block-0 underflow
+    // with a negative winner) is suppressed, not wrapped.
+    if (currentOffset_ != 0) {
+        const std::int64_t target =
+            static_cast<std::int64_t>(block) + currentOffset_;
+        if (target >= 0 &&
+            samePageBlocks(block, static_cast<Addr>(target))) {
+            out.push_back(static_cast<Addr>(target) << kBlockShift);
+            accountIssued(1);
+        }
     }
 }
 

@@ -9,6 +9,11 @@
  * a point. The learning phase runs in rounds; the winning offset is
  * used for prefetching during the next round, or prefetching is
  * disabled if no offset scores above the noise floor.
+ *
+ * Offsets are signed (descending streams learn a negative winner), and
+ * both learning and issue are confined to the 4 KiB page: a candidate
+ * scores only when X - O sits in X's page, and a prefetch is emitted
+ * only when X + O does, as in Michaud's design.
  */
 
 #pragma once
@@ -32,11 +37,14 @@ struct BestOffsetParams
     unsigned rrEntries = 64;    //!< recent-requests table size
 };
 
-/** Statistics of a BestOffsetPrefetcher instance. */
-struct BestOffsetStats
+/**
+ * Offset-learning state of a BestOffsetPrefetcher instance; the
+ * issued/useful/late/pollution counters live in the inherited
+ * PrefetcherStats block.
+ */
+struct BestOffsetLearnStats
 {
     std::uint64_t rounds = 0;       //!< learning rounds completed
-    std::uint64_t issued = 0;       //!< prefetches emitted
     std::uint64_t offChanges = 0;   //!< rounds ending with PF disabled
     int lastBestOffset = 0;         //!< winning offset of the last round
     unsigned lastBestScore = 0;
@@ -49,15 +57,17 @@ class BestOffsetPrefetcher : public PrefetcherIface
     explicit BestOffsetPrefetcher(
         const BestOffsetParams &params = BestOffsetParams{});
 
+    const char *name() const override { return "bop"; }
     void notifyAccess(const MemRequest &req, bool hit,
                       std::vector<Addr> &out) override;
 
-    const BestOffsetStats &stats() const { return stats_; }
+    const BestOffsetLearnStats &learning() const { return learn_; }
 
     /** Currently selected offset (0 = prefetching disabled). */
     int currentOffset() const { return currentOffset_; }
 
-    /** The candidate offset list (Michaud's low-prime-factor set). */
+    /** The candidate offset list (Michaud's low-prime-factor set,
+     *  mirrored to negative offsets for descending streams). */
     static const std::vector<int> &candidateOffsets();
 
   private:
@@ -71,7 +81,7 @@ class BestOffsetPrefetcher : public PrefetcherIface
     std::size_t testIndex_ = 0;   //!< next candidate to test
     unsigned roundAccesses_ = 0;
     int currentOffset_ = 1;       //!< 0 disables prefetching
-    BestOffsetStats stats_;
+    BestOffsetLearnStats learn_;
 };
 
 } // namespace spburst

@@ -1,0 +1,271 @@
+#include "prefetch/dspatch.hh"
+
+#include <bit>
+
+#include "common/logging.hh"
+
+namespace spburst
+{
+
+namespace
+{
+
+/** Mask that drops the trigger bit (bit 0 of an anchored pattern). */
+constexpr std::uint64_t kNonTriggerMask = ~std::uint64_t{1};
+
+/** Rotate a page bitmap so @p anchor becomes bit 0. */
+std::uint64_t
+anchorPattern(std::uint64_t bits, unsigned anchor)
+{
+    return std::rotr(bits, static_cast<int>(anchor));
+}
+
+/** Undo anchorPattern: map an anchored pattern back to page indices. */
+std::uint64_t
+unanchorPattern(std::uint64_t bits, unsigned anchor)
+{
+    return std::rotl(bits, static_cast<int>(anchor));
+}
+
+/** Saturating 2-bit quality update. */
+void
+adjustQuality(unsigned &quality, bool good, unsigned max)
+{
+    if (good) {
+        if (quality < max)
+            ++quality;
+    } else if (quality > 0) {
+        --quality;
+    }
+}
+
+} // namespace
+
+DSPatchPrefetcher::DSPatchPrefetcher(const DSPatchParams &params)
+    : params_(params),
+      pageBuffer_(params.pageBufferEntries),
+      table_(params.tableEntries)
+{
+    SPB_ASSERT(params.pageBufferEntries > 0, "DSPatch needs a page buffer");
+    SPB_ASSERT(params.tableEntries > 0, "DSPatch needs a pattern table");
+    static_assert(kBlocksPerPage == 64,
+                  "DSPatch packs one page's blocks into a uint64 bitmap");
+}
+
+void
+DSPatchPrefetcher::setDramProbe(const DramModel *dram,
+                                const SimClock *clock)
+{
+    dram_ = dram;
+    clock_ = clock;
+    epochStart_ = clock ? clock->now : 0;
+    epochTransfers_ = dram ? dram->reads() + dram->writes() : 0;
+}
+
+DSPatchPrefetcher::PageEntry *
+DSPatchPrefetcher::findPage(Addr page)
+{
+    for (auto &entry : pageBuffer_)
+        if (entry.valid && entry.page == page)
+            return &entry;
+    return nullptr;
+}
+
+DSPatchPrefetcher::PageEntry *
+DSPatchPrefetcher::victimPage()
+{
+    PageEntry *victim = &pageBuffer_[0];
+    for (auto &entry : pageBuffer_) {
+        if (!entry.valid)
+            return &entry;
+        if (entry.lastUse < victim->lastUse)
+            victim = &entry;
+    }
+    return victim;
+}
+
+DSPatchPrefetcher::PatternEntry &
+DSPatchPrefetcher::tableSlot(Addr page)
+{
+    return table_[page % table_.size()];
+}
+
+/**
+ * End one page generation: grade both patterns against what the page
+ * actually touched, then fold the observed footprint into them (OR for
+ * CovP, AND for AccP). All bitmaps here are anchored to the trigger.
+ */
+void
+DSPatchPrefetcher::closeGeneration(PageEntry &entry)
+{
+    ++learn_.generations;
+    const std::uint64_t actual =
+        anchorPattern(entry.accessed, entry.triggerIndex);
+    PatternEntry &slot = tableSlot(entry.page);
+
+    if (!slot.valid || slot.page != entry.page) {
+        // First generation (or conflict): seed both patterns with the
+        // observed footprint at fresh quality.
+        slot.page = entry.page;
+        slot.covPattern = actual;
+        slot.accPattern = actual;
+        slot.covQuality = params_.qualityInit;
+        slot.accQuality = params_.qualityInit;
+        slot.valid = true;
+        entry.valid = false;
+        return;
+    }
+
+    // Grade CovP on coverage: did it contain what the page touched?
+    // The trigger bit is trivially shared, so it is excluded.
+    const std::uint64_t want = actual & kNonTriggerMask;
+    const unsigned covGood =
+        static_cast<unsigned>(std::popcount(slot.covPattern & want));
+    const unsigned covMissed =
+        static_cast<unsigned>(std::popcount(want & ~slot.covPattern));
+    if (covGood + covMissed > 0)
+        adjustQuality(slot.covQuality, covGood >= covMissed,
+                      params_.qualityMax);
+
+    // Grade AccP on accuracy: was everything it would prefetch used?
+    const std::uint64_t accPred = slot.accPattern & kNonTriggerMask;
+    const unsigned accGood =
+        static_cast<unsigned>(std::popcount(accPred & actual));
+    const unsigned accBad =
+        static_cast<unsigned>(std::popcount(accPred & ~actual));
+    if (accGood + accBad > 0)
+        adjustQuality(slot.accQuality, accGood >= accBad,
+                      params_.qualityMax);
+
+    slot.covPattern |= actual; // coverage-biased: grow
+    slot.accPattern &= actual; // accuracy-biased: shrink
+    entry.valid = false;
+}
+
+/**
+ * First access to a page: look up its learned dual pattern and emit
+ * prefetches for the chosen one, modulated by DRAM bandwidth headroom.
+ */
+void
+DSPatchPrefetcher::predictOnTrigger(PageEntry &entry,
+                                    std::vector<Addr> &out)
+{
+    const PatternEntry &slot = tableSlot(entry.page);
+    if (!slot.valid || slot.page != entry.page)
+        return;
+    ++learn_.patternHits;
+
+    // High measured bandwidth: no headroom for speculative overfetch,
+    // only the accuracy-biased pattern may issue. Otherwise prefer the
+    // coverage-biased pattern, falling back to AccP when CovP's quality
+    // counter has drained.
+    const bool bwHigh = bwLevel_ >= params_.bwHighLevel;
+    const std::uint64_t *pattern = nullptr;
+    if (!bwHigh && slot.covQuality > 0) {
+        pattern = &slot.covPattern;
+        ++learn_.covPredictions;
+    } else if (slot.accQuality > 0) {
+        pattern = &slot.accPattern;
+        ++learn_.accPredictions;
+    } else {
+        ++learn_.suppressed;
+        return;
+    }
+
+    const std::uint64_t wanted =
+        unanchorPattern(*pattern, entry.triggerIndex) &
+        ~(std::uint64_t{1} << entry.triggerIndex);
+    const Addr pageBase = entry.page << kPageShift;
+    out.reserve(out.size() + params_.maxDegree);
+    unsigned emitted = 0;
+    for (unsigned index = 0;
+         index < kBlocksPerPage && emitted < params_.maxDegree; ++index) {
+        const std::uint64_t bit = std::uint64_t{1} << index;
+        if (!(wanted & bit))
+            continue;
+        out.push_back(pageBase + (static_cast<Addr>(index) << kBlockShift));
+        entry.predicted |= bit;
+        ++emitted;
+    }
+    accountIssued(emitted);
+}
+
+/** Requantize DRAM channel utilization once per epoch (0..3). */
+void
+DSPatchPrefetcher::sampleBandwidth()
+{
+    if (!dram_ || !clock_)
+        return;
+    const Cycle now = clock_->now;
+    if (now - epochStart_ < params_.bwEpochCycles)
+        return;
+    const std::uint64_t transfers = dram_->reads() + dram_->writes();
+    const std::uint64_t busy = (transfers - epochTransfers_) *
+                               dram_->params().blockOccupancy;
+    const std::uint64_t capacity =
+        (now - epochStart_) *
+        static_cast<std::uint64_t>(dram_->params().channels);
+    const std::uint64_t quantized = capacity ? busy * 4 / capacity : 0;
+    bwLevel_ = quantized > 3 ? 3u : static_cast<unsigned>(quantized);
+    ++learn_.bwEpochs;
+    if (bwLevel_ >= params_.bwHighLevel)
+        ++learn_.bwHighEpochs;
+    epochStart_ = now;
+    epochTransfers_ = transfers;
+}
+
+void
+DSPatchPrefetcher::notifyAccess(const MemRequest &req, bool hit,
+                                std::vector<Addr> &out)
+{
+    accountDemand(hit); // DSPatch trains on the full demand stream
+    sampleBandwidth();
+
+    const Addr page = pageNumber(req.blockAddr);
+    const unsigned index =
+        static_cast<unsigned>(blockIndexInPage(req.blockAddr));
+
+    if (PageEntry *entry = findPage(page)) {
+        entry->accessed |= std::uint64_t{1} << index;
+        entry->lastUse = ++useClock_;
+        return;
+    }
+
+    // Trigger: this page starts a new generation.
+    ++learn_.triggers;
+    PageEntry *entry = victimPage();
+    if (entry->valid)
+        closeGeneration(*entry);
+    entry->page = page;
+    entry->accessed = std::uint64_t{1} << index;
+    entry->predicted = 0;
+    entry->triggerIndex = index;
+    entry->lastUse = ++useClock_;
+    entry->valid = true;
+    predictOnTrigger(*entry, out);
+}
+
+void
+DSPatchPrefetcher::flush()
+{
+    for (auto &entry : pageBuffer_)
+        if (entry.valid)
+            closeGeneration(entry);
+}
+
+DSPatchPrefetcher::PatternView
+DSPatchPrefetcher::lookupPattern(Addr page) const
+{
+    const PatternEntry &slot = table_[page % table_.size()];
+    PatternView view;
+    if (!slot.valid || slot.page != page)
+        return view;
+    view.valid = true;
+    view.covPattern = slot.covPattern;
+    view.accPattern = slot.accPattern;
+    view.covQuality = slot.covQuality;
+    view.accQuality = slot.accQuality;
+    return view;
+}
+
+} // namespace spburst

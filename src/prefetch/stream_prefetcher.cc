@@ -44,6 +44,14 @@ prefetcherModeName(PrefetcherMode mode)
     return "?";
 }
 
+const char *
+StreamPrefetcher::name() const
+{
+    // The baseline next-block config is the paper's "stride" L1
+    // prefetcher; the throttled configs are the FDP family.
+    return mode_ == PrefetcherMode::Stream ? "stride" : "fdp";
+}
+
 StreamPrefetcher::StreamPrefetcher(PrefetcherMode mode)
     : mode_(mode),
       level_(mode == PrefetcherMode::Stream
@@ -97,7 +105,7 @@ void
 StreamPrefetcher::notifyAccess(const MemRequest &req, bool hit,
                                std::vector<Addr> &out)
 {
-    (void)hit; // streams train on every demand access
+    accountDemand(hit); // streams train on every demand access
     const Addr block = blockNumber(req.blockAddr);
 
     Stream *s = findStream(block);
@@ -128,25 +136,20 @@ StreamPrefetcher::notifyAccess(const MemRequest &req, bool hit,
         out.push_back(s->cursor << kBlockShift);
         ++emitted;
     }
-    stats_.issued += emitted;
+    accountIssued(emitted);
     intervalIssued_ += emitted;
 }
 
 void
 StreamPrefetcher::notifyFeedback(const PrefetchFeedback &feedback)
 {
-    if (feedback.usefulHit) {
-        ++stats_.usefulHits;
+    accountFeedback(feedback);
+    if (feedback.usefulHit)
         ++intervalUseful_;
-    }
-    if (feedback.latePrefetch) {
-        ++stats_.late;
+    if (feedback.latePrefetch)
         ++intervalLate_;
-    }
-    if (feedback.pollutionEvict) {
-        ++stats_.pollution;
+    if (feedback.pollutionEvict)
         ++intervalPollution_;
-    }
     ++intervalEvents_;
     if (mode_ == PrefetcherMode::Adaptive &&
         intervalEvents_ >= kAdaptInterval) {

@@ -37,14 +37,14 @@ enum class PrefetcherMode : std::uint8_t
 /** Human-readable mode name. */
 const char *prefetcherModeName(PrefetcherMode mode);
 
-/** Statistics of a stream prefetcher instance. */
+/**
+ * Learning/throttling statistics specific to the stream engine; the
+ * issued/useful/late/pollution counters live in the inherited
+ * PrefetcherStats block.
+ */
 struct StreamPrefetcherStats
 {
     std::uint64_t trainings = 0;  //!< accesses that matched a stream
-    std::uint64_t issued = 0;     //!< prefetch addresses emitted
-    std::uint64_t usefulHits = 0; //!< feedback: demand hit prefetched blk
-    std::uint64_t late = 0;       //!< feedback: in-flight when demanded
-    std::uint64_t pollution = 0;  //!< feedback: evicted unused
     std::uint64_t throttleUps = 0;
     std::uint64_t throttleDowns = 0;
 };
@@ -55,6 +55,7 @@ class StreamPrefetcher : public PrefetcherIface
   public:
     explicit StreamPrefetcher(PrefetcherMode mode);
 
+    const char *name() const override;
     void notifyAccess(const MemRequest &req, bool hit,
                       std::vector<Addr> &out) override;
     void notifyFeedback(const PrefetchFeedback &feedback) override;

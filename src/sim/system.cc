@@ -1,6 +1,9 @@
 #include "sim/system.hh"
 
+#include <map>
+
 #include "common/logging.hh"
+#include "prefetch/dspatch.hh"
 #include "sample/runtime.hh"
 #include "trace/champsim/source.hh"
 
@@ -16,6 +19,7 @@ l1PrefetcherKindName(L1PrefetcherKind kind)
       case L1PrefetcherKind::Aggressive: return "aggressive";
       case L1PrefetcherKind::Adaptive: return "adaptive";
       case L1PrefetcherKind::BestOffset: return "best-offset";
+      case L1PrefetcherKind::DSPatch: return "dspatch";
     }
     return "?";
 }
@@ -90,6 +94,8 @@ SimResult::toStatSet() const
         if (c < trace.size())
             s.merge("trace" + std::to_string(c) + ".", trace[c]);
     }
+    if (!pf.entries().empty())
+        s.merge("pf.", pf);
     if (!sample.entries().empty())
         s.merge("sample.", sample);
     s.set("dram.reads", static_cast<double>(dramReads));
@@ -150,6 +156,14 @@ System::System(const SystemConfig &config)
                 l2Prefetchers_.push_back(
                     std::make_unique<BestOffsetPrefetcher>());
                 mem_.l2(t).setPrefetcher(l2Prefetchers_.back().get());
+            } else if (config_.l1Prefetcher ==
+                       L1PrefetcherKind::DSPatch) {
+                auto dspatch = std::make_unique<DSPatchPrefetcher>();
+                // Bandwidth modulation reads simulated DRAM counters
+                // only, so results stay deterministic.
+                dspatch->setDramProbe(&mem_.dram(), &clock_);
+                mem_.l2(t).setPrefetcher(dspatch.get());
+                l2Prefetchers_.push_back(std::move(dspatch));
             }
         }
 
@@ -344,6 +358,15 @@ System::snapshot()
             r.l1pf.push_back(prefetchers_[t]->stats());
         }
     }
+    // Unified pf.<name>.* counters, aggregated per prefetcher name
+    // across cores and cache levels (map keeps name order stable).
+    std::map<std::string, PrefetcherStats> pf_agg;
+    for (const auto &pf : prefetchers_)
+        pf_agg[pf->name()].accumulate(pf->prefetcherStats());
+    for (const auto &pf : l2Prefetchers_)
+        pf_agg[pf->name()].accumulate(pf->prefetcherStats());
+    for (const auto &[pf_name, stats] : pf_agg)
+        r.pf.merge(pf_name + ".", stats.toStatSet());
     for (const champsim::TraceReplaySource *src : champSources_)
         r.trace.push_back(src->stats().toStatSet());
     if (sample_)

@@ -53,6 +53,7 @@ enum class L1PrefetcherKind : std::uint8_t
     Aggressive, //!< + fixed very-aggressive FDP at the L2
     Adaptive,   //!< + feedback-directed FDP at the L2
     BestOffset, //!< + best-offset prefetcher [19] at the L2 (extension)
+    DSPatch,    //!< + dual-spatial-pattern prefetcher at the L2
 };
 
 /** Human-readable prefetcher-kind name. */
@@ -116,6 +117,10 @@ struct SimResult
     std::uint64_t dramWrites = 0;
     DirectoryStats directory;             //!< zeros on single core
     std::vector<StreamPrefetcherStats> l1pf;
+    /** Unified `pf.<name>.*` prefetcher stats (issued/useful/late/
+     *  pollution + accuracy/coverage), aggregated per prefetcher name
+     *  across cores and cache levels. Empty when no prefetcher runs. */
+    StatSet pf;
     /** Per-core trace-frontend decode/crack stats (ChampSim trace
      *  workloads only; empty for synthetic workloads and for sampled
      *  runs, whose decode position depends on the warming path). */

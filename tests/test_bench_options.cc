@@ -47,12 +47,14 @@ TEST(BenchOptions, DefaultsComeFromTheCaller)
 
 TEST(BenchOptions, ParsesEveryFlag)
 {
-    Argv a({"--uops=5000", "--seed=42", "--jobs=4", "--progress"});
+    Argv a({"--uops=5000", "--seed=42", "--jobs=4", "--progress",
+            "--trace=foo.champsim"});
     const BenchOptions o = BenchOptions::parse(a.argc(), a.argv());
     EXPECT_EQ(o.uops, 5'000u);
     EXPECT_EQ(o.seed, 42u);
     EXPECT_EQ(o.jobs, 4u);
     EXPECT_TRUE(o.progress);
+    EXPECT_EQ(o.trace, "foo.champsim");
 }
 
 TEST(BenchOptions, QuickOverridesTheUopBudget)

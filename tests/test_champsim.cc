@@ -723,6 +723,45 @@ TEST(ChampsimFixture, ReplaysUnderAllFivePoliciesWithFullChecks)
     check::setLevel(saved);
 }
 
+// The full Fig. 16 orthogonality grid on the real fixture trace: five
+// cache prefetchers crossed with the five store-prefetch policies, all
+// under full invariant checks, all exporting the unified pf.* block.
+TEST(ChampsimFixture, PrefetcherPolicyGridReplaysWithFullChecks)
+{
+    const check::Level saved = check::level();
+    check::setLevel(check::Level::Full);
+    const std::pair<L1PrefetcherKind, const char *> prefetchers[] = {
+        {L1PrefetcherKind::None, nullptr},
+        {L1PrefetcherKind::Stream, "pf.stride.issued"},
+        {L1PrefetcherKind::Adaptive, "pf.fdp.issued"},
+        {L1PrefetcherKind::BestOffset, "pf.bop.issued"},
+        {L1PrefetcherKind::DSPatch, "pf.dspatch.issued"},
+    };
+    for (const auto &[kind, statKey] : prefetchers) {
+        for (const char *strategy :
+             {"none", "at-execute", "at-commit", "spb", "ideal"}) {
+            SystemConfig cfg = fixtureConfig(strategy);
+            cfg.l1Prefetcher = kind;
+            cfg.maxUopsPerCore = 8'000;
+            const SimResult r = runSystem(cfg);
+            const std::string cell =
+                std::string(l1PrefetcherKindName(kind)) + " x " +
+                strategy;
+            EXPECT_GT(r.ipc(), 0.0) << cell;
+            EXPECT_EQ(r.checks.totalViolations(), 0u) << cell;
+            const StatSet s = r.toStatSet();
+            if (statKey) {
+                EXPECT_TRUE(s.has(statKey)) << cell;
+                EXPECT_TRUE(s.has("pf.stride.accuracy")) << cell;
+                EXPECT_TRUE(s.has("pf.stride.coverage")) << cell;
+            } else {
+                EXPECT_TRUE(r.pf.entries().empty()) << cell;
+            }
+        }
+    }
+    check::setLevel(saved);
+}
+
 TEST(ChampsimFixture, SpbFiresOnFixtureStoreBursts)
 {
     const SimResult r = runSystem(fixtureConfig("spb"));

@@ -225,6 +225,81 @@ TEST(Engine, ShardedRunsProduceByteIdenticalSortedResults)
     }
 }
 
+// The Fig. 16 orthogonality grid: every prefetcher variant must run
+// deterministically whatever the host parallelism, and every cell with
+// a prefetcher must export the unified pf.<name>.* stats block.
+TEST(Engine, PrefetcherGridIsDeterministicAcrossThreadsAndShards)
+{
+    exp::ExperimentSpec spec;
+    spec.name = "pfgrid";
+    spec.base = makeConfig("x264", 56, StorePrefetchPolicy::AtCommit);
+    spec.base.maxUopsPerCore = 4'000;
+    spec.workloads = {"x264"};
+    const std::pair<const char *, L1PrefetcherKind> kinds[] = {
+        {"none", L1PrefetcherKind::None},
+        {"stream", L1PrefetcherKind::Stream},
+        {"adaptive", L1PrefetcherKind::Adaptive},
+        {"best-offset", L1PrefetcherKind::BestOffset},
+        {"dspatch", L1PrefetcherKind::DSPatch},
+    };
+    exp::Axis l1pf{"l1pf", {}};
+    for (const auto &[label, kind] : kinds)
+        l1pf.variants.push_back({label, [kind = kind](SystemConfig &cfg) {
+                                     cfg.l1Prefetcher = kind;
+                                 }});
+    spec.axes.push_back(std::move(l1pf));
+    exp::Axis strategy{"strategy", {}};
+    strategy.variants.push_back(
+        {"at-commit", [](SystemConfig &cfg) { cfg.useSpb = false; }});
+    strategy.variants.push_back(
+        {"spb", [](SystemConfig &cfg) { cfg.useSpb = true; }});
+    spec.axes.push_back(std::move(strategy));
+    const auto jobs = spec.expand();
+    ASSERT_EQ(jobs.size(), 10u);
+
+    std::vector<std::string> reference;
+    const std::pair<unsigned, unsigned> grids[] = {
+        {1, 1}, {8, 1}, {1, 4}, {8, 4}};
+    for (const auto &[threads, shards] : grids) {
+        const std::string path =
+            tmpPath("pfgrid_" + std::to_string(threads) + "_" +
+                    std::to_string(shards) + ".jsonl");
+        std::remove(path.c_str());
+        exp::EngineOptions options;
+        options.hostThreads = threads;
+        options.shards = shards;
+        options.jsonlPath = path;
+        const auto report = exp::runJobs(jobs, options);
+        ASSERT_EQ(report.completed(), jobs.size());
+
+        for (std::size_t i = 0; i < jobs.size(); ++i) {
+            const auto &stats = report.outcomes[i].stats;
+            const auto kind = jobs[i].config.l1Prefetcher;
+            EXPECT_EQ(stats.has("pf.stride.issued"),
+                      kind != L1PrefetcherKind::None)
+                << jobs[i].key;
+            EXPECT_EQ(stats.has("pf.fdp.accuracy"),
+                      kind == L1PrefetcherKind::Adaptive)
+                << jobs[i].key;
+            EXPECT_EQ(stats.has("pf.bop.coverage"),
+                      kind == L1PrefetcherKind::BestOffset)
+                << jobs[i].key;
+            EXPECT_EQ(stats.has("pf.dspatch.pollutionRate"),
+                      kind == L1PrefetcherKind::DSPatch)
+                << jobs[i].key;
+        }
+
+        const auto lines = sortedLines(path);
+        ASSERT_EQ(lines.size(), jobs.size());
+        if (reference.empty())
+            reference = lines;
+        else
+            EXPECT_EQ(lines, reference)
+                << "threads=" << threads << " shards=" << shards;
+        std::remove(path.c_str());
+    }
+}
+
 TEST(Engine, ResumeSkipsDoneJobsAndReproducesTheFullFile)
 {
     const auto jobs = smallSpec().expand();

@@ -8,8 +8,11 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "common/clock.hh"
 #include "mem/memory_system.hh"
+#include "mem/prefetcher_iface.hh"
 
 namespace spburst
 {
@@ -275,6 +278,183 @@ TEST_F(MemSystemTest, LoadHitOnStorePrefetchedBlockCounts)
     loadAndWait(0, 0xa0000);
     EXPECT_EQ(mem->l1d(0).stats().loadHitOnStorePf, 1u)
         << "the paper's super-linear side effect must be visible";
+}
+
+// ---------------------------------------------------------------------
+// Cache-prefetcher (ReadPF) feedback
+// ---------------------------------------------------------------------
+
+/**
+ * Scripted prefetcher: emits whatever blocks the test primed on the
+ * next demand access, and collects feedback in the base-class counters.
+ */
+class RecordingPrefetcher : public PrefetcherIface
+{
+  public:
+    const char *name() const override { return "mock"; }
+
+    void
+    notifyAccess(const MemRequest &, bool hit,
+                 std::vector<Addr> &out) override
+    {
+        accountDemand(hit);
+        for (Addr a : next)
+            out.push_back(a);
+        accountIssued(next.size());
+        next.clear();
+    }
+
+    std::vector<Addr> next;
+};
+
+TEST_F(MemSystemTest, ReadPfUsefulHitIsCountedOnce)
+{
+    build();
+    RecordingPrefetcher pf;
+    mem->l1d(0).setPrefetcher(&pf);
+    // A demand load elsewhere triggers the scripted prefetch.
+    pf.next = {0x40000};
+    loadAndWait(0, 0x80000);
+    for (int i = 0; i < 400; ++i)
+        clock.tick();
+    ASSERT_TRUE(mem->l1d(0).probeValid(0x40000));
+    ASSERT_EQ(pf.prefetcherStats().usefulHits, 0u);
+
+    loadAndWait(0, 0x40000);
+    EXPECT_EQ(pf.prefetcherStats().usefulHits, 1u);
+    loadAndWait(0, 0x40000);
+    EXPECT_EQ(pf.prefetcherStats().usefulHits, 1u)
+        << "a prefetched block is useful once, not per hit";
+    EXPECT_EQ(pf.prefetcherStats().late, 0u);
+    EXPECT_EQ(pf.prefetcherStats().pollution, 0u);
+}
+
+TEST_F(MemSystemTest, LoadMergingIntoInFlightReadPfIsLate)
+{
+    build();
+    RecordingPrefetcher pf;
+    mem->l1d(0).setPrefetcher(&pf);
+    pf.next = {0x40000};
+    MemRequest trigger;
+    trigger.cmd = MemCmd::ReadReq;
+    trigger.blockAddr = 0x80000;
+    mem->l1d(0).issueLoad(trigger, MemCallback{});
+    // Enough cycles for the pump to issue the ReadPF, far from the fill.
+    for (int i = 0; i < 10; ++i)
+        clock.tick();
+    ASSERT_FALSE(mem->l1d(0).probeValid(0x40000));
+
+    loadAndWait(0, 0x40000);
+    EXPECT_EQ(pf.prefetcherStats().late, 1u);
+    EXPECT_EQ(pf.prefetcherStats().usefulHits, 0u)
+        << "a late prefetch is not also a useful hit";
+    loadAndWait(0, 0x40000);
+    EXPECT_EQ(pf.prefetcherStats().late, 1u) << "late counted per miss, "
+                                                "not per merged target";
+}
+
+TEST_F(MemSystemTest, UnusedReadPfEvictionIsPollution)
+{
+    build();
+    RecordingPrefetcher pf;
+    mem->l1d(0).setPrefetcher(&pf);
+    pf.next = {0x40000};
+    loadAndWait(0, 0x80000);
+    for (int i = 0; i < 400; ++i)
+        clock.tick();
+    ASSERT_TRUE(mem->l1d(0).probeValid(0x40000));
+
+    const Addr stride = mem->l1d(0).tags().numSets() * kBlockSize;
+    for (int i = 1; i <= 9; ++i)
+        loadAndWait(0, 0x40000 + i * stride);
+    ASSERT_FALSE(mem->l1d(0).probeValid(0x40000));
+    EXPECT_EQ(pf.prefetcherStats().pollution, 1u);
+    EXPECT_EQ(pf.prefetcherStats().usefulHits, 0u);
+}
+
+TEST_F(MemSystemTest, StoreDrainsReceiveReadPfFeedbackToo)
+{
+    build();
+    RecordingPrefetcher pf;
+    mem->l1d(0).setPrefetcher(&pf);
+    // Useful: drain into a completed ReadPF fill.
+    pf.next = {0x40000};
+    loadAndWait(0, 0x80000);
+    for (int i = 0; i < 400; ++i)
+        clock.tick();
+    ASSERT_TRUE(mem->l1d(0).probeValid(0x40000));
+    drainAndWait(0, 0x40000);
+    EXPECT_EQ(pf.prefetcherStats().usefulHits, 1u);
+
+    // Late: drain merging into an in-flight ReadPF.
+    pf.next = {0xc0000};
+    MemRequest trigger;
+    trigger.cmd = MemCmd::ReadReq;
+    trigger.blockAddr = 0x100000;
+    mem->l1d(0).issueLoad(trigger, MemCallback{});
+    for (int i = 0; i < 10; ++i)
+        clock.tick();
+    ASSERT_FALSE(mem->l1d(0).probeValid(0xc0000));
+    drainAndWait(0, 0xc0000);
+    EXPECT_EQ(pf.prefetcherStats().late, 1u);
+}
+
+TEST_F(MemSystemTest, L2PrefetcherGetsUsefulAndPollutionFeedback)
+{
+    build();
+    RecordingPrefetcher pf;
+    mem->l2(0).setPrefetcher(&pf);
+    // The L1 miss arrives at L2 as a demand and triggers the prefetch.
+    pf.next = {0x40000};
+    loadAndWait(0, 0x80000);
+    for (int i = 0; i < 400; ++i)
+        clock.tick();
+    ASSERT_TRUE(mem->l2(0).probeValid(0x40000));
+    EXPECT_GE(pf.prefetcherStats().demandAccesses, 1u);
+
+    // The next L1 miss for the block hits L2's prefetched copy.
+    loadAndWait(0, 0x40000);
+    EXPECT_EQ(pf.prefetcherStats().usefulHits, 1u);
+
+    // A second prefetched block evicted unused from L2 is pollution
+    // (feedback is not gated on the level being an L1D).
+    pf.next = {0x200000};
+    loadAndWait(0, 0x240000);
+    for (int i = 0; i < 400; ++i)
+        clock.tick();
+    ASSERT_TRUE(mem->l2(0).probeValid(0x200000));
+    const Addr stride = mem->l2(0).tags().numSets() * kBlockSize;
+    for (int i = 1; i <= 17; ++i)
+        loadAndWait(0, 0x200000 + i * stride);
+    ASSERT_FALSE(mem->l2(0).probeValid(0x200000));
+    EXPECT_EQ(pf.prefetcherStats().pollution, 1u);
+}
+
+TEST_F(MemSystemTest, EarlyStorePrefetchIsCountedOncePerEviction)
+{
+    build();
+    // Same scenario as EarlyPrefetchClassification...
+    MemRequest pf;
+    pf.cmd = MemCmd::StorePF;
+    pf.blockAddr = 0x70000;
+    mem->l1d(0).issueStorePrefetch(pf);
+    for (int i = 0; i < 400; ++i)
+        clock.tick();
+    ASSERT_TRUE(mem->l1d(0).probeOwned(0x70000));
+    const Addr stride = mem->l1d(0).tags().numSets() * kBlockSize;
+    for (int i = 1; i <= 8; ++i)
+        loadAndWait(0, 0x70000 + i * stride);
+    ASSERT_FALSE(mem->l1d(0).probeValid(0x70000));
+    drainAndWait(0, 0x70000);
+    ASSERT_EQ(mem->l1d(0).stats().pfEarly, 1u);
+
+    // ...but the classification erases the evicted-unused record: the
+    // same block drained again must not be "early" a second time, and
+    // finalize must not also count it as never-used.
+    drainAndWait(0, 0x70000);
+    EXPECT_EQ(mem->l1d(0).stats().pfEarly, 1u);
+    mem->finalizeStats();
+    EXPECT_EQ(mem->l1d(0).stats().pfNeverUsed, 0u);
 }
 
 // ---------------------------------------------------------------------

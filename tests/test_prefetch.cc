@@ -162,9 +162,19 @@ TEST(StreamPrefetcher, FeedbackCountersAccumulate)
     fb = PrefetchFeedback{};
     fb.pollutionEvict = true;
     pf.notifyFeedback(fb);
-    EXPECT_EQ(pf.stats().usefulHits, 1u);
-    EXPECT_EQ(pf.stats().late, 1u);
-    EXPECT_EQ(pf.stats().pollution, 1u);
+    EXPECT_EQ(pf.prefetcherStats().usefulHits, 1u);
+    EXPECT_EQ(pf.prefetcherStats().late, 1u);
+    EXPECT_EQ(pf.prefetcherStats().pollution, 1u);
+}
+
+TEST(StreamPrefetcher, NamesFollowTheMode)
+{
+    EXPECT_STREQ(StreamPrefetcher(PrefetcherMode::Stream).name(),
+                 "stride");
+    EXPECT_STREQ(StreamPrefetcher(PrefetcherMode::Aggressive).name(),
+                 "fdp");
+    EXPECT_STREQ(StreamPrefetcher(PrefetcherMode::Adaptive).name(),
+                 "fdp");
 }
 
 TEST(StreamPrefetcher, ModeNames)

@@ -5,6 +5,9 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+#include <vector>
+
 #include "common/rng.hh"
 #include "cpu/tlb.hh"
 #include "prefetch/best_offset.hh"
@@ -90,11 +93,12 @@ TEST(BestOffset, LearnsAConstantStride)
 {
     BestOffsetPrefetcher bop;
     std::vector<Addr> out;
-    // Stride of 3 blocks, long enough to finish a learning round.
-    for (Addr b = 0; b < 4000; b += 3)
+    // Stride of 3 blocks, long enough to finish a learning round (the
+    // mirrored candidate list tests 48 offsets round-robin).
+    for (Addr b = 0; b < 8000; b += 3)
         bop.notifyAccess(demandAt(b), false, out);
-    EXPECT_GE(bop.stats().rounds, 1u);
-    EXPECT_EQ(bop.stats().lastBestOffset, 3)
+    EXPECT_GE(bop.learning().rounds, 1u);
+    EXPECT_EQ(bop.learning().lastBestOffset, 3)
         << "BOP must converge on the true stride";
 }
 
@@ -120,7 +124,7 @@ TEST(BestOffset, TurnsOffOnRandomTraffic)
     }
     EXPECT_EQ(bop.currentOffset(), 0)
         << "no offset scores on random traffic: prefetching stops";
-    EXPECT_GE(bop.stats().offChanges, 1u);
+    EXPECT_GE(bop.learning().offChanges, 1u);
 }
 
 TEST(BestOffset, RecoversAfterPhaseChange)
@@ -138,16 +142,91 @@ TEST(BestOffset, RecoversAfterPhaseChange)
     // A regular phase re-enables prefetching with the right offset.
     for (Addr b = 0; b < 20000; b += 2)
         bop.notifyAccess(demandAt(b), false, out);
-    EXPECT_EQ(bop.stats().lastBestOffset, 2);
+    EXPECT_EQ(bop.learning().lastBestOffset, 2);
 }
 
 TEST(BestOffset, CandidateListIsSane)
 {
     const auto &offsets = BestOffsetPrefetcher::candidateOffsets();
-    EXPECT_GE(offsets.size(), 16u);
+    EXPECT_GE(offsets.size(), 32u);
     EXPECT_EQ(offsets.front(), 1);
-    for (std::size_t i = 1; i < offsets.size(); ++i)
-        EXPECT_GT(offsets[i], offsets[i - 1]) << "sorted, unique";
+    std::set<int> seen;
+    for (int o : offsets) {
+        EXPECT_NE(o, 0) << "offset 0 means 'disabled', never a candidate";
+        EXPECT_TRUE(seen.insert(o).second) << "duplicate offset " << o;
+    }
+    // Michaud's negative offsets: every magnitude appears both ways.
+    for (int o : offsets)
+        EXPECT_TRUE(seen.count(-o)) << "missing mirror of " << o;
+}
+
+// Regression: the issue path used to emit (block + offset) with no page
+// clamp, prefetching the first block of the *next* page from the last
+// block of the current one.
+TEST(BestOffset, EmissionIsClampedToThePage)
+{
+    BestOffsetPrefetcher bop; // starts with offset 1
+    std::vector<Addr> out;
+    bop.notifyAccess(demandAt(kBlocksPerPage - 1), false, out);
+    EXPECT_TRUE(out.empty())
+        << "offset 1 from the last block of a page must not cross it";
+    EXPECT_EQ(bop.prefetcherStats().issued, 0u);
+
+    // One block earlier the same offset stays in the page and issues.
+    bop.notifyAccess(demandAt(kBlocksPerPage - 2), false, out);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0], (kBlocksPerPage - 1) << kBlockShift);
+}
+
+// Regression: RR-table training used to score candidates whose base
+// X - O lies in a different page, so a page-crossing stride (here +64:
+// the first block of each consecutive page) learned a spurious winner.
+TEST(BestOffset, TrainingNeverScoresAcrossPages)
+{
+    BestOffsetParams params;
+    params.roundMax = 20; // fast rounds for the test
+    BestOffsetPrefetcher bop(params);
+    std::vector<Addr> out;
+    for (Addr b = kBlocksPerPage; b < 3000 * kBlocksPerPage;
+         b += kBlocksPerPage) {
+        out.clear();
+        bop.notifyAccess(demandAt(b), false, out);
+    }
+    ASSERT_GE(bop.learning().rounds, 1u);
+    EXPECT_EQ(bop.currentOffset(), 0)
+        << "the only correlation crosses pages; BOP must turn off";
+    EXPECT_EQ(bop.learning().lastBestScore, 0u);
+}
+
+// Regression: the candidate list used to be all-positive (and the issue
+// path guarded currentOffset_ > 0), so descending streams never
+// prefetched.
+TEST(BestOffset, DescendingStrideSelectsANegativeWinner)
+{
+    BestOffsetPrefetcher bop;
+    std::vector<Addr> out;
+    constexpr Addr kTop = 40000;
+    for (Addr b = kTop; b >= 4; b -= 2)
+        bop.notifyAccess(demandAt(b), false, out);
+    ASSERT_GE(bop.learning().rounds, 1u);
+    EXPECT_EQ(bop.learning().lastBestOffset, -2)
+        << "a descending stride must learn its negative offset";
+
+    // With the negative winner, prefetches run down the page...
+    out.clear();
+    bop.notifyAccess(demandAt(2 * kBlocksPerPage + 10), false, out);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0], (2 * kBlocksPerPage + 8) << kBlockShift);
+
+    // ...and block + offset is underflow-guarded at the bottom of the
+    // address space (and page-clamped at the bottom of each page).
+    out.clear();
+    bop.notifyAccess(demandAt(1), false, out);
+    EXPECT_TRUE(out.empty()) << "block 1 - 2 underflows: no prefetch";
+    out.clear();
+    bop.notifyAccess(demandAt(3 * kBlocksPerPage), false, out);
+    EXPECT_TRUE(out.empty())
+        << "offset -2 from a page's first block crosses the page";
 }
 
 } // namespace

@@ -79,7 +79,7 @@ usage()
         "  --spb-dynamic          dynamic-threshold variant\n"
         "  --spb-backward         backward-burst extension\n"
         "  --ideal                ideal (1024-entry) SB upper bound\n"
-        "  --l1pf=none|stream|aggressive|adaptive|best-offset\n"
+        "  --l1pf=none|stream|aggressive|adaptive|best-offset|dspatch\n"
         "  --core=skylake|SLM|NHL|HSW|SKL|SNC    (default skylake)\n"
         "  --threads=N            cores/threads (default 1)\n"
         "  --uops=N               committed uops per core (default 200k)\n"
@@ -179,8 +179,11 @@ parse(int argc, char **argv)
                 o.l1pf = L1PrefetcherKind::Aggressive;
             else if (std::strcmp(v, "adaptive") == 0)
                 o.l1pf = L1PrefetcherKind::Adaptive;
-            else if (std::strcmp(v, "best-offset") == 0)
+            else if (std::strcmp(v, "best-offset") == 0 ||
+                     std::strcmp(v, "bop") == 0)
                 o.l1pf = L1PrefetcherKind::BestOffset;
+            else if (std::strcmp(v, "dspatch") == 0)
+                o.l1pf = L1PrefetcherKind::DSPatch;
             else
                 SPB_FATAL("unknown prefetcher '%s'", v);
         } else if ((v = value("--core=")) != nullptr) { // spburst-lint: config(key)

@@ -83,7 +83,7 @@ usage()
         "  --sb=N,...             SB sizes (default 56)\n"
         "  --strategy=none|at-execute|at-commit|spb|ideal,...\n"
         "  --spb-n=N,...          SPB window lengths\n"
-        "  --l1pf=none|stream|aggressive|adaptive|best-offset,...\n"
+        "  --l1pf=none|stream|aggressive|adaptive|best-offset|dspatch,...\n"
         "  --core=skylake|SLM|NHL|HSW|SKL|SNC,...\n"
         "per-job configuration:\n"
         "  --sim-threads=N        simulated cores per job (default 1)\n"
@@ -189,8 +189,10 @@ l1pfVariant(const std::string &name)
         kind = L1PrefetcherKind::Aggressive;
     else if (name == "adaptive")
         kind = L1PrefetcherKind::Adaptive;
-    else if (name == "best-offset")
+    else if (name == "best-offset" || name == "bop")
         kind = L1PrefetcherKind::BestOffset;
+    else if (name == "dspatch")
+        kind = L1PrefetcherKind::DSPatch;
     else
         SPB_FATAL("unknown prefetcher '%s'", name.c_str());
     return {name,
